@@ -1,0 +1,66 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures.
+//
+// Usage:
+//
+//	experiments [-fast] [-sf 10] [-seed 1] [-out results.txt] [fig9a table3 ...]
+//
+// With no experiment ids, every registered experiment runs (see
+// DESIGN.md §3 for the id → paper figure/table mapping).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"isum/internal/experiments"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "use reduced workload sizes (minutes, not hours)")
+	sf := flag.Float64("sf", 10, "benchmark scale factor")
+	seed := flag.Int64("seed", 1, "workload generation seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.Names() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	cfg := experiments.Config{Scale: *sf, Seed: *seed, Fast: *fast}
+	env := experiments.NewEnv(cfg)
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.Names()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := experiments.Run(env, id, w); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

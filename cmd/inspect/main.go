@@ -1,0 +1,139 @@
+// Command inspect prints what ISUM sees in a workload: template clusters,
+// per-query utilities, feature vectors, and the workload summary features —
+// useful for understanding why compression picked what it picked.
+//
+// Usage:
+//
+//	inspect -benchmark tpch -n 44 [-sf 10] [-top 10] [-features]
+//	inspect -benchmark tpcds -in workload.json -top 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"isum/internal/benchmarks"
+	"isum/internal/core"
+	"isum/internal/cost"
+	"isum/internal/workload"
+)
+
+func main() {
+	bench := flag.String("benchmark", "tpch", "benchmark catalog: tpch, tpcds, dsb, realm")
+	sf := flag.Float64("sf", 10, "scale factor")
+	seed := flag.Int64("seed", 1, "generation seed")
+	n := flag.Int("n", 44, "generated workload size (ignored with -in)")
+	in := flag.String("in", "", "workload JSON to inspect instead of generating")
+	top := flag.Int("top", 10, "how many queries to detail")
+	showFeatures := flag.Bool("features", false, "print feature vectors for the top queries")
+	flag.Parse()
+
+	g, err := benchmarks.FromName(*bench, *sf, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	var w *workload.Workload
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		w, err = workload.Load(g.Cat, f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		w, err = g.Workload(*n, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		cost.NewOptimizer(g.Cat).FillCosts(w)
+	}
+
+	fmt.Printf("workload: %d queries, %d templates, %d tables referenced, total cost %.0f\n\n",
+		w.Len(), w.NumTemplates(), w.TablesReferenced(), w.TotalCost())
+
+	// Template clusters by frequency.
+	type tmpl struct {
+		id    string
+		count int
+		cost  float64
+	}
+	byID := map[string]*tmpl{}
+	for _, q := range w.Queries {
+		tm := byID[q.TemplateID]
+		if tm == nil {
+			tm = &tmpl{id: q.TemplateID}
+			byID[q.TemplateID] = tm
+		}
+		tm.count++
+		tm.cost += q.Cost
+	}
+	var tmpls []*tmpl
+	for _, tm := range byID {
+		tmpls = append(tmpls, tm)
+	}
+	sort.Slice(tmpls, func(i, j int) bool { return tmpls[i].cost > tmpls[j].cost })
+	fmt.Println("top templates by total cost:")
+	for i, tm := range tmpls {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  %3d instances  cost %12.0f  %.70s\n", tm.count, tm.cost, tm.id)
+	}
+
+	// Per-query benefit diagnostics.
+	states := core.BuildStates(w, core.DefaultOptions())
+	ss := core.BuildSummary(states)
+	type qd struct {
+		idx              int
+		utility, benefit float64
+	}
+	var qds []qd
+	for i, s := range states {
+		qds = append(qds, qd{idx: i, utility: s.Utility, benefit: core.BenefitSummary(s, ss)})
+	}
+	sort.Slice(qds, func(i, j int) bool { return qds[i].benefit > qds[j].benefit })
+	fmt.Printf("\ntop queries by benefit (utility + influence on summary):\n")
+	for i, d := range qds {
+		if i >= *top {
+			break
+		}
+		q := w.Queries[d.idx]
+		fmt.Printf("  #%-4d benefit %.4f  utility %.4f  cost %10.0f  %.60s\n",
+			d.idx, d.benefit, d.utility, q.Cost, q.Text)
+		if *showFeatures {
+			v := states[d.idx].OrigVec
+			keys := make([]string, 0, len(v))
+			for k := range v {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(a, b int) bool { return v[keys[a]] > v[keys[b]] })
+			for _, k := range keys {
+				fmt.Printf("        %-30s %.3f\n", k, v[k])
+			}
+		}
+	}
+
+	// Summary features.
+	fmt.Printf("\nworkload summary features (top weights):\n")
+	keys := make([]string, 0, len(ss.V))
+	for k := range ss.V {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return ss.V[keys[a]] > ss.V[keys[b]] })
+	for i, k := range keys {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  %-32s %.4f\n", k, ss.V[k])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "inspect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command isum compresses a workload for index tuning.
+//
+// It reads a JSON query log (as produced by workloadgen, or harvested from
+// a real system) against a named benchmark catalog, runs ISUM, and writes
+// the compressed workload — k queries with weights — as a JSON log ready
+// for the tune command.
+//
+// Usage:
+//
+//	isum -benchmark tpch -in tpch.json -k 20 -variant isum-s -out small.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"isum/internal/benchmarks"
+	"isum/internal/core"
+	"isum/internal/workload"
+)
+
+func main() {
+	bench := flag.String("benchmark", "tpch", "benchmark catalog: tpch, tpcds, dsb, realm")
+	sf := flag.Float64("sf", 10, "scale factor")
+	seed := flag.Int64("seed", 1, "seed (for realm catalog)")
+	in := flag.String("in", "", "input workload JSON (default: generate the benchmark workload)")
+	k := flag.Int("k", 20, "compressed workload size")
+	variant := flag.String("variant", "isum",
+		"isum (rule-based), isum-s (stats-based), notable, allpairs")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	g, err := benchmarks.FromName(*bench, *sf, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	var w *workload.Workload
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		w, err = workload.Load(g.Cat, f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		w, err = g.Workload(473, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var opts core.Options
+	switch *variant {
+	case "isum":
+		opts = core.DefaultOptions()
+	case "isum-s":
+		opts = core.ISUMSOptions()
+	case "notable":
+		opts = core.NoTableOptions()
+	case "allpairs":
+		opts = core.DefaultOptions()
+		opts.Algorithm = core.AllPairs
+	default:
+		fatal(fmt.Errorf("unknown variant %q", *variant))
+	}
+
+	comp := core.New(opts)
+	cw, res := comp.CompressedWorkload(w, *k)
+
+	f := os.Stdout
+	if *out != "" {
+		f, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	if err := cw.Save(f); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%s selected %d/%d queries in %v\n",
+		comp.Name(), cw.Len(), w.Len(), res.Elapsed.Round(1000))
+	for i, idx := range res.Indices {
+		fmt.Fprintf(os.Stderr, "  #%-4d weight %.4f  benefit %.4f\n",
+			idx, res.Weights[i], res.SelectionBenefits[i])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "isum:", err)
+	os.Exit(1)
+}

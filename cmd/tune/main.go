@@ -1,0 +1,117 @@
+// Command tune runs an index advisor on a workload (typically a compressed
+// one produced by the isum command) and reports the recommended indexes and
+// the improvement on an optional evaluation workload.
+//
+// Usage:
+//
+//	tune -benchmark tpch -in small.json -eval tpch.json -max-indexes 20 -storage-mult 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"isum/internal/advisor"
+	"isum/internal/benchmarks"
+	"isum/internal/catalog"
+	"isum/internal/cost"
+	"isum/internal/workload"
+)
+
+func main() {
+	bench := flag.String("benchmark", "tpch", "benchmark catalog: tpch, tpcds, dsb, realm")
+	sf := flag.Float64("sf", 10, "scale factor")
+	seed := flag.Int64("seed", 1, "seed (for realm catalog)")
+	in := flag.String("in", "", "workload JSON to tune (required)")
+	eval := flag.String("eval", "", "workload JSON to evaluate improvement on (default: the tuned one)")
+	maxIndexes := flag.Int("max-indexes", 20, "configuration size constraint (0 = unlimited)")
+	storageMult := flag.Float64("storage-mult", 3, "storage budget as a multiple of database size (0 = unlimited)")
+	mode := flag.String("advisor", "dta", "advisor flavour: dta or dexter")
+	report := flag.Int("report", 0, "with -eval: print a per-query drill-down of the top N improved queries")
+	catalogIn := flag.String("catalog", "", "load the catalog from a JSON export instead of the benchmark schema")
+	configOut := flag.String("config-out", "", "save the recommended configuration as JSON")
+	flag.Parse()
+
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+	g, err := benchmarks.FromName(*bench, *sf, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *catalogIn != "" {
+		cf, err := os.Open(*catalogIn)
+		if err != nil {
+			fatal(err)
+		}
+		cat, err := catalog.LoadJSON(cf)
+		cf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		g.Cat = cat
+	}
+	load := func(path string) *workload.Workload {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w, err := workload.Load(g.Cat, f)
+		if err != nil {
+			fatal(err)
+		}
+		return w
+	}
+	w := load(*in)
+
+	var opts advisor.Options
+	switch *mode {
+	case "dta":
+		opts = advisor.DefaultOptions()
+	case "dexter":
+		opts = advisor.DexterOptions()
+	default:
+		fatal(fmt.Errorf("unknown advisor %q", *mode))
+	}
+	opts.MaxIndexes = *maxIndexes
+	if *storageMult > 0 {
+		opts.StorageBudget = int64(*storageMult * float64(g.Cat.TotalSizeBytes()))
+	}
+
+	o := cost.NewOptimizer(g.Cat)
+	res := advisor.New(o, opts).Tune(w)
+
+	fmt.Printf("recommended %d indexes in %v (%d optimizer calls, %d configs explored)\n",
+		res.Config.Len(), res.Elapsed.Round(1000), res.OptimizerCalls, res.ConfigsExplored)
+	for _, ix := range res.Config.Indexes() {
+		fmt.Printf("  %s  (%.1f MB)\n", ix, float64(ix.SizeBytes(g.Cat))/(1<<20))
+	}
+	fmt.Printf("improvement on tuned workload: %.2f%%\n", res.ImprovementPercent())
+
+	if *configOut != "" {
+		f, err := os.Create(*configOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := res.Config.SaveJSON(f); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *eval != "" {
+		ew := load(*eval)
+		pct, base, final := advisor.EvaluateImprovement(o, ew, res.Config)
+		fmt.Printf("improvement on evaluation workload: %.2f%% (cost %.0f -> %.0f)\n", pct, base, final)
+		if *report > 0 {
+			advisor.Report(o, ew, res.Config).Write(os.Stdout, *report)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tune:", err)
+	os.Exit(1)
+}

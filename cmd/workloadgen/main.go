@@ -1,0 +1,69 @@
+// Command workloadgen emits a benchmark workload as a JSON query log with
+// optimizer-estimated costs — the input-workload format of Section 2.2.
+//
+// Usage:
+//
+//	workloadgen -benchmark tpch -n 2200 -sf 10 -seed 1 -out tpch.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"isum/internal/benchmarks"
+	"isum/internal/cost"
+)
+
+func main() {
+	bench := flag.String("benchmark", "tpch", "benchmark: tpch, tpcds, dsb, realm")
+	n := flag.Int("n", 0, "number of query instances (default: paper's Table 2 size)")
+	sf := flag.Float64("sf", 10, "scale factor")
+	seed := flag.Int64("seed", 1, "generation seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	catalogOut := flag.String("catalog-out", "", "also export the catalog (schema + statistics) as JSON")
+	flag.Parse()
+
+	g, err := benchmarks.FromName(*bench, *sf, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *n == 0 {
+		defaults := map[string]int{"TPC-H": 2200, "TPC-DS": 9100, "DSB": 520, "Real-M": 473}
+		*n = defaults[g.Name]
+	}
+	w, err := g.Workload(*n, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cost.NewOptimizer(g.Cat).FillCosts(w)
+
+	f := os.Stdout
+	if *out != "" {
+		f, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	if err := w.Save(f); err != nil {
+		fatal(err)
+	}
+	if *catalogOut != "" {
+		cf, err := os.Create(*catalogOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer cf.Close()
+		if err := g.Cat.SaveJSON(cf); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d queries, %d templates, %d tables\n",
+		g.Name, w.Len(), w.NumTemplates(), w.TablesReferenced())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "workloadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Incremental compression: process a query log in arrival batches and keep
+// a bounded compressed workload across batches — a working sketch of the
+// future-work direction in Section 10 (ISUM over incrementally consumed
+// workloads, e.g. under a tuner time budget).
+//
+// Strategy: maintain a running pool of at most poolSize queries; on each
+// batch, append the new arrivals and recompress the pool to k queries. The
+// weights absorb the represented mass, so tuning the pool approximates
+// tuning everything seen so far.
+//
+//	go run ./examples/incremental
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"isum/internal/advisor"
+	"isum/internal/benchmarks"
+	"isum/internal/core"
+	"isum/internal/cost"
+	"isum/internal/workload"
+)
+
+func main() {
+	const (
+		batchSize = 64
+		batches   = 5
+		k         = 12 // compressed pool size carried between batches
+	)
+
+	gen := benchmarks.TPCDS(10)
+	full, err := gen.Workload(batchSize*batches, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := cost.NewOptimizer(gen.Cat)
+	o.FillCosts(full)
+
+	aopts := advisor.DefaultOptions()
+	aopts.MaxIndexes = 15
+	aopts.StorageBudget = 3 * gen.Cat.TotalSizeBytes()
+
+	// The library's incremental compressor keeps a bounded pool of weighted
+	// representatives across batches.
+	ic := core.NewIncremental(gen.Cat, core.DefaultOptions(), k)
+	seen := &workload.Workload{Catalog: gen.Cat}
+
+	for b := 0; b < batches; b++ {
+		batch := full.Queries[b*batchSize : (b+1)*batchSize]
+		seen.Queries = append(seen.Queries, batch...)
+		res := ic.Observe(batch)
+
+		// Tune the pool and evaluate against everything seen so far.
+		tuned := advisor.New(o, aopts).Tune(ic.Pool())
+		pct, _, _ := advisor.EvaluateImprovement(o, seen, tuned.Config)
+		fmt.Printf("batch %d: seen %3d queries, pool %2d, compression %v, improvement on seen: %.1f%%\n",
+			b+1, seen.Len(), ic.Pool().Len(), res.Elapsed.Round(1000), pct)
+	}
+
+	// Reference: one-shot compression of the entire workload.
+	res := core.New(core.DefaultOptions()).Compress(full, k)
+	cw := full.WeightedSubset(res.Indices, res.Weights)
+	tuned := advisor.New(o, aopts).Tune(cw)
+	pct, _, _ := advisor.EvaluateImprovement(o, full, tuned.Config)
+	fmt.Printf("\none-shot reference (same k=%d): %.1f%%\n", k, pct)
+}

@@ -1,0 +1,3 @@
+module isum
+
+go 1.22

@@ -1,0 +1,426 @@
+// Package advisor implements index advisors over the what-if optimizer:
+// a DTA-style advisor following the candidate-generation / candidate-
+// selection / configuration-enumeration architecture of Fig. 1 [14], with
+// index merging [16], index-count and storage-budget constraints, and
+// weighted workloads; and a deliberately simpler DEXTER-style advisor [2]
+// used to assess generalisation (Section 8.3).
+package advisor
+
+import (
+	"sort"
+	"time"
+
+	"isum/internal/cost"
+	"isum/internal/index"
+	"isum/internal/workload"
+)
+
+// Mode selects the advisor flavour.
+type Mode int
+
+const (
+	// DTA is the full advisor: multi-column candidates, covering indexes,
+	// merging, greedy enumeration against the whole workload.
+	DTA Mode = iota
+	// Dexter is the simplified advisor: single/two-column candidates from
+	// filters and joins only, per-query selection with a minimum-improvement
+	// threshold, no merging.
+	Dexter
+)
+
+// Options configure a tuning run.
+type Options struct {
+	// Mode selects DTA- or DEXTER-style behaviour.
+	Mode Mode
+	// MaxIndexes is the configuration-size constraint m (0 = unlimited).
+	MaxIndexes int
+	// StorageBudget bounds the total index size in bytes (0 = unlimited).
+	// The paper's Fig. 10 expresses it as a multiple of the database size.
+	StorageBudget int64
+	// MaxKeyColumns caps index key width (default 3).
+	MaxKeyColumns int
+	// MaxIncludeColumns caps INCLUDE width for covering variants (default 8).
+	MaxIncludeColumns int
+	// EnableIncludes generates covering variants (default true for DTA).
+	EnableIncludes bool
+	// EnableMerging adds merged candidates (default true for DTA).
+	EnableMerging bool
+	// MinImprovement is the per-query fractional improvement a candidate
+	// must achieve during candidate selection (DEXTER exposes this; the
+	// paper sets it to 5%).
+	MinImprovement float64
+	// CandidatesPerQuery caps how many winning candidates each query
+	// contributes (default 8).
+	CandidatesPerQuery int
+	// TimeBudget makes tuning anytime (DTA's -A mode [12], discussed in
+	// Sections 1 and 10): candidate selection processes queries until the
+	// budget is exhausted, and enumeration stops adding indexes past it.
+	// Zero means no budget. The result is always a valid (possibly
+	// truncated) recommendation.
+	TimeBudget time.Duration
+}
+
+// DefaultOptions returns the standard DTA-style configuration.
+func DefaultOptions() Options {
+	return Options{
+		Mode:               DTA,
+		MaxKeyColumns:      3,
+		MaxIncludeColumns:  8,
+		EnableIncludes:     true,
+		EnableMerging:      true,
+		CandidatesPerQuery: 8,
+	}
+}
+
+// DexterOptions returns the DEXTER-style configuration with the paper's 5%
+// minimum-improvement setting.
+func DexterOptions() Options {
+	return Options{
+		Mode:               Dexter,
+		MaxKeyColumns:      2,
+		EnableIncludes:     false,
+		EnableMerging:      false,
+		MinImprovement:     0.05,
+		CandidatesPerQuery: 4,
+	}
+}
+
+// Result reports a tuning run.
+type Result struct {
+	Config          *index.Configuration
+	InitialCost     float64 // weighted workload cost before tuning
+	FinalCost       float64 // weighted workload cost with Config
+	OptimizerCalls  int64
+	ConfigsExplored int64
+	Elapsed         time.Duration
+}
+
+// ImprovementPercent is the tuner-reported improvement on its input.
+func (r *Result) ImprovementPercent() float64 {
+	if r.InitialCost <= 0 {
+		return 0
+	}
+	return (r.InitialCost - r.FinalCost) / r.InitialCost * 100
+}
+
+// Advisor tunes workloads.
+type Advisor struct {
+	o    *cost.Optimizer
+	opts Options
+}
+
+// New returns an advisor over the optimizer. Zero-valued option fields are
+// defaulted.
+func New(o *cost.Optimizer, opts Options) *Advisor {
+	if opts.MaxKeyColumns == 0 {
+		opts.MaxKeyColumns = 3
+	}
+	if opts.MaxIncludeColumns == 0 {
+		opts.MaxIncludeColumns = 8
+	}
+	if opts.CandidatesPerQuery == 0 {
+		opts.CandidatesPerQuery = 8
+	}
+	return &Advisor{o: o, opts: opts}
+}
+
+// Tune runs the advisor on the workload and returns the recommended
+// configuration. Query weights are honoured: the enumeration maximises the
+// weighted improvement, which is how a compressed workload steers tuning.
+func (a *Advisor) Tune(w *workload.Workload) *Result {
+	start := time.Now()
+	deadline := time.Time{}
+	if a.opts.TimeBudget > 0 {
+		deadline = start.Add(a.opts.TimeBudget)
+	}
+	callsBefore := a.o.Calls()
+	res := &Result{InitialCost: a.o.WorkloadCost(w, nil)}
+
+	candidates := a.selectCandidates(w, res, deadline)
+	if a.opts.EnableMerging {
+		candidates = a.addMerged(candidates)
+	}
+	cfg := a.enumerate(w, candidates, res, deadline)
+
+	res.Config = cfg
+	res.FinalCost = a.o.WorkloadCost(w, cfg)
+	res.OptimizerCalls = a.o.Calls() - callsBefore
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// scored pairs a candidate index with its standalone benefit.
+type scored struct {
+	ix      index.Index
+	benefit float64
+}
+
+// selectCandidates runs per-query candidate selection: each query's
+// syntactic candidates are what-if costed in isolation and the winners
+// (positive improvement above the threshold) are pooled.
+func (a *Advisor) selectCandidates(w *workload.Workload, res *Result, deadline time.Time) []scored {
+	pool := map[string]*scored{}
+	for _, q := range w.Queries {
+		if expired(deadline) {
+			break // anytime mode: keep what we have
+		}
+		base := a.o.Cost(q, nil)
+		if base <= 0 {
+			continue
+		}
+		wt := q.Weight
+		if wt <= 0 {
+			wt = 1
+		}
+		var local []scored
+		for _, ix := range a.syntacticCandidatesForMode(q) {
+			c := a.o.Cost(q, index.NewConfiguration(ix))
+			res.ConfigsExplored++
+			gain := base - c
+			if gain <= 0 || gain < a.opts.MinImprovement*base {
+				continue
+			}
+			local = append(local, scored{ix: ix, benefit: wt * gain})
+		}
+		sort.Slice(local, func(i, j int) bool { return local[i].benefit > local[j].benefit })
+		if len(local) > a.opts.CandidatesPerQuery {
+			local = local[:a.opts.CandidatesPerQuery]
+		}
+		for _, s := range local {
+			id := s.ix.ID()
+			if cur, ok := pool[id]; ok {
+				cur.benefit += s.benefit
+			} else {
+				sc := s
+				pool[id] = &sc
+			}
+		}
+	}
+	out := make([]scored, 0, len(pool))
+	for _, s := range pool {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].benefit != out[j].benefit {
+			return out[i].benefit > out[j].benefit
+		}
+		return out[i].ix.ID() < out[j].ix.ID()
+	})
+	return out
+}
+
+func (a *Advisor) syntacticCandidatesForMode(q *workload.Query) []index.Index {
+	if a.opts.Mode == Dexter {
+		return a.dexterCandidates(q)
+	}
+	return a.syntacticCandidates(q)
+}
+
+// addMerged extends the pool with pairwise merges of same-table candidates
+// that share a leading key: keys of the first followed by the unseen keys of
+// the second, includes unioned — the index-merging optimisation [16].
+func (a *Advisor) addMerged(cands []scored) []scored {
+	seen := map[string]bool{}
+	for _, c := range cands {
+		seen[c.ix.ID()] = true
+	}
+	byTable := map[string][]scored{}
+	for _, c := range cands {
+		byTable[c.ix.Table] = append(byTable[c.ix.Table], c)
+	}
+	out := cands
+	for _, list := range byTable {
+		for i := 0; i < len(list); i++ {
+			for j := 0; j < len(list); j++ {
+				if i == j {
+					continue
+				}
+				A, B := list[i].ix, list[j].ix
+				if A.LeadingKey() == "" || !equalFold(A.LeadingKey(), B.LeadingKey()) {
+					continue
+				}
+				merged := mergeIndexes(A, B, a.opts.MaxKeyColumns, a.opts.MaxIncludeColumns)
+				if merged == nil {
+					continue
+				}
+				id := merged.ID()
+				if !seen[id] {
+					seen[id] = true
+					out = append(out, scored{ix: *merged, benefit: (list[i].benefit + list[j].benefit) / 2})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// mergeIndexes merges B into A; returns nil when the result exceeds limits.
+func mergeIndexes(A, B index.Index, maxKeys, maxIncludes int) *index.Index {
+	keys := append([]string{}, A.Keys...)
+	have := map[string]bool{}
+	for _, k := range keys {
+		have[lower(k)] = true
+	}
+	for _, k := range B.Keys {
+		if !have[lower(k)] {
+			keys = append(keys, k)
+			have[lower(k)] = true
+		}
+	}
+	if len(keys) > maxKeys {
+		return nil
+	}
+	var includes []string
+	for _, c := range append(append([]string{}, A.Includes...), B.Includes...) {
+		if !have[lower(c)] {
+			have[lower(c)] = true
+			includes = append(includes, c)
+		}
+	}
+	if len(includes) > maxIncludes {
+		return nil
+	}
+	m := index.New(A.Table, keys...).WithIncludes(includes...)
+	return &m
+}
+
+// enumerate greedily builds the configuration: at each step the candidate
+// with the largest weighted workload improvement is added, until the
+// count/storage constraints bind or no candidate improves the workload.
+//
+// Probing a candidate only re-costs the queries that reference the
+// candidate's table — indexes cannot change other queries' plans — which is
+// the same table-pruning commercial advisors use to bound what-if calls.
+func (a *Advisor) enumerate(w *workload.Workload, cands []scored, res *Result, deadline time.Time) *index.Configuration {
+	cfg := index.NewConfiguration()
+	var used int64
+	remaining := append([]scored{}, cands...)
+
+	// Current weighted per-query costs and a table → query-index map.
+	curCost := make([]float64, len(w.Queries))
+	queriesByTable := map[string][]int{}
+	for i, q := range w.Queries {
+		wt := q.Weight
+		if wt <= 0 {
+			wt = 1
+		}
+		curCost[i] = wt * a.o.Cost(q, cfg)
+		if q.Info != nil {
+			for _, t := range q.Info.Tables {
+				queriesByTable[t] = append(queriesByTable[t], i)
+			}
+		}
+	}
+
+	for {
+		if a.opts.MaxIndexes > 0 && cfg.Len() >= a.opts.MaxIndexes {
+			break
+		}
+		if expired(deadline) {
+			break // anytime mode: return the configuration built so far
+		}
+		bestIdx := -1
+		bestGain := 0.0
+		var bestCosts map[int]float64
+		for i, cand := range remaining {
+			if a.opts.StorageBudget > 0 {
+				sz := cand.ix.SizeBytes(a.o.Catalog())
+				if used+sz > a.opts.StorageBudget {
+					continue
+				}
+			}
+			probe := cfg.With(cand.ix)
+			res.ConfigsExplored++
+			gain := 0.0
+			newCosts := map[int]float64{}
+			for _, qi := range queriesByTable[lower(cand.ix.Table)] {
+				q := w.Queries[qi]
+				wt := q.Weight
+				if wt <= 0 {
+					wt = 1
+				}
+				c := wt * a.o.Cost(q, probe)
+				if c < curCost[qi] {
+					gain += curCost[qi] - c
+					newCosts[qi] = c
+				}
+			}
+			if gain > bestGain+1e-9 {
+				bestGain, bestIdx, bestCosts = gain, i, newCosts
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		chosen := remaining[bestIdx]
+		cfg.Add(chosen.ix)
+		used += chosen.ix.SizeBytes(a.o.Catalog())
+		for qi, c := range bestCosts {
+			curCost[qi] = c
+		}
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return cfg
+}
+
+// dexterCandidates builds the simplified DEXTER candidate set: single
+// columns from filters and joins, plus filter+filter pairs.
+func (a *Advisor) dexterCandidates(q *workload.Query) []index.Index {
+	var out []index.Index
+	seen := map[string]bool{}
+	emit := func(ix index.Index) {
+		if !seen[ix.ID()] {
+			seen[ix.ID()] = true
+			out = append(out, ix)
+		}
+	}
+	for t, r := range rolesForQuery(q) {
+		eq := colsOf(r.eqFilters)
+		rng := colsOf(r.rngFilters)
+		for _, c := range eq {
+			emit(index.New(t, c))
+		}
+		for _, c := range rng {
+			emit(index.New(t, c))
+		}
+		for _, j := range r.joins {
+			emit(index.New(t, j))
+		}
+		all := append(append([]string{}, eq...), rng...)
+		if len(all) >= 2 && a.opts.MaxKeyColumns >= 2 {
+			emit(index.New(t, all[0], all[1]))
+		}
+	}
+	return out
+}
+
+// EvaluateImprovement computes the paper's evaluation metric (Section 8):
+// the unweighted improvement % on workload w when using cfg, along with the
+// before/after costs.
+func EvaluateImprovement(o *cost.Optimizer, w *workload.Workload, cfg *index.Configuration) (pct, base, final float64) {
+	for _, q := range w.Queries {
+		base += o.Cost(q, nil)
+		final += o.Cost(q, cfg)
+	}
+	if base <= 0 {
+		return 0, base, final
+	}
+	return (base - final) / base * 100, base, final
+}
+
+// expired reports whether the anytime deadline (if any) has passed.
+func expired(deadline time.Time) bool {
+	return !deadline.IsZero() && time.Now().After(deadline)
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}
+
+func equalFold(a, b string) bool { return lower(a) == lower(b) }

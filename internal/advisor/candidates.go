@@ -1,0 +1,242 @@
+package advisor
+
+import (
+	"sort"
+	"strings"
+
+	"isum/internal/index"
+	"isum/internal/workload"
+)
+
+// tableRoles aggregates a query's indexable columns on one table, split by
+// position, with selectivities for ordering.
+type tableRoles struct {
+	table      string
+	eqFilters  []colSel // sargable equality/IN filters, most selective first
+	rngFilters []colSel // range/LIKE filters, most selective first
+	joins      []string
+	groupBy    []string
+	orderBy    []string
+	needCols   []string // all columns of this table the query touches
+	needAll    bool     // SELECT * somewhere over this table
+}
+
+type colSel struct {
+	col string
+	sel float64
+}
+
+// rolesForQuery collects per-table roles from a query's analysis.
+func rolesForQuery(q *workload.Query) map[string]*tableRoles {
+	out := map[string]*tableRoles{}
+	if q.Info == nil {
+		return out
+	}
+	get := func(t string) *tableRoles {
+		r := out[t]
+		if r == nil {
+			r = &tableRoles{table: t}
+			out[t] = r
+		}
+		return r
+	}
+
+	bestFilter := map[string]workload.FilterPredicate{}
+	for _, f := range q.Info.Filters {
+		key := f.Table + "." + strings.ToLower(f.Column)
+		if cur, ok := bestFilter[key]; !ok || f.Selectivity < cur.Selectivity {
+			bestFilter[key] = f
+		}
+	}
+	for _, f := range bestFilter {
+		r := get(f.Table)
+		cs := colSel{col: strings.ToLower(f.Column), sel: f.Selectivity}
+		if f.SargableEq {
+			r.eqFilters = append(r.eqFilters, cs)
+		} else {
+			r.rngFilters = append(r.rngFilters, cs)
+		}
+	}
+	for _, j := range q.Info.JoinColumns() {
+		r := get(j.Table)
+		r.joins = appendUnique(r.joins, strings.ToLower(j.Column))
+	}
+	for _, g := range q.Info.GroupByColumns() {
+		r := get(g.Table)
+		r.groupBy = appendUnique(r.groupBy, strings.ToLower(g.Column))
+	}
+	for _, o := range q.Info.OrderByColumns() {
+		r := get(o.Table)
+		r.orderBy = appendUnique(r.orderBy, strings.ToLower(o.Column))
+	}
+
+	// Needed columns and SELECT * detection, per block.
+	for _, blk := range q.Info.Blocks {
+		for _, tu := range blk.Tables {
+			r := get(tu.Table)
+			if blk.SelectStar {
+				r.needAll = true
+			}
+		}
+		addNeed := func(cu workload.ColumnUse) {
+			if r, ok := out[cu.Table]; ok {
+				r.needCols = appendUnique(r.needCols, strings.ToLower(cu.Column))
+			}
+		}
+		for _, f := range blk.Filters {
+			addNeed(f.ColumnUse)
+		}
+		for _, j := range blk.Joins {
+			addNeed(j.Left)
+			addNeed(j.Right)
+		}
+		for _, c := range blk.GroupBy {
+			addNeed(c)
+		}
+		for _, c := range blk.OrderBy {
+			addNeed(c)
+		}
+		for _, c := range blk.Projected {
+			addNeed(c)
+		}
+	}
+
+	for _, r := range out {
+		sort.Slice(r.eqFilters, func(i, j int) bool { return r.eqFilters[i].sel < r.eqFilters[j].sel })
+		sort.Slice(r.rngFilters, func(i, j int) bool { return r.rngFilters[i].sel < r.rngFilters[j].sel })
+		sort.Strings(r.joins)
+		sort.Strings(r.needCols)
+	}
+	return out
+}
+
+// syntacticCandidates generates the syntactically-relevant indexes for one
+// query (step 1 of Fig. 1): per table, single-column indexes for every
+// indexable column, multi-column combinations per the Table-1 rules
+// (selection prefixes, selection+join both orders, order-by/group-by
+// leading), and covering (INCLUDE) variants.
+func (a *Advisor) syntacticCandidates(q *workload.Query) []index.Index {
+	var out []index.Index
+	seen := map[string]bool{}
+	emit := func(ix index.Index) {
+		if len(ix.Keys) == 0 || len(ix.Keys) > a.opts.MaxKeyColumns {
+			return
+		}
+		// Reject duplicate key columns (a column can hold several roles,
+		// e.g. filtered and grouped, and combination rules may repeat it).
+		keySet := map[string]bool{}
+		for _, k := range ix.Keys {
+			lk := strings.ToLower(k)
+			if keySet[lk] {
+				return
+			}
+			keySet[lk] = true
+		}
+		id := ix.ID()
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, ix)
+		}
+	}
+
+	for t, r := range rolesForQuery(q) {
+		// Singles.
+		for _, f := range r.eqFilters {
+			emit(index.New(t, f.col))
+		}
+		for _, f := range r.rngFilters {
+			emit(index.New(t, f.col))
+		}
+		for _, j := range r.joins {
+			emit(index.New(t, j))
+		}
+		for _, g := range r.groupBy {
+			emit(index.New(t, g))
+		}
+		for _, o := range r.orderBy {
+			emit(index.New(t, o))
+		}
+
+		// Equality prefixes (most selective first), optionally capped by one
+		// range column.
+		eqCols := colsOf(r.eqFilters)
+		for n := 2; n <= len(eqCols) && n <= a.opts.MaxKeyColumns; n++ {
+			emit(index.New(t, eqCols[:n]...))
+		}
+		if len(r.rngFilters) > 0 {
+			rng := r.rngFilters[0].col
+			for n := 1; n <= len(eqCols) && n < a.opts.MaxKeyColumns; n++ {
+				emit(index.New(t, append(append([]string{}, eqCols[:n]...), rng)...))
+			}
+			if len(eqCols) == 0 {
+				emit(index.New(t, rng))
+			}
+		}
+
+		// Selection+join (R3) and join+selection (R4).
+		firstSel := ""
+		if len(eqCols) > 0 {
+			firstSel = eqCols[0]
+		} else if len(r.rngFilters) > 0 {
+			firstSel = r.rngFilters[0].col
+		}
+		for _, j := range r.joins {
+			if firstSel != "" && firstSel != j {
+				emit(index.New(t, firstSel, j))
+				emit(index.New(t, j, firstSel))
+			}
+		}
+
+		// Group-by/order-by sets as leading keys (R5–R8 flavours).
+		if len(r.groupBy) > 0 && len(r.groupBy) <= a.opts.MaxKeyColumns {
+			emit(index.New(t, r.groupBy...))
+			if firstSel != "" && len(r.groupBy) < a.opts.MaxKeyColumns {
+				emit(index.New(t, append(append([]string{}, r.groupBy...), firstSel)...))
+			}
+		}
+		if len(r.orderBy) > 0 && len(r.orderBy) <= a.opts.MaxKeyColumns {
+			emit(index.New(t, r.orderBy...))
+			if firstSel != "" && len(r.orderBy) < a.opts.MaxKeyColumns {
+				emit(index.New(t, append(append([]string{}, r.orderBy...), firstSel)...))
+			}
+		}
+	}
+
+	// Covering variants.
+	if a.opts.EnableIncludes {
+		roles := rolesForQuery(q)
+		base := out
+		for _, ix := range base {
+			r := roles[strings.ToLower(ix.Table)]
+			if r == nil || r.needAll {
+				continue
+			}
+			cov := ix.WithIncludes(r.needCols...)
+			if len(cov.Includes) == 0 || len(cov.Includes) > a.opts.MaxIncludeColumns {
+				continue
+			}
+			if !seen[cov.ID()] {
+				seen[cov.ID()] = true
+				out = append(out, cov)
+			}
+		}
+	}
+	return out
+}
+
+func colsOf(cs []colSel) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.col
+	}
+	return out
+}
+
+func appendUnique(list []string, s string) []string {
+	for _, x := range list {
+		if x == s {
+			return list
+		}
+	}
+	return append(list, s)
+}

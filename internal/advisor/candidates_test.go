@@ -1,0 +1,161 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"isum/internal/cost"
+	"isum/internal/index"
+	"isum/internal/workload"
+)
+
+func TestRolesForQuery(t *testing.T) {
+	cat := testCatalog()
+	q, err := workload.NewQuery(cat, 0, `SELECT l_extendedprice FROM lineitem, orders
+		WHERE l_orderkey = o_orderkey AND l_quantity = 5 AND l_shipdate > '1995-06-01'
+		GROUP BY l_suppkey ORDER BY l_extendedprice`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roles := rolesForQuery(q)
+	li := roles["lineitem"]
+	if li == nil {
+		t.Fatal("lineitem roles missing")
+	}
+	if len(li.eqFilters) != 1 || li.eqFilters[0].col != "l_quantity" {
+		t.Fatalf("eq filters = %+v", li.eqFilters)
+	}
+	if len(li.rngFilters) != 1 || li.rngFilters[0].col != "l_shipdate" {
+		t.Fatalf("range filters = %+v", li.rngFilters)
+	}
+	if len(li.joins) != 1 || li.joins[0] != "l_orderkey" {
+		t.Fatalf("joins = %v", li.joins)
+	}
+	if len(li.groupBy) != 1 || li.groupBy[0] != "l_suppkey" {
+		t.Fatalf("groupBy = %v", li.groupBy)
+	}
+	if len(li.orderBy) != 1 || li.orderBy[0] != "l_extendedprice" {
+		t.Fatalf("orderBy = %v", li.orderBy)
+	}
+	if li.needAll {
+		t.Fatal("no star in this query")
+	}
+	// Needed columns include everything touched.
+	for _, want := range []string{"l_quantity", "l_shipdate", "l_orderkey", "l_suppkey", "l_extendedprice"} {
+		found := false
+		for _, c := range li.needCols {
+			if c == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("needCols missing %s: %v", want, li.needCols)
+		}
+	}
+	or := roles["orders"]
+	if or == nil || len(or.joins) != 1 {
+		t.Fatalf("orders roles = %+v", or)
+	}
+}
+
+func TestEqFiltersSortedBySelectivity(t *testing.T) {
+	cat := testCatalog()
+	// l_orderkey (very selective eq) and l_quantity (1/50): orderkey first.
+	q, err := workload.NewQuery(cat, 0,
+		"SELECT l_comment FROM lineitem WHERE l_quantity = 5 AND l_orderkey = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := rolesForQuery(q)["lineitem"]
+	if li.eqFilters[0].col != "l_orderkey" {
+		t.Fatalf("most selective filter should lead: %+v", li.eqFilters)
+	}
+}
+
+func TestCandidatesNoDuplicateKeys(t *testing.T) {
+	cat := testCatalog()
+	a := New(cost.NewOptimizer(cat), DefaultOptions())
+	// l_shipdate is a filter AND the order-by column: combination rules must
+	// not emit (l_shipdate, l_shipdate).
+	q, err := workload.NewQuery(cat, 0,
+		`SELECT l_suppkey FROM lineitem WHERE l_shipdate > '1996-01-01'
+		 GROUP BY l_suppkey ORDER BY l_shipdate`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ix := range a.syntacticCandidates(q) {
+		seen := map[string]bool{}
+		for _, k := range ix.Keys {
+			lk := strings.ToLower(k)
+			if seen[lk] {
+				t.Fatalf("duplicate key in candidate %v", ix)
+			}
+			seen[lk] = true
+		}
+	}
+}
+
+func TestCandidatesValidateAgainstCatalog(t *testing.T) {
+	cat := testCatalog()
+	a := New(cost.NewOptimizer(cat), DefaultOptions())
+	w := testWorkload(t, cat)
+	for _, q := range w.Queries {
+		for _, ix := range a.syntacticCandidates(q) {
+			if err := ix.Validate(cat); err != nil {
+				t.Fatalf("invalid candidate for %q: %v", q.Text, err)
+			}
+		}
+	}
+}
+
+func TestDexterCandidatesShape(t *testing.T) {
+	cat := testCatalog()
+	a := New(cost.NewOptimizer(cat), DexterOptions())
+	q, err := workload.NewQuery(cat, 0,
+		`SELECT l_comment FROM lineitem WHERE l_quantity = 5 AND l_shipdate > '1996-01-01'
+		 GROUP BY l_suppkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := a.dexterCandidates(q)
+	if len(cands) == 0 {
+		t.Fatal("no dexter candidates")
+	}
+	for _, ix := range cands {
+		if len(ix.Includes) > 0 {
+			t.Fatalf("dexter candidates must not include: %v", ix)
+		}
+		if len(ix.Keys) > 2 {
+			t.Fatalf("dexter candidates capped at 2 keys: %v", ix)
+		}
+		// Group-by columns are not dexter candidates (filters/joins only).
+		if strings.EqualFold(ix.LeadingKey(), "l_suppkey") {
+			t.Fatalf("dexter should not index group-by columns: %v", ix)
+		}
+	}
+}
+
+func TestAppendUnique(t *testing.T) {
+	got := appendUnique([]string{"a"}, "a")
+	if len(got) != 1 {
+		t.Fatal("duplicate appended")
+	}
+	got = appendUnique(got, "b")
+	if len(got) != 2 {
+		t.Fatal("append failed")
+	}
+}
+
+func TestMergedBenefitAveraged(t *testing.T) {
+	a := New(cost.NewOptimizer(testCatalog()), DefaultOptions())
+	in := []scored{
+		{ix: index.New("orders", "o_custkey"), benefit: 10},
+		{ix: index.New("orders", "o_custkey", "o_orderdate"), benefit: 6},
+	}
+	out := a.addMerged(in)
+	for _, s := range out[len(in):] {
+		if s.benefit != 8 {
+			t.Fatalf("merged benefit = %f, want average 8", s.benefit)
+		}
+	}
+}

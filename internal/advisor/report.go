@@ -1,0 +1,105 @@
+package advisor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"isum/internal/cost"
+	"isum/internal/index"
+	"isum/internal/workload"
+)
+
+// QueryReport is the per-query drill-down commercial advisors report
+// (Section 10): the before/after costs on the *input* workload and which
+// recommended indexes each query's plan uses.
+type QueryReport struct {
+	ID             int
+	Text           string
+	Before, After  float64
+	ImprovementPct float64
+	IndexesUsed    []string
+}
+
+// WorkloadReport aggregates the drill-down for an entire workload.
+type WorkloadReport struct {
+	Queries        []QueryReport
+	Before, After  float64
+	ImprovementPct float64
+	// IndexUsage counts how many queries use each recommended index.
+	IndexUsage map[string]int
+}
+
+// Report evaluates cfg on every query of w and assembles the DTA-style
+// drill-down. This is the step the paper notes can dominate tuning time for
+// large input workloads — one optimizer call per query (Section 10).
+func Report(o *cost.Optimizer, w *workload.Workload, cfg *index.Configuration) *WorkloadReport {
+	rep := &WorkloadReport{IndexUsage: map[string]int{}}
+	for _, q := range w.Queries {
+		before := o.Cost(q, nil)
+		after := o.Cost(q, cfg)
+		qr := QueryReport{
+			ID:     q.ID,
+			Text:   q.Text,
+			Before: before,
+			After:  after,
+		}
+		if before > 0 {
+			qr.ImprovementPct = (before - after) / before * 100
+		}
+		plan := o.Explain(q, cfg)
+		qr.IndexesUsed = plan.IndexesUsed()
+		for _, id := range qr.IndexesUsed {
+			rep.IndexUsage[id]++
+		}
+		rep.Queries = append(rep.Queries, qr)
+		rep.Before += before
+		rep.After += after
+	}
+	if rep.Before > 0 {
+		rep.ImprovementPct = (rep.Before - rep.After) / rep.Before * 100
+	}
+	return rep
+}
+
+// Write renders the report: the workload summary, the top improved queries,
+// and per-index usage counts.
+func (r *WorkloadReport) Write(w io.Writer, topN int) {
+	fmt.Fprintf(w, "workload improvement: %.2f%% (cost %.0f -> %.0f, %d queries)\n",
+		r.ImprovementPct, r.Before, r.After, len(r.Queries))
+
+	sorted := append([]QueryReport{}, r.Queries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Before-sorted[i].After > sorted[j].Before-sorted[j].After
+	})
+	if topN > len(sorted) {
+		topN = len(sorted)
+	}
+	fmt.Fprintf(w, "top %d improved queries:\n", topN)
+	for _, qr := range sorted[:topN] {
+		fmt.Fprintf(w, "  #%-4d %6.1f%%  (%.0f -> %.0f)  %.60s\n",
+			qr.ID, qr.ImprovementPct, qr.Before, qr.After, qr.Text)
+		for _, ix := range qr.IndexesUsed {
+			fmt.Fprintf(w, "        uses %s\n", ix)
+		}
+	}
+
+	type usage struct {
+		id string
+		n  int
+	}
+	var us []usage
+	for id, n := range r.IndexUsage {
+		us = append(us, usage{id, n})
+	}
+	sort.Slice(us, func(i, j int) bool {
+		if us[i].n != us[j].n {
+			return us[i].n > us[j].n
+		}
+		return us[i].id < us[j].id
+	})
+	fmt.Fprintln(w, "index usage:")
+	for _, u := range us {
+		fmt.Fprintf(w, "  %3d queries  %s\n", u.n, u.id)
+	}
+}

@@ -1,0 +1,114 @@
+package benchmarks
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DSB returns a DSB [21] generator: the TPC-DS schema with skewed data
+// distributions and 52 templates drawn from the family pool with an even
+// SPJ / Aggregate / Complex class mix (18/17/17), plus DSB's signature
+// multi-way-join additions. DSB is the paper's "complex, large variety of
+// templates, skewed distribution" benchmark (Table 2, Fig. 12).
+func DSB(sf float64) *Generator {
+	cat := tpcdsCatalog(sf, 1.1) // zipf-like skew on fact columns
+	return &Generator{Name: "DSB", Cat: cat, Templates: dsbTemplates()}
+}
+
+// dsbTemplates assembles 52 class-balanced templates.
+func dsbTemplates() []Template {
+	fams := tpcdsFamilies()
+	byName := map[string]dsFamily{}
+	for _, f := range fams {
+		byName[f.name] = f
+	}
+	chans := dsChannels()
+
+	// Hand-picked family×channel combinations, balanced by class.
+	type pickSpec struct {
+		fam string
+		ch  int
+	}
+	spjPicks := []pickSpec{
+		{"date_item_spj", 0}, {"date_item_spj", 1}, {"date_item_spj", 2},
+		{"demographics_spj", 0}, {"demographics_spj", 1}, {"demographics_spj", 2},
+		{"promotion_spj", 0}, {"promotion_spj", 1},
+		{"color_price_spj", 0}, {"color_price_spj", 2},
+		{"point_lookup", 0}, {"point_lookup", 1}, {"point_lookup", 2},
+		{"gmt_state_spj", 0}, {"gmt_state_spj", 1},
+		{"fact_only_scan", 0}, {"fact_only_scan", 2},
+		{"preferred_flag_spj", 1},
+	} // 18
+	aggPicks := []pickSpec{
+		{"category_revenue", 0}, {"category_revenue", 1}, {"category_revenue", 2},
+		{"state_city_agg", 0}, {"state_city_agg", 2},
+		{"household_agg", 1}, {"top_customers", 0}, {"top_customers", 2},
+		{"returns_reason", 0}, {"returns_reason", 1},
+		{"channel_dim_agg", 0}, {"channel_dim_agg", 2},
+		{"monthly_distinct", 1}, {"brand_manager_agg", 0},
+		{"quarterly_rollup", 1}, {"class_profit_agg", 2},
+		{"income_band_agg", 0},
+	} // 17
+	cplxPicks := []pickSpec{
+		{"above_avg_quantity", 0}, {"above_avg_quantity", 1}, {"above_avg_quantity", 2},
+		{"yoy_cte", 0}, {"yoy_cte", 2},
+		{"cross_channel_exists", 0}, {"cross_channel_exists", 1},
+		{"in_expensive_items", 1}, {"in_expensive_items", 2},
+		{"having_sum", 0}, {"having_sum", 1},
+		{"above_category_avg", 0}, {"above_category_avg", 2},
+		{"returned_then_bought", 1},
+	} // 14 + 3 DSB-specific below = 17
+
+	var out []Template
+	add := func(picks []pickSpec) {
+		for _, p := range picks {
+			fam, ok := byName[p.fam]
+			if !ok {
+				panic("dsb: unknown family " + p.fam)
+			}
+			ch := chans[p.ch]
+			out = append(out, Template{
+				Name:  "dsb_" + fam.name + "_" + ch.name,
+				Class: fam.class,
+				Gen:   func(r *rand.Rand) string { return fam.gen(ch, r) },
+			})
+		}
+	}
+	add(spjPicks)
+	add(aggPicks)
+	add(cplxPicks)
+
+	// DSB-specific multi-way joins with correlated predicates.
+	out = append(out,
+		Template{Name: "dsb_multijoin_store", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT i_category, s_state, SUM(ss_net_profit) AS profit
+				FROM store_sales, item, store, date_dim, customer, customer_address
+				WHERE ss_item_sk = i_item_sk AND ss_store_sk = s_store_sk
+				AND ss_sold_date_sk = d_date_sk AND ss_customer_sk = c_customer_sk
+				AND c_current_addr_sk = ca_address_sk AND ca_state = s_state
+				AND d_year = %d AND i_category = '%s'
+				GROUP BY i_category, s_state ORDER BY profit DESC`,
+				intIn(r, 1998, 2002), pick(r, dsCategories...))
+		}},
+		Template{Name: "dsb_multijoin_web", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT web_name, SUM(ws_ext_sales_price) AS rev
+				FROM web_sales, web_site, web_page, date_dim, ship_mode
+				WHERE ws_web_site_sk = web_site_sk AND ws_web_page_sk = wp_web_page_sk
+				AND ws_sold_date_sk = d_date_sk AND ws_ship_mode_sk = sm_ship_mode_sk
+				AND sm_type = '%s' AND d_moy = %d AND wp_char_count BETWEEN %d AND %d
+				GROUP BY web_name ORDER BY rev DESC LIMIT 50`,
+				pick(r, "EXPRESS", "OVERNIGHT", "REGULAR", "LIBRARY", "TWO DAY", "NEXT DAY"),
+				intIn(r, 1, 12), intIn(r, 100, 4000), intIn(r, 4001, 8000))
+		}},
+		Template{Name: "dsb_multijoin_catalog", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT cc_name, w_state, COUNT(*) AS cnt
+				FROM catalog_sales, call_center, warehouse, date_dim, customer_demographics
+				WHERE cs_call_center_sk = cc_call_center_sk AND cs_warehouse_sk = w_warehouse_sk
+				AND cs_sold_date_sk = d_date_sk AND cs_bill_cdemo_sk = cd_demo_sk
+				AND cd_gender = '%s' AND cd_education_status = '%s' AND d_year = %d
+				GROUP BY cc_name, w_state HAVING COUNT(*) > %d`,
+				pick(r, dsGenders...), pick(r, dsEducation...), intIn(r, 1998, 2002), intIn(r, 5, 20))
+		}},
+	)
+	return out
+}

@@ -1,0 +1,33 @@
+package benchmarks
+
+import "testing"
+
+func TestFromName(t *testing.T) {
+	cases := map[string]string{
+		"tpch":   "TPC-H",
+		"TPC-H":  "TPC-H",
+		"tpc_ds": "TPC-DS",
+		"TPCDS":  "TPC-DS",
+		"dsb":    "DSB",
+		"Real-M": "Real-M",
+		"realm":  "Real-M",
+	}
+	for in, want := range cases {
+		g, err := FromName(in, 1, 1)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if g.Name != want {
+			t.Fatalf("%q -> %q, want %q", in, g.Name, want)
+		}
+	}
+	if _, err := FromName("oracle", 1, 1); err == nil {
+		t.Fatal("unknown benchmark should error")
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	if normalizeName("TPC-H ") != "tpch" || normalizeName("real_m") != "realm" {
+		t.Fatal("normalisation broken")
+	}
+}

@@ -1,0 +1,576 @@
+package benchmarks
+
+import (
+	"fmt"
+	"math/rand"
+
+	"isum/internal/catalog"
+)
+
+// TPCDS returns a TPC-DS generator at the given scale factor: the 24-table
+// retail schema with published sf=10-proportional cardinalities and 91
+// templates (29 channel-parameterised families × 3 sales channels, plus 4
+// channel-independent templates).
+func TPCDS(sf float64) *Generator {
+	cat := tpcdsCatalog(sf, 0)
+	return &Generator{Name: "TPC-DS", Cat: cat, Templates: tpcdsTemplates()}
+}
+
+// dsDateLo/Hi bound the d_date_sk surrogate-key domain (1998..2003).
+const (
+	dsDateLo = 2450815
+	dsDateHi = 2453005
+)
+
+// tpcdsCatalog builds the 24-table schema. skew > 0 produces skewed value
+// distributions (used by DSB, which extends TPC-DS with skew [21]).
+func tpcdsCatalog(sf float64, skew float64) *catalog.Catalog {
+	cat := catalog.New()
+	n := func(base float64) int64 { return int64(base * sf) }
+
+	salesFact := func(name, prefix string, rows int64, channelCols func(t *catalog.Table)) {
+		t := catalog.NewTable(name, rows)
+		col(t, prefix+"sold_date_sk", catalog.TypeInt, 2191, dsDateLo, dsDateHi, skew)
+		col(t, prefix+"item_sk", catalog.TypeInt, n(102000), 1, float64(n(102000)), skew)
+		col(t, prefix+"promo_sk", catalog.TypeInt, n(500), 1, float64(n(500)), skew)
+		col(t, prefix+"quantity", catalog.TypeInt, 100, 1, 100, skew)
+		col(t, prefix+"list_price", catalog.TypeDecimal, 29800, 1, 300, skew)
+		col(t, prefix+"sales_price", catalog.TypeDecimal, 29800, 0, 300, skew)
+		col(t, prefix+"ext_sales_price", catalog.TypeDecimal, n(1000000), 0, 30000, skew)
+		col(t, prefix+"net_profit", catalog.TypeDecimal, n(1000000), -10000, 20000, skew)
+		channelCols(t)
+		cat.AddTable(t)
+	}
+
+	salesFact("store_sales", "ss_", n(28800000), func(t *catalog.Table) {
+		col(t, "ss_sold_time_sk", catalog.TypeInt, 86400, 0, 86399, 0)
+		col(t, "ss_customer_sk", catalog.TypeInt, n(500000), 1, float64(n(500000)), skew)
+		col(t, "ss_cdemo_sk", catalog.TypeInt, 1920800, 1, 1920800, skew)
+		col(t, "ss_hdemo_sk", catalog.TypeInt, 7200, 1, 7200, skew)
+		col(t, "ss_addr_sk", catalog.TypeInt, n(250000), 1, float64(n(250000)), skew)
+		col(t, "ss_store_sk", catalog.TypeInt, n(102)/2, 1, float64(n(102)), skew)
+		col(t, "ss_ticket_number", catalog.TypeInt, n(24000000), 1, float64(n(24000000)), 0)
+	})
+	salesFact("catalog_sales", "cs_", n(14400000), func(t *catalog.Table) {
+		col(t, "cs_bill_customer_sk", catalog.TypeInt, n(500000), 1, float64(n(500000)), skew)
+		col(t, "cs_bill_cdemo_sk", catalog.TypeInt, 1920800, 1, 1920800, skew)
+		col(t, "cs_bill_hdemo_sk", catalog.TypeInt, 7200, 1, 7200, skew)
+		col(t, "cs_bill_addr_sk", catalog.TypeInt, n(250000), 1, float64(n(250000)), skew)
+		col(t, "cs_call_center_sk", catalog.TypeInt, n(24), 1, float64(n(24)), skew)
+		col(t, "cs_catalog_page_sk", catalog.TypeInt, n(12000), 1, float64(n(12000)), skew)
+		col(t, "cs_ship_mode_sk", catalog.TypeInt, 20, 1, 20, skew)
+		col(t, "cs_warehouse_sk", catalog.TypeInt, n(10), 1, float64(n(10)), skew)
+		col(t, "cs_order_number", catalog.TypeInt, n(9600000), 1, float64(n(9600000)), 0)
+	})
+	salesFact("web_sales", "ws_", n(7200000), func(t *catalog.Table) {
+		col(t, "ws_bill_customer_sk", catalog.TypeInt, n(500000), 1, float64(n(500000)), skew)
+		col(t, "ws_bill_cdemo_sk", catalog.TypeInt, 1920800, 1, 1920800, skew)
+		col(t, "ws_bill_hdemo_sk", catalog.TypeInt, 7200, 1, 7200, skew)
+		col(t, "ws_bill_addr_sk", catalog.TypeInt, n(250000), 1, float64(n(250000)), skew)
+		col(t, "ws_web_site_sk", catalog.TypeInt, n(42), 1, float64(n(42)), skew)
+		col(t, "ws_web_page_sk", catalog.TypeInt, n(200), 1, float64(n(200)), skew)
+		col(t, "ws_ship_mode_sk", catalog.TypeInt, 20, 1, 20, skew)
+		col(t, "ws_warehouse_sk", catalog.TypeInt, n(10), 1, float64(n(10)), skew)
+		col(t, "ws_order_number", catalog.TypeInt, n(4800000), 1, float64(n(4800000)), 0)
+	})
+
+	returnsFact := func(name, prefix, custCol, amtCol string, rows int64) {
+		t := catalog.NewTable(name, rows)
+		col(t, prefix+"returned_date_sk", catalog.TypeInt, 2191, dsDateLo, dsDateHi, skew)
+		col(t, prefix+"item_sk", catalog.TypeInt, n(102000), 1, float64(n(102000)), skew)
+		col(t, custCol, catalog.TypeInt, n(500000), 1, float64(n(500000)), skew)
+		col(t, prefix+"reason_sk", catalog.TypeInt, 45, 1, 45, skew)
+		col(t, prefix+"return_quantity", catalog.TypeInt, 100, 1, 100, skew)
+		col(t, amtCol, catalog.TypeDecimal, n(700000), 0, 29000, skew)
+		cat.AddTable(t)
+	}
+	returnsFact("store_returns", "sr_", "sr_customer_sk", "sr_return_amt", n(2880000))
+	returnsFact("catalog_returns", "cr_", "cr_returning_customer_sk", "cr_return_amount", n(1440000))
+	returnsFact("web_returns", "wr_", "wr_returning_customer_sk", "wr_return_amt", n(720000))
+
+	inv := catalog.NewTable("inventory", n(133110000))
+	col(inv, "inv_date_sk", catalog.TypeInt, 2191, dsDateLo, dsDateHi, 0)
+	col(inv, "inv_item_sk", catalog.TypeInt, n(102000), 1, float64(n(102000)), 0)
+	col(inv, "inv_warehouse_sk", catalog.TypeInt, n(10), 1, float64(n(10)), 0)
+	col(inv, "inv_quantity_on_hand", catalog.TypeInt, 1000, 0, 1000, 0)
+	cat.AddTable(inv)
+
+	dd := catalog.NewTable("date_dim", 73049)
+	col(dd, "d_date_sk", catalog.TypeInt, 73049, 2415022, 2488070, 0)
+	col(dd, "d_date", catalog.TypeDate, 73049, days("1900-01-02"), days("2100-01-01"), 0)
+	col(dd, "d_year", catalog.TypeInt, 201, 1900, 2100, 0)
+	col(dd, "d_moy", catalog.TypeInt, 12, 1, 12, 0)
+	col(dd, "d_dom", catalog.TypeInt, 31, 1, 31, 0)
+	col(dd, "d_qoy", catalog.TypeInt, 4, 1, 4, 0)
+	col(dd, "d_month_seq", catalog.TypeInt, 2412, 0, 2411, 0)
+	strCol(dd, "d_day_name", 7, 9)
+	cat.AddTable(dd)
+
+	td := catalog.NewTable("time_dim", 86400)
+	col(td, "t_time_sk", catalog.TypeInt, 86400, 0, 86399, 0)
+	col(td, "t_hour", catalog.TypeInt, 24, 0, 23, 0)
+	col(td, "t_minute", catalog.TypeInt, 60, 0, 59, 0)
+	strCol(td, "t_meal_time", 4, 9)
+	cat.AddTable(td)
+
+	item := catalog.NewTable("item", n(102000))
+	col(item, "i_item_sk", catalog.TypeInt, n(102000), 1, float64(n(102000)), 0)
+	strCol(item, "i_item_id", n(51000), 16)
+	strCol(item, "i_category", 10, 12)
+	strCol(item, "i_class", 100, 12)
+	strCol(item, "i_brand", 714, 22)
+	col(item, "i_manufact_id", catalog.TypeInt, 1000, 1, 1000, 0)
+	col(item, "i_manager_id", catalog.TypeInt, 100, 1, 100, 0)
+	col(item, "i_current_price", catalog.TypeDecimal, 9000, 0.09, 99.99, 0)
+	strCol(item, "i_color", 92, 10)
+	strCol(item, "i_size", 7, 12)
+	cat.AddTable(item)
+
+	cust := catalog.NewTable("customer", n(500000))
+	col(cust, "c_customer_sk", catalog.TypeInt, n(500000), 1, float64(n(500000)), 0)
+	strCol(cust, "c_customer_id", n(500000), 16)
+	col(cust, "c_current_cdemo_sk", catalog.TypeInt, 1920800, 1, 1920800, 0)
+	col(cust, "c_current_hdemo_sk", catalog.TypeInt, 7200, 1, 7200, 0)
+	col(cust, "c_current_addr_sk", catalog.TypeInt, n(250000), 1, float64(n(250000)), 0)
+	col(cust, "c_first_sales_date_sk", catalog.TypeInt, 2191, dsDateLo, dsDateHi, 0)
+	col(cust, "c_birth_year", catalog.TypeInt, 69, 1924, 1992, 0)
+	col(cust, "c_birth_month", catalog.TypeInt, 12, 1, 12, 0)
+	strCol(cust, "c_preferred_cust_flag", 2, 1)
+	cat.AddTable(cust)
+
+	ca := catalog.NewTable("customer_address", n(250000))
+	col(ca, "ca_address_sk", catalog.TypeInt, n(250000), 1, float64(n(250000)), 0)
+	strCol(ca, "ca_state", 51, 2)
+	strCol(ca, "ca_city", 700, 15)
+	strCol(ca, "ca_county", 1850, 20)
+	strCol(ca, "ca_zip", 10000, 5)
+	strCol(ca, "ca_country", 1, 13)
+	col(ca, "ca_gmt_offset", catalog.TypeDecimal, 6, -10, -5, 0)
+	cat.AddTable(ca)
+
+	cd := catalog.NewTable("customer_demographics", 1920800)
+	col(cd, "cd_demo_sk", catalog.TypeInt, 1920800, 1, 1920800, 0)
+	strCol(cd, "cd_gender", 2, 1)
+	strCol(cd, "cd_marital_status", 5, 1)
+	strCol(cd, "cd_education_status", 7, 16)
+	col(cd, "cd_purchase_estimate", catalog.TypeInt, 20, 500, 10000, 0)
+	strCol(cd, "cd_credit_rating", 4, 10)
+	col(cd, "cd_dep_count", catalog.TypeInt, 7, 0, 6, 0)
+	cat.AddTable(cd)
+
+	hd := catalog.NewTable("household_demographics", 7200)
+	col(hd, "hd_demo_sk", catalog.TypeInt, 7200, 1, 7200, 0)
+	col(hd, "hd_income_band_sk", catalog.TypeInt, 20, 1, 20, 0)
+	strCol(hd, "hd_buy_potential", 6, 10)
+	col(hd, "hd_dep_count", catalog.TypeInt, 10, 0, 9, 0)
+	col(hd, "hd_vehicle_count", catalog.TypeInt, 6, -1, 4, 0)
+	cat.AddTable(hd)
+
+	store := catalog.NewTable("store", n(102))
+	col(store, "s_store_sk", catalog.TypeInt, n(102), 1, float64(n(102)), 0)
+	strCol(store, "s_store_name", n(102)/2, 10)
+	strCol(store, "s_state", 9, 2)
+	strCol(store, "s_city", 20, 15)
+	strCol(store, "s_county", 9, 20)
+	col(store, "s_number_employees", catalog.TypeInt, 100, 200, 300, 0)
+	col(store, "s_floor_space", catalog.TypeInt, n(102), 5000000, 10000000, 0)
+	cat.AddTable(store)
+
+	cc := catalog.NewTable("call_center", n(24))
+	col(cc, "cc_call_center_sk", catalog.TypeInt, n(24), 1, float64(n(24)), 0)
+	strCol(cc, "cc_name", n(24), 12)
+	strCol(cc, "cc_class", 3, 6)
+	strCol(cc, "cc_county", 8, 20)
+	cat.AddTable(cc)
+
+	cp := catalog.NewTable("catalog_page", n(12000))
+	col(cp, "cp_catalog_page_sk", catalog.TypeInt, n(12000), 1, float64(n(12000)), 0)
+	col(cp, "cp_catalog_number", catalog.TypeInt, 109, 1, 109, 0)
+	col(cp, "cp_catalog_page_number", catalog.TypeInt, 188, 1, 188, 0)
+	cat.AddTable(cp)
+
+	ws := catalog.NewTable("web_site", n(42))
+	col(ws, "web_site_sk", catalog.TypeInt, n(42), 1, float64(n(42)), 0)
+	strCol(ws, "web_name", n(42)/2, 10)
+	strCol(ws, "web_class", 5, 10)
+	cat.AddTable(ws)
+
+	wp := catalog.NewTable("web_page", n(200))
+	col(wp, "wp_web_page_sk", catalog.TypeInt, n(200), 1, float64(n(200)), 0)
+	col(wp, "wp_char_count", catalog.TypeInt, 200, 100, 8000, 0)
+	strCol(wp, "wp_type", 7, 10)
+	cat.AddTable(wp)
+
+	wh := catalog.NewTable("warehouse", n(10))
+	col(wh, "w_warehouse_sk", catalog.TypeInt, n(10), 1, float64(n(10)), 0)
+	col(wh, "w_warehouse_sq_ft", catalog.TypeInt, n(10), 50000, 1000000, 0)
+	strCol(wh, "w_state", 9, 2)
+	cat.AddTable(wh)
+
+	sm := catalog.NewTable("ship_mode", 20)
+	col(sm, "sm_ship_mode_sk", catalog.TypeInt, 20, 1, 20, 0)
+	strCol(sm, "sm_type", 6, 30)
+	strCol(sm, "sm_carrier", 20, 20)
+	cat.AddTable(sm)
+
+	rs := catalog.NewTable("reason", 45)
+	col(rs, "r_reason_sk", catalog.TypeInt, 45, 1, 45, 0)
+	strCol(rs, "r_reason_desc", 45, 100)
+	cat.AddTable(rs)
+
+	promo := catalog.NewTable("promotion", n(500))
+	col(promo, "p_promo_sk", catalog.TypeInt, n(500), 1, float64(n(500)), 0)
+	strCol(promo, "p_channel_email", 2, 1)
+	strCol(promo, "p_channel_tv", 2, 1)
+	col(promo, "p_response_target", catalog.TypeInt, 1, 1, 1, 0)
+	cat.AddTable(promo)
+
+	ib := catalog.NewTable("income_band", 20)
+	col(ib, "ib_income_band_sk", catalog.TypeInt, 20, 1, 20, 0)
+	col(ib, "ib_lower_bound", catalog.TypeInt, 20, 0, 190001, 0)
+	col(ib, "ib_upper_bound", catalog.TypeInt, 20, 10000, 200000, 0)
+	cat.AddTable(ib)
+
+	return cat
+}
+
+// dsChannel maps channel-generic template families onto a concrete sales
+// channel's fact/returns tables and columns.
+type dsChannel struct {
+	name string
+	fact string
+	ret  string
+
+	dateSK, itemSK, custSK, cdemoSK, hdemoSK, addrSK, promoSK string
+	qty, listPrice, salesPrice, ext, profit                   string
+
+	retDateSK, retItemSK, retCustSK, retReasonSK, retQty, retAmt string
+
+	// Channel-specific dimension (store / call_center / web_site).
+	chanSK, chanDim, chanDimKey, chanGroupCol string
+}
+
+func dsChannels() [3]dsChannel {
+	return [3]dsChannel{
+		{
+			name: "store", fact: "store_sales", ret: "store_returns",
+			dateSK: "ss_sold_date_sk", itemSK: "ss_item_sk", custSK: "ss_customer_sk",
+			cdemoSK: "ss_cdemo_sk", hdemoSK: "ss_hdemo_sk", addrSK: "ss_addr_sk", promoSK: "ss_promo_sk",
+			qty: "ss_quantity", listPrice: "ss_list_price", salesPrice: "ss_sales_price",
+			ext: "ss_ext_sales_price", profit: "ss_net_profit",
+			retDateSK: "sr_returned_date_sk", retItemSK: "sr_item_sk", retCustSK: "sr_customer_sk",
+			retReasonSK: "sr_reason_sk", retQty: "sr_return_quantity", retAmt: "sr_return_amt",
+			chanSK: "ss_store_sk", chanDim: "store", chanDimKey: "s_store_sk", chanGroupCol: "s_state",
+		},
+		{
+			name: "catalog", fact: "catalog_sales", ret: "catalog_returns",
+			dateSK: "cs_sold_date_sk", itemSK: "cs_item_sk", custSK: "cs_bill_customer_sk",
+			cdemoSK: "cs_bill_cdemo_sk", hdemoSK: "cs_bill_hdemo_sk", addrSK: "cs_bill_addr_sk", promoSK: "cs_promo_sk",
+			qty: "cs_quantity", listPrice: "cs_list_price", salesPrice: "cs_sales_price",
+			ext: "cs_ext_sales_price", profit: "cs_net_profit",
+			retDateSK: "cr_returned_date_sk", retItemSK: "cr_item_sk", retCustSK: "cr_returning_customer_sk",
+			retReasonSK: "cr_reason_sk", retQty: "cr_return_quantity", retAmt: "cr_return_amount",
+			chanSK: "cs_call_center_sk", chanDim: "call_center", chanDimKey: "cc_call_center_sk", chanGroupCol: "cc_county",
+		},
+		{
+			name: "web", fact: "web_sales", ret: "web_returns",
+			dateSK: "ws_sold_date_sk", itemSK: "ws_item_sk", custSK: "ws_bill_customer_sk",
+			cdemoSK: "ws_bill_cdemo_sk", hdemoSK: "ws_bill_hdemo_sk", addrSK: "ws_bill_addr_sk", promoSK: "ws_promo_sk",
+			qty: "ws_quantity", listPrice: "ws_list_price", salesPrice: "ws_sales_price",
+			ext: "ws_ext_sales_price", profit: "ws_net_profit",
+			retDateSK: "wr_returned_date_sk", retItemSK: "wr_item_sk", retCustSK: "wr_returning_customer_sk",
+			retReasonSK: "wr_reason_sk", retQty: "wr_return_quantity", retAmt: "wr_return_amt",
+			chanSK: "ws_web_site_sk", chanDim: "web_site", chanDimKey: "web_site_sk", chanGroupCol: "web_class",
+		},
+	}
+}
+
+var dsCategories = []string{"Books", "Children", "Electronics", "Home", "Jewelry",
+	"Men", "Music", "Shoes", "Sports", "Women"}
+var dsStates = []string{"TX", "CA", "NY", "OH", "GA", "IL", "MI", "WA", "TN"}
+var dsGenders = []string{"M", "F"}
+var dsMarital = []string{"M", "S", "D", "W", "U"}
+var dsEducation = []string{"Primary", "Secondary", "College", "2 yr Degree",
+	"4 yr Degree", "Advanced Degree", "Unknown"}
+var dsBuyPotential = []string{"0-500", "501-1000", "1001-5000", "5001-10000", ">10000", "Unknown"}
+var dsColors = []string{"red", "blue", "green", "yellow", "black", "white", "purple", "orange"}
+
+// dateSKRange returns a random [lo, hi] window in the d_date_sk domain.
+func dateSKRange(r *rand.Rand, spanDays int) (int, int) {
+	lo := intIn(r, dsDateLo, dsDateHi-spanDays)
+	return lo, lo + spanDays
+}
+
+// dsFamily builds one channel-parameterised template.
+type dsFamily struct {
+	name  string
+	class QueryClass
+	gen   func(ch dsChannel, r *rand.Rand) string
+}
+
+func tpcdsFamilies() []dsFamily {
+	return []dsFamily{
+		{"date_item_spj", ClassSPJ, func(ch dsChannel, r *rand.Rand) string {
+			lo, hi := dateSKRange(r, 30)
+			return fmt.Sprintf(`SELECT %s, %s, %s FROM %s, item
+				WHERE %s = i_item_sk AND i_category = '%s'
+				AND %s BETWEEN %d AND %d AND %s > %d`,
+				ch.itemSK, ch.qty, ch.ext, ch.fact, ch.itemSK, pick(r, dsCategories...),
+				ch.dateSK, lo, hi, ch.qty, intIn(r, 80, 95))
+		}},
+		{"category_revenue", ClassAggregate, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT i_category, SUM(%s) AS revenue FROM %s, item, date_dim
+				WHERE %s = i_item_sk AND %s = d_date_sk AND d_year = %d AND d_moy = %d
+				GROUP BY i_category ORDER BY revenue DESC`,
+				ch.ext, ch.fact, ch.itemSK, ch.dateSK, intIn(r, 1998, 2002), intIn(r, 1, 12))
+		}},
+		{"state_city_agg", ClassAggregate, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT ca_state, ca_city, SUM(%s) AS total FROM %s, customer, customer_address, date_dim
+				WHERE %s = c_customer_sk AND c_current_addr_sk = ca_address_sk
+				AND %s = d_date_sk AND d_year = %d AND ca_state = '%s'
+				GROUP BY ca_state, ca_city ORDER BY total DESC LIMIT 100`,
+				ch.ext, ch.fact, ch.custSK, ch.dateSK, intIn(r, 1998, 2002), pick(r, dsStates...))
+		}},
+		{"demographics_spj", ClassSPJ, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT %s, %s FROM %s, customer_demographics
+				WHERE %s = cd_demo_sk AND cd_gender = '%s' AND cd_marital_status = '%s'
+				AND cd_education_status = '%s'`,
+				ch.qty, ch.salesPrice, ch.fact, ch.cdemoSK,
+				pick(r, dsGenders...), pick(r, dsMarital...), pick(r, dsEducation...))
+		}},
+		{"household_agg", ClassAggregate, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT hd_buy_potential, COUNT(*) AS cnt, AVG(%s) AS avg_qty
+				FROM %s, household_demographics
+				WHERE %s = hd_demo_sk AND hd_dep_count = %d
+				GROUP BY hd_buy_potential ORDER BY cnt DESC`,
+				ch.qty, ch.fact, ch.hdemoSK, intIn(r, 0, 9))
+		}},
+		{"top_customers", ClassAggregate, func(ch dsChannel, r *rand.Rand) string {
+			lo, hi := dateSKRange(r, 365)
+			return fmt.Sprintf(`SELECT c_customer_id, SUM(%s) AS spend FROM %s, customer
+				WHERE %s = c_customer_sk AND %s BETWEEN %d AND %d
+				GROUP BY c_customer_id ORDER BY spend DESC LIMIT 100`,
+				ch.ext, ch.fact, ch.custSK, ch.dateSK, lo, hi)
+		}},
+		{"promotion_spj", ClassSPJ, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT %s, %s FROM %s, promotion
+				WHERE %s = p_promo_sk AND p_channel_email = '%s'
+				AND %s BETWEEN %d AND %d`,
+				ch.ext, ch.profit, ch.fact, ch.promoSK, pick(r, "Y", "N"),
+				ch.listPrice, intIn(r, 200, 250), intIn(r, 280, 300))
+		}},
+		{"returns_reason", ClassAggregate, func(ch dsChannel, r *rand.Rand) string {
+			lo, hi := dateSKRange(r, 90)
+			return fmt.Sprintf(`SELECT r_reason_desc, SUM(%s) AS returned, COUNT(*) AS cnt
+				FROM %s, reason, date_dim
+				WHERE %s = r_reason_sk AND %s = d_date_sk AND d_date_sk BETWEEN %d AND %d
+				GROUP BY r_reason_desc ORDER BY returned DESC`,
+				ch.retAmt, ch.ret, ch.retReasonSK, ch.retDateSK, lo, hi)
+		}},
+		{"above_avg_quantity", ClassComplex, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT %s, %s FROM %s, item
+				WHERE %s = i_item_sk AND i_category = '%s'
+				AND %s > (SELECT AVG(%s) FROM %s WHERE %s = i_item_sk)`,
+				ch.itemSK, ch.qty, ch.fact, ch.itemSK, pick(r, dsCategories...),
+				ch.qty, ch.qty, ch.fact, ch.itemSK)
+		}},
+		{"yoy_cte", ClassComplex, func(ch dsChannel, r *rand.Rand) string {
+			y := intIn(r, 1999, 2001)
+			return fmt.Sprintf(`WITH year_total AS (
+				SELECT c_customer_id AS cid, d_year AS dyear, SUM(%s) AS total
+				FROM %s, customer, date_dim
+				WHERE %s = c_customer_sk AND %s = d_date_sk AND d_year BETWEEN %d AND %d
+				GROUP BY c_customer_id, d_year)
+				SELECT cid, SUM(total) FROM year_total GROUP BY cid ORDER BY cid LIMIT 100`,
+				ch.ext, ch.fact, ch.custSK, ch.dateSK, y, y+1)
+		}},
+		{"channel_dim_agg", ClassAggregate, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT %s, SUM(%s) AS profit FROM %s, %s, date_dim
+				WHERE %s = %s AND %s = d_date_sk AND d_year = %d AND d_qoy = %d
+				GROUP BY %s ORDER BY profit DESC`,
+				ch.chanGroupCol, ch.profit, ch.fact, ch.chanDim,
+				ch.chanSK, ch.chanDimKey, ch.dateSK, intIn(r, 1998, 2002), intIn(r, 1, 4),
+				ch.chanGroupCol)
+		}},
+		{"color_price_spj", ClassSPJ, func(ch dsChannel, r *rand.Rand) string {
+			p := intIn(r, 30, 80)
+			return fmt.Sprintf(`SELECT i_item_id, i_color, %s FROM %s, item
+				WHERE %s = i_item_sk AND i_color IN ('%s', '%s')
+				AND i_current_price BETWEEN %d AND %d`,
+				ch.salesPrice, ch.fact, ch.itemSK,
+				pick(r, dsColors...), pick(r, dsColors...), p, p+10)
+		}},
+		{"sales_returns_join", ClassAggregate, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT i_category, SUM(%s) AS sold, SUM(%s) AS returned
+				FROM %s, %s, item
+				WHERE %s = %s AND %s = i_item_sk AND i_category = '%s'
+				GROUP BY i_category`,
+				ch.qty, ch.retQty, ch.fact, ch.ret,
+				ch.itemSK, ch.retItemSK, ch.itemSK, pick(r, dsCategories...))
+		}},
+		{"cross_channel_exists", ClassComplex, func(ch dsChannel, r *rand.Rand) string {
+			other := dsChannels()[(channelIndex(ch)+1)%3]
+			lo, hi := dateSKRange(r, 60)
+			return fmt.Sprintf(`SELECT c_customer_id FROM customer
+				WHERE EXISTS (SELECT 1 FROM %s WHERE %s = c_customer_sk AND %s BETWEEN %d AND %d)
+				AND EXISTS (SELECT 1 FROM %s WHERE %s = c_customer_sk)
+				ORDER BY c_customer_id LIMIT 100`,
+				ch.fact, ch.custSK, ch.dateSK, lo, hi, other.fact, other.custSK)
+		}},
+		{"monthly_distinct", ClassAggregate, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT d_moy, COUNT(DISTINCT %s) AS custs FROM %s, date_dim
+				WHERE %s = d_date_sk AND d_year = %d GROUP BY d_moy ORDER BY d_moy`,
+				ch.custSK, ch.fact, ch.dateSK, intIn(r, 1998, 2002))
+		}},
+		{"point_lookup", ClassSPJ, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT %s, %s, %s FROM %s WHERE %s = %d`,
+				ch.itemSK, ch.qty, ch.ext, ch.fact, ch.custSK, intIn(r, 1, 5000000))
+		}},
+		{"brand_manager_agg", ClassAggregate, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT i_brand, SUM(%s) AS revenue FROM %s, item, date_dim
+				WHERE %s = i_item_sk AND %s = d_date_sk AND i_manager_id = %d AND d_moy = %d AND d_year = %d
+				GROUP BY i_brand ORDER BY revenue DESC LIMIT 100`,
+				ch.ext, ch.fact, ch.itemSK, ch.dateSK, intIn(r, 1, 100), intIn(r, 1, 12), intIn(r, 1998, 2002))
+		}},
+		{"in_expensive_items", ClassComplex, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT %s, %s FROM %s
+				WHERE %s IN (SELECT i_item_sk FROM item WHERE i_current_price > %d AND i_category = '%s')
+				AND %s > %d`,
+				ch.itemSK, ch.ext, ch.fact, ch.itemSK, intIn(r, 80, 95), pick(r, dsCategories...),
+				ch.qty, intIn(r, 50, 90))
+		}},
+		{"having_sum", ClassComplex, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT %s, SUM(%s) AS total FROM %s, date_dim
+				WHERE %s = d_date_sk AND d_year = %d
+				GROUP BY %s HAVING SUM(%s) > %d ORDER BY total DESC LIMIT 100`,
+				ch.itemSK, ch.qty, ch.fact, ch.dateSK, intIn(r, 1998, 2002),
+				ch.itemSK, ch.qty, intIn(r, 300, 500))
+		}},
+		{"purchase_estimate_agg", ClassAggregate, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT cd_credit_rating, COUNT(*) AS cnt FROM %s, customer_demographics
+				WHERE %s = cd_demo_sk AND cd_purchase_estimate BETWEEN %d AND %d
+				GROUP BY cd_credit_rating`,
+				ch.fact, ch.cdemoSK, intIn(r, 500, 5000), intIn(r, 5001, 10000))
+		}},
+		{"gmt_state_spj", ClassSPJ, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT %s, ca_city FROM %s, customer_address
+				WHERE %s = ca_address_sk AND ca_gmt_offset = %d AND ca_state = '%s'`,
+				ch.ext, ch.fact, ch.addrSK, -intIn(r, 5, 10), pick(r, dsStates...))
+		}},
+		{"income_band_agg", ClassAggregate, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT ib_lower_bound, ib_upper_bound, COUNT(*) AS cnt
+				FROM %s, household_demographics, income_band
+				WHERE %s = hd_demo_sk AND hd_income_band_sk = ib_income_band_sk
+				AND ib_lower_bound >= %d
+				GROUP BY ib_lower_bound, ib_upper_bound ORDER BY cnt DESC`,
+				ch.fact, ch.hdemoSK, intIn(r, 0, 150000))
+		}},
+		{"above_category_avg", ClassComplex, func(ch dsChannel, r *rand.Rand) string {
+			cat := pick(r, dsCategories...)
+			return fmt.Sprintf(`SELECT i_item_id, %s FROM %s, item
+				WHERE %s = i_item_sk AND i_category = '%s'
+				AND %s > (SELECT AVG(%s) * 1.2 FROM %s, item
+					WHERE %s = i_item_sk AND i_category = '%s')`,
+				ch.ext, ch.fact, ch.itemSK, cat, ch.ext, ch.ext, ch.fact, ch.itemSK, cat)
+		}},
+		{"birth_cohort_agg", ClassAggregate, func(ch dsChannel, r *rand.Rand) string {
+			y := intIn(r, 1924, 1985)
+			return fmt.Sprintf(`SELECT c_birth_year, SUM(%s) AS total FROM %s, customer
+				WHERE %s = c_customer_sk AND c_birth_year BETWEEN %d AND %d AND c_birth_month = %d
+				GROUP BY c_birth_year ORDER BY c_birth_year`,
+				ch.ext, ch.fact, ch.custSK, y, y+5, intIn(r, 1, 12))
+		}},
+		{"fact_only_scan", ClassSPJ, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT %s, %s, %s FROM %s
+				WHERE %s BETWEEN %d AND %d AND %s > %d AND %s > %d`,
+				ch.itemSK, ch.qty, ch.profit, ch.fact,
+				ch.salesPrice, intIn(r, 100, 150), intIn(r, 250, 290),
+				ch.qty, intIn(r, 60, 90), ch.profit, intIn(r, 5000, 15000))
+		}},
+		{"quarterly_rollup", ClassAggregate, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT d_year, d_qoy, SUM(%s) AS revenue FROM %s, date_dim
+				WHERE %s = d_date_sk AND d_year BETWEEN %d AND %d
+				GROUP BY d_year, d_qoy ORDER BY d_year, d_qoy`,
+				ch.ext, ch.fact, ch.dateSK, 1998, intIn(r, 1999, 2002))
+		}},
+		{"returned_then_bought", ClassComplex, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT c_customer_id FROM customer, %s
+				WHERE %s = c_customer_sk AND %s > %d
+				AND c_customer_sk IN (SELECT %s FROM %s WHERE %s > %d)
+				ORDER BY c_customer_id LIMIT 100`,
+				ch.ret, ch.retCustSK, ch.retAmt, intIn(r, 1000, 5000),
+				ch.custSK, ch.fact, ch.ext, intIn(r, 10000, 20000))
+		}},
+		{"class_profit_agg", ClassAggregate, func(ch dsChannel, r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT i_class, AVG(%s) AS avg_profit FROM %s, item
+				WHERE %s = i_item_sk AND i_category IN ('%s', '%s')
+				GROUP BY i_class ORDER BY avg_profit DESC`,
+				ch.profit, ch.fact, ch.itemSK, pick(r, dsCategories...), pick(r, dsCategories...))
+		}},
+		{"preferred_flag_spj", ClassSPJ, func(ch dsChannel, r *rand.Rand) string {
+			lo, hi := dateSKRange(r, 14)
+			return fmt.Sprintf(`SELECT %s, c_customer_id FROM %s, customer
+				WHERE %s = c_customer_sk AND c_preferred_cust_flag = '%s'
+				AND %s BETWEEN %d AND %d`,
+				ch.ext, ch.fact, ch.custSK, pick(r, "Y", "N"), ch.dateSK, lo, hi)
+		}},
+	}
+}
+
+func channelIndex(ch dsChannel) int {
+	switch ch.name {
+	case "store":
+		return 0
+	case "catalog":
+		return 1
+	default:
+		return 2
+	}
+}
+
+// tpcdsSingles are the 4 channel-independent templates completing the 91.
+func tpcdsSingles() []Template {
+	return []Template{
+		{Name: "inv_by_warehouse", Class: ClassAggregate, Gen: func(r *rand.Rand) string {
+			lo, hi := dateSKRange(r, 30)
+			return fmt.Sprintf(`SELECT w_state, SUM(inv_quantity_on_hand) AS qoh FROM inventory, warehouse
+				WHERE inv_warehouse_sk = w_warehouse_sk AND inv_date_sk BETWEEN %d AND %d
+				GROUP BY w_state ORDER BY qoh DESC`, lo, hi)
+		}},
+		{Name: "inv_item_category", Class: ClassAggregate, Gen: func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT i_category, AVG(inv_quantity_on_hand) AS aqoh FROM inventory, item
+				WHERE inv_item_sk = i_item_sk AND i_current_price > %d
+				GROUP BY i_category HAVING AVG(inv_quantity_on_hand) > %d`,
+				intIn(r, 50, 90), intIn(r, 400, 600))
+		}},
+		{Name: "date_dim_lookup", Class: ClassSPJ, Gen: func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT d_date_sk, d_date FROM date_dim
+				WHERE d_year = %d AND d_moy = %d AND d_dom = %d`,
+				intIn(r, 1998, 2002), intIn(r, 1, 12), intIn(r, 1, 28))
+		}},
+		{Name: "never_purchased", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT c_customer_id FROM customer, customer_address
+				WHERE c_current_addr_sk = ca_address_sk AND ca_state = '%s'
+				AND NOT EXISTS (SELECT 1 FROM store_sales WHERE ss_customer_sk = c_customer_sk)
+				ORDER BY c_customer_id LIMIT 100`, pick(r, dsStates...))
+		}},
+	}
+}
+
+// tpcdsTemplates assembles the 91 templates: 29 families × 3 channels + 4.
+func tpcdsTemplates() []Template {
+	var out []Template
+	for _, fam := range tpcdsFamilies() {
+		fam := fam
+		for _, ch := range dsChannels() {
+			ch := ch
+			out = append(out, Template{
+				Name:  fam.name + "_" + ch.name,
+				Class: fam.class,
+				Gen:   func(r *rand.Rand) string { return fam.gen(ch, r) },
+			})
+		}
+	}
+	out = append(out, tpcdsSingles()...)
+	return out
+}

@@ -1,0 +1,364 @@
+package benchmarks
+
+import (
+	"fmt"
+	"math/rand"
+
+	"isum/internal/catalog"
+)
+
+// TPCH returns a TPC-H generator at the given scale factor: the 8-table
+// schema with published cardinalities and 22 parameterised templates
+// adapted from the benchmark's query set.
+func TPCH(sf float64) *Generator {
+	cat := tpchCatalog(sf)
+	return &Generator{
+		Name:      "TPC-H",
+		Cat:       cat,
+		Templates: tpchTemplates(),
+	}
+}
+
+func tpchCatalog(sf float64) *catalog.Catalog {
+	cat := catalog.New()
+	n := func(base float64) int64 { return int64(base * sf) }
+	dLo, dHi := days("1992-01-01"), days("1998-12-31")
+
+	region := catalog.NewTable("region", 5)
+	col(region, "r_regionkey", catalog.TypeInt, 5, 0, 4, 0)
+	strCol(region, "r_name", 5, 12)
+	cat.AddTable(region)
+
+	nation := catalog.NewTable("nation", 25)
+	col(nation, "n_nationkey", catalog.TypeInt, 25, 0, 24, 0)
+	strCol(nation, "n_name", 25, 12)
+	col(nation, "n_regionkey", catalog.TypeInt, 5, 0, 4, 0)
+	cat.AddTable(nation)
+
+	supplier := catalog.NewTable("supplier", n(10000))
+	col(supplier, "s_suppkey", catalog.TypeInt, n(10000), 1, float64(n(10000)), 0)
+	strCol(supplier, "s_name", n(10000), 18)
+	col(supplier, "s_nationkey", catalog.TypeInt, 25, 0, 24, 0)
+	col(supplier, "s_acctbal", catalog.TypeDecimal, n(9000), -1000, 10000, 0)
+	strCol(supplier, "s_address", n(10000), 25)
+	strCol(supplier, "s_phone", n(10000), 15)
+	strCol(supplier, "s_comment", n(9800), 60)
+	cat.AddTable(supplier)
+
+	part := catalog.NewTable("part", n(200000))
+	col(part, "p_partkey", catalog.TypeInt, n(200000), 1, float64(n(200000)), 0)
+	strCol(part, "p_name", n(199000), 35)
+	strCol(part, "p_mfgr", 5, 25)
+	strCol(part, "p_brand", 25, 10)
+	strCol(part, "p_type", 150, 25)
+	col(part, "p_size", catalog.TypeInt, 50, 1, 50, 0)
+	strCol(part, "p_container", 40, 10)
+	col(part, "p_retailprice", catalog.TypeDecimal, n(20000), 900, 2100, 0)
+	cat.AddTable(part)
+
+	partsupp := catalog.NewTable("partsupp", n(800000))
+	col(partsupp, "ps_partkey", catalog.TypeInt, n(200000), 1, float64(n(200000)), 0)
+	col(partsupp, "ps_suppkey", catalog.TypeInt, n(10000), 1, float64(n(10000)), 0)
+	col(partsupp, "ps_availqty", catalog.TypeInt, 9999, 1, 9999, 0)
+	col(partsupp, "ps_supplycost", catalog.TypeDecimal, n(99000), 1, 1000, 0)
+	cat.AddTable(partsupp)
+
+	customer := catalog.NewTable("customer", n(150000))
+	col(customer, "c_custkey", catalog.TypeInt, n(150000), 1, float64(n(150000)), 0)
+	strCol(customer, "c_name", n(150000), 18)
+	col(customer, "c_nationkey", catalog.TypeInt, 25, 0, 24, 0)
+	col(customer, "c_acctbal", catalog.TypeDecimal, n(140000), -1000, 10000, 0)
+	strCol(customer, "c_mktsegment", 5, 10)
+	strCol(customer, "c_phone", n(150000), 15)
+	strCol(customer, "c_address", n(150000), 25)
+	strCol(customer, "c_comment", n(149000), 73)
+	cat.AddTable(customer)
+
+	orders := catalog.NewTable("orders", n(1500000))
+	col(orders, "o_orderkey", catalog.TypeInt, n(1500000), 1, float64(n(6000000)), 0)
+	col(orders, "o_custkey", catalog.TypeInt, n(100000), 1, float64(n(150000)), 0)
+	strCol(orders, "o_orderstatus", 3, 1)
+	col(orders, "o_totalprice", catalog.TypeDecimal, n(1400000), 850, 560000, 0)
+	col(orders, "o_orderdate", catalog.TypeDate, 2406, dLo, dHi-90, 0)
+	strCol(orders, "o_orderpriority", 5, 15)
+	strCol(orders, "o_clerk", n(1000), 15)
+	col(orders, "o_shippriority", catalog.TypeInt, 1, 0, 0, 0)
+	strCol(orders, "o_comment", n(1480000), 49)
+	cat.AddTable(orders)
+
+	lineitem := catalog.NewTable("lineitem", n(6000000))
+	col(lineitem, "l_orderkey", catalog.TypeInt, n(1500000), 1, float64(n(6000000)), 0)
+	col(lineitem, "l_partkey", catalog.TypeInt, n(200000), 1, float64(n(200000)), 0)
+	col(lineitem, "l_suppkey", catalog.TypeInt, n(10000), 1, float64(n(10000)), 0)
+	col(lineitem, "l_linenumber", catalog.TypeInt, 7, 1, 7, 0)
+	col(lineitem, "l_quantity", catalog.TypeDecimal, 50, 1, 50, 0)
+	col(lineitem, "l_extendedprice", catalog.TypeDecimal, n(930000), 900, 104950, 0)
+	col(lineitem, "l_discount", catalog.TypeDecimal, 11, 0, 0.1, 0)
+	col(lineitem, "l_tax", catalog.TypeDecimal, 9, 0, 0.08, 0)
+	strCol(lineitem, "l_returnflag", 3, 1)
+	strCol(lineitem, "l_linestatus", 2, 1)
+	col(lineitem, "l_shipdate", catalog.TypeDate, 2526, dLo, dHi, 0)
+	col(lineitem, "l_commitdate", catalog.TypeDate, 2466, dLo, dHi, 0)
+	col(lineitem, "l_receiptdate", catalog.TypeDate, 2554, dLo, dHi, 0)
+	strCol(lineitem, "l_shipinstruct", 4, 25)
+	strCol(lineitem, "l_shipmode", 7, 10)
+	strCol(lineitem, "l_comment", n(4500000), 27)
+	cat.AddTable(lineitem)
+
+	return cat
+}
+
+var tpchRegions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+var tpchNations = []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+	"ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ",
+	"JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+	"ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"}
+var tpchSegments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+var tpchModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+var tpchBrands = []string{"Brand#11", "Brand#12", "Brand#21", "Brand#22", "Brand#31",
+	"Brand#32", "Brand#41", "Brand#42", "Brand#51", "Brand#52"}
+var tpchContainers = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG"}
+var tpchTypes = []string{"ECONOMY ANODIZED STEEL", "STANDARD POLISHED TIN", "MEDIUM BURNISHED NICKEL",
+	"PROMO PLATED COPPER", "SMALL BRUSHED BRASS", "LARGE POLISHED STEEL"}
+var tpchPriorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+
+func tpchTemplates() []Template {
+	return []Template{
+		{Name: "Q1", Class: ClassAggregate, Gen: func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty,
+				SUM(l_extendedprice) AS sum_base_price,
+				SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+				AVG(l_quantity) AS avg_qty, COUNT(*) AS count_order
+				FROM lineitem WHERE l_shipdate <= '1998-%02d-%02d'
+				GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus`,
+				intIn(r, 8, 10), intIn(r, 1, 28))
+		}},
+		{Name: "Q2", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			region := pick(r, tpchRegions...)
+			return fmt.Sprintf(`SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr
+				FROM part, supplier, partsupp, nation, region
+				WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND p_size = %d
+				AND p_type LIKE '%%%s' AND s_nationkey = n_nationkey
+				AND n_regionkey = r_regionkey AND r_name = '%s'
+				AND ps_supplycost = (SELECT MIN(ps_supplycost) FROM partsupp, supplier, nation, region
+					WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey
+					AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey AND r_name = '%s')
+				ORDER BY s_acctbal DESC, n_name, s_name LIMIT 100`,
+				intIn(r, 1, 50), pick(r, "STEEL", "TIN", "NICKEL", "COPPER", "BRASS"), region, region)
+		}},
+		{Name: "Q3", Class: ClassAggregate, Gen: func(r *rand.Rand) string {
+			d := dateIn(r, 1995, 1995)
+			return fmt.Sprintf(`SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+				o_orderdate, o_shippriority FROM customer, orders, lineitem
+				WHERE c_mktsegment = '%s' AND c_custkey = o_custkey AND l_orderkey = o_orderkey
+				AND o_orderdate < '%s' AND l_shipdate > '%s'
+				GROUP BY l_orderkey, o_orderdate, o_shippriority
+				ORDER BY revenue DESC, o_orderdate LIMIT 10`,
+				pick(r, tpchSegments...), d, d)
+		}},
+		{Name: "Q4", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			y, m := intIn(r, 1993, 1997), intIn(r, 1, 10)
+			return fmt.Sprintf(`SELECT o_orderpriority, COUNT(*) AS order_count FROM orders
+				WHERE o_orderdate >= '%04d-%02d-01' AND o_orderdate < '%04d-%02d-01' + INTERVAL '3' month
+				AND EXISTS (SELECT 1 FROM lineitem WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate)
+				GROUP BY o_orderpriority ORDER BY o_orderpriority`, y, m, y, m)
+		}},
+		{Name: "Q5", Class: ClassAggregate, Gen: func(r *rand.Rand) string {
+			y := intIn(r, 1993, 1997)
+			return fmt.Sprintf(`SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+				FROM customer, orders, lineitem, supplier, nation, region
+				WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = s_suppkey
+				AND c_nationkey = s_nationkey AND s_nationkey = n_nationkey
+				AND n_regionkey = r_regionkey AND r_name = '%s'
+				AND o_orderdate >= '%04d-01-01' AND o_orderdate < '%04d-01-01'
+				GROUP BY n_name ORDER BY revenue DESC`,
+				pick(r, tpchRegions...), y, y+1)
+		}},
+		{Name: "Q6", Class: ClassAggregate, Gen: func(r *rand.Rand) string {
+			y := intIn(r, 1993, 1997)
+			disc := float64(intIn(r, 2, 9)) / 100
+			return fmt.Sprintf(`SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem
+				WHERE l_shipdate >= '%04d-01-01' AND l_shipdate < '%04d-01-01'
+				AND l_discount BETWEEN %.2f AND %.2f AND l_quantity < %d`,
+				y, y+1, disc-0.01, disc+0.01, intIn(r, 24, 25))
+		}},
+		{Name: "Q7", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			n1, n2 := pick(r, tpchNations...), pick(r, tpchNations...)
+			return fmt.Sprintf(`SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+				EXTRACT(year FROM l_shipdate) AS l_year,
+				SUM(l_extendedprice * (1 - l_discount)) AS revenue
+				FROM supplier, lineitem, orders, customer, nation n1, nation n2
+				WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey AND c_custkey = o_custkey
+				AND s_nationkey = n1.n_nationkey AND c_nationkey = n2.n_nationkey
+				AND ((n1.n_name = '%s' AND n2.n_name = '%s') OR (n1.n_name = '%s' AND n2.n_name = '%s'))
+				AND l_shipdate BETWEEN '1995-01-01' AND '1996-12-31'
+				GROUP BY n1.n_name, n2.n_name ORDER BY supp_nation, cust_nation`,
+				n1, n2, n2, n1)
+		}},
+		{Name: "Q8", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			nat := pick(r, tpchNations...)
+			return fmt.Sprintf(`SELECT o_year, SUM(CASE WHEN nation = '%s' THEN volume ELSE 0 END) / SUM(volume) AS mkt_share
+				FROM (SELECT EXTRACT(year FROM o_orderdate) AS o_year,
+					l_extendedprice * (1 - l_discount) AS volume, n2.n_name AS nation
+					FROM part, supplier, lineitem, orders, customer, nation n1, nation n2, region
+					WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey AND l_orderkey = o_orderkey
+					AND o_custkey = c_custkey AND c_nationkey = n1.n_nationkey
+					AND n1.n_regionkey = r_regionkey AND r_name = '%s'
+					AND s_nationkey = n2.n_nationkey
+					AND o_orderdate BETWEEN '1995-01-01' AND '1996-12-31' AND p_type = '%s') all_nations
+				GROUP BY o_year ORDER BY o_year`,
+				nat, pick(r, tpchRegions...), pick(r, tpchTypes...))
+		}},
+		{Name: "Q9", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT nation, o_year, SUM(amount) AS sum_profit
+				FROM (SELECT n_name AS nation, EXTRACT(year FROM o_orderdate) AS o_year,
+					l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity AS amount
+					FROM part, supplier, lineitem, partsupp, orders, nation
+					WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey AND ps_partkey = l_partkey
+					AND p_partkey = l_partkey AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+					AND p_name LIKE '%%%s%%') profit
+				GROUP BY nation, o_year ORDER BY nation, o_year DESC`,
+				pick(r, "green", "blue", "red", "ivory", "pink", "salmon"))
+		}},
+		{Name: "Q10", Class: ClassAggregate, Gen: func(r *rand.Rand) string {
+			y, m := intIn(r, 1993, 1994), intIn(r, 1, 12)
+			return fmt.Sprintf(`SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+				c_acctbal, n_name FROM customer, orders, lineitem, nation
+				WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+				AND o_orderdate >= '%04d-%02d-01' AND o_orderdate < '%04d-%02d-01' + INTERVAL '3' month
+				AND l_returnflag = 'R' AND c_nationkey = n_nationkey
+				GROUP BY c_custkey, c_name, c_acctbal, n_name
+				ORDER BY revenue DESC LIMIT 20`, y, m, y, m)
+		}},
+		{Name: "Q11", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			nat := pick(r, tpchNations...)
+			return fmt.Sprintf(`SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value
+				FROM partsupp, supplier, nation
+				WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = '%s'
+				GROUP BY ps_partkey
+				HAVING SUM(ps_supplycost * ps_availqty) > (
+					SELECT SUM(ps_supplycost * ps_availqty) * %.10f FROM partsupp, supplier, nation
+					WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = '%s')
+				ORDER BY value DESC`, nat, 0.0001/10, nat)
+		}},
+		{Name: "Q12", Class: ClassAggregate, Gen: func(r *rand.Rand) string {
+			y := intIn(r, 1993, 1997)
+			m1, m2 := pick(r, tpchModes...), pick(r, tpchModes...)
+			return fmt.Sprintf(`SELECT l_shipmode,
+				SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) AS high_line_count,
+				SUM(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END) AS low_line_count
+				FROM orders, lineitem
+				WHERE o_orderkey = l_orderkey AND l_shipmode IN ('%s', '%s')
+				AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+				AND l_receiptdate >= '%04d-01-01' AND l_receiptdate < '%04d-01-01'
+				GROUP BY l_shipmode ORDER BY l_shipmode`, m1, m2, y, y+1)
+		}},
+		{Name: "Q13", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT c_count, COUNT(*) AS custdist
+				FROM (SELECT c_custkey AS ck, COUNT(o_orderkey) AS c_count
+					FROM customer LEFT OUTER JOIN orders ON c_custkey = o_custkey
+					AND o_comment NOT LIKE '%%%s%%%s%%' GROUP BY c_custkey) c_orders
+				GROUP BY c_count ORDER BY custdist DESC, c_count DESC`,
+				pick(r, "special", "pending", "unusual", "express"),
+				pick(r, "packages", "requests", "accounts", "deposits"))
+		}},
+		{Name: "Q14", Class: ClassAggregate, Gen: func(r *rand.Rand) string {
+			y, m := intIn(r, 1993, 1997), intIn(r, 1, 12)
+			return fmt.Sprintf(`SELECT 100.00 * SUM(CASE WHEN p_type LIKE 'PROMO%%'
+				THEN l_extendedprice * (1 - l_discount) ELSE 0 END) / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+				FROM lineitem, part WHERE l_partkey = p_partkey
+				AND l_shipdate >= '%04d-%02d-01' AND l_shipdate < '%04d-%02d-01' + INTERVAL '1' month`,
+				y, m, y, m)
+		}},
+		{Name: "Q15", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			y, q := intIn(r, 1993, 1997), intIn(r, 1, 4)
+			m := (q-1)*3 + 1
+			return fmt.Sprintf(`WITH revenue (supplier_no, total_revenue) AS (
+				SELECT l_suppkey, SUM(l_extendedprice * (1 - l_discount)) FROM lineitem
+				WHERE l_shipdate >= '%04d-%02d-01' AND l_shipdate < '%04d-%02d-01' + INTERVAL '3' month
+				GROUP BY l_suppkey)
+				SELECT s_suppkey, s_name, s_address, s_phone, total_revenue FROM supplier, revenue
+				WHERE s_suppkey = supplier_no
+				AND total_revenue = (SELECT MAX(total_revenue) FROM revenue)
+				ORDER BY s_suppkey`, y, m, y, m)
+		}},
+		{Name: "Q16", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT p_brand, p_type, p_size, COUNT(DISTINCT ps_suppkey) AS supplier_cnt
+				FROM partsupp, part WHERE p_partkey = ps_partkey AND p_brand <> '%s'
+				AND p_type NOT LIKE '%s%%' AND p_size IN (%d, %d, %d, %d)
+				AND ps_suppkey NOT IN (SELECT s_suppkey FROM supplier WHERE s_comment LIKE '%%Customer%%Complaints%%')
+				GROUP BY p_brand, p_type, p_size
+				ORDER BY supplier_cnt DESC, p_brand, p_type, p_size`,
+				pick(r, tpchBrands...), pick(r, "MEDIUM POLISHED", "STANDARD BRUSHED", "SMALL PLATED"),
+				intIn(r, 1, 10), intIn(r, 11, 20), intIn(r, 21, 35), intIn(r, 36, 50))
+		}},
+		{Name: "Q17", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT SUM(l_extendedprice) / 7.0 AS avg_yearly FROM lineitem, part
+				WHERE p_partkey = l_partkey AND p_brand = '%s' AND p_container = '%s'
+				AND l_quantity < (SELECT 0.2 * AVG(l_quantity) FROM lineitem WHERE l_partkey = p_partkey)`,
+				pick(r, tpchBrands...), pick(r, tpchContainers...))
+		}},
+		{Name: "Q18", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, SUM(l_quantity)
+				FROM customer, orders, lineitem
+				WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem GROUP BY l_orderkey
+					HAVING SUM(l_quantity) > %d)
+				AND c_custkey = o_custkey AND o_orderkey = l_orderkey
+				GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+				ORDER BY o_totalprice DESC, o_orderdate LIMIT 100`, intIn(r, 312, 315))
+		}},
+		{Name: "Q19", Class: ClassSPJ, Gen: func(r *rand.Rand) string {
+			q1, q2, q3 := intIn(r, 1, 10), intIn(r, 10, 20), intIn(r, 20, 30)
+			return fmt.Sprintf(`SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue FROM lineitem, part
+				WHERE (p_partkey = l_partkey AND p_brand = '%s' AND p_container IN ('SM CASE', 'SM BOX')
+					AND l_quantity >= %d AND l_quantity <= %d AND p_size BETWEEN 1 AND 5
+					AND l_shipmode IN ('AIR', 'REG AIR') AND l_shipinstruct = 'DELIVER IN PERSON')
+				OR (p_partkey = l_partkey AND p_brand = '%s' AND p_container IN ('MED BAG', 'MED BOX')
+					AND l_quantity >= %d AND l_quantity <= %d AND p_size BETWEEN 1 AND 10
+					AND l_shipmode IN ('AIR', 'REG AIR') AND l_shipinstruct = 'DELIVER IN PERSON')
+				OR (p_partkey = l_partkey AND p_brand = '%s' AND p_container IN ('LG CASE', 'LG BOX')
+					AND l_quantity >= %d AND l_quantity <= %d AND p_size BETWEEN 1 AND 15
+					AND l_shipmode IN ('AIR', 'REG AIR') AND l_shipinstruct = 'DELIVER IN PERSON')`,
+				pick(r, tpchBrands...), q1, q1+10,
+				pick(r, tpchBrands...), q2, q2+10,
+				pick(r, tpchBrands...), q3, q3+10)
+		}},
+		{Name: "Q20", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			y := intIn(r, 1993, 1997)
+			return fmt.Sprintf(`SELECT s_name, s_address FROM supplier, nation
+				WHERE s_suppkey IN (SELECT ps_suppkey FROM partsupp
+					WHERE ps_partkey IN (SELECT p_partkey FROM part WHERE p_name LIKE '%s%%')
+					AND ps_availqty > (SELECT 0.5 * SUM(l_quantity) FROM lineitem
+						WHERE l_partkey = ps_partkey AND l_suppkey = ps_suppkey
+						AND l_shipdate >= '%04d-01-01' AND l_shipdate < '%04d-01-01'))
+				AND s_nationkey = n_nationkey AND n_name = '%s' ORDER BY s_name`,
+				pick(r, "forest", "olive", "azure", "chocolate"), y, y+1, pick(r, tpchNations...))
+		}},
+		{Name: "Q21", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			return fmt.Sprintf(`SELECT s_name, COUNT(*) AS numwait FROM supplier, lineitem l1, orders, nation
+				WHERE s_suppkey = l1.l_suppkey AND o_orderkey = l1.l_orderkey AND o_orderstatus = 'F'
+				AND l1.l_receiptdate > l1.l_commitdate
+				AND EXISTS (SELECT 1 FROM lineitem l2 WHERE l2.l_orderkey = l1.l_orderkey
+					AND l2.l_suppkey <> l1.l_suppkey)
+				AND NOT EXISTS (SELECT 1 FROM lineitem l3 WHERE l3.l_orderkey = l1.l_orderkey
+					AND l3.l_suppkey <> l1.l_suppkey AND l3.l_receiptdate > l3.l_commitdate)
+				AND s_nationkey = n_nationkey AND n_name = '%s'
+				GROUP BY s_name ORDER BY numwait DESC, s_name LIMIT 100`,
+				pick(r, tpchNations...))
+		}},
+		{Name: "Q22", Class: ClassComplex, Gen: func(r *rand.Rand) string {
+			c := []string{}
+			for i := 0; i < 7; i++ {
+				c = append(c, fmt.Sprintf("'%d'", intIn(r, 10, 34)))
+			}
+			in := fmt.Sprintf("%s, %s, %s, %s, %s, %s, %s", c[0], c[1], c[2], c[3], c[4], c[5], c[6])
+			return fmt.Sprintf(`SELECT cntrycode, COUNT(*) AS numcust, SUM(c_acctbal) AS totacctbal
+				FROM (SELECT SUBSTRING(c_phone FROM 1 FOR 2) AS cntrycode, c_acctbal
+					FROM customer WHERE SUBSTRING(c_phone FROM 1 FOR 2) IN (%s)
+					AND c_acctbal > (SELECT AVG(c_acctbal) FROM customer WHERE c_acctbal > 0.00
+						AND SUBSTRING(c_phone FROM 1 FOR 2) IN (%s))
+					AND NOT EXISTS (SELECT 1 FROM orders WHERE o_custkey = c_custkey)) custsale
+				GROUP BY cntrycode ORDER BY cntrycode`, in, in)
+		}},
+	}
+}

@@ -1,0 +1,135 @@
+package benchmarks
+
+import (
+	"math/rand"
+	"testing"
+
+	"isum/internal/features"
+)
+
+// tpchExpectation pins the analysed structure of each TPC-H template:
+// the number of distinct base tables, lower bounds on extracted filter and
+// join predicates, grouping/ordering presence, and the number of SELECT
+// blocks (1 + subqueries/CTEs). A regression here means the parser, binder,
+// or predicate extraction changed behaviour on real query shapes.
+type tpchExpectation struct {
+	tables    int
+	minFilter int
+	minJoins  int
+	groupBy   bool
+	orderBy   bool
+	minBlocks int
+}
+
+// Note: ORDER BY / GROUP BY over SELECT-list aliases or derived-table
+// outputs (e.g. Q5's "ORDER BY revenue") are correctly NOT extracted as
+// indexable columns, so several templates expect false below despite having
+// an ORDER BY clause. Joins through CTE outputs (Q15's s_suppkey =
+// supplier_no) resolve only one side and land as filters, not joins.
+var tpchExpected = map[string]tpchExpectation{
+	"Q1":  {tables: 1, minFilter: 1, minJoins: 0, groupBy: true, orderBy: true, minBlocks: 1},
+	"Q2":  {tables: 5, minFilter: 2, minJoins: 7, groupBy: false, orderBy: true, minBlocks: 2},
+	"Q3":  {tables: 3, minFilter: 3, minJoins: 2, groupBy: true, orderBy: true, minBlocks: 1},
+	"Q4":  {tables: 2, minFilter: 2, minJoins: 1, groupBy: true, orderBy: true, minBlocks: 2},
+	"Q5":  {tables: 6, minFilter: 3, minJoins: 6, groupBy: true, orderBy: false, minBlocks: 1},
+	"Q6":  {tables: 1, minFilter: 4, minJoins: 0, groupBy: false, orderBy: false, minBlocks: 1},
+	"Q7":  {tables: 5, minFilter: 3, minJoins: 5, groupBy: true, orderBy: false, minBlocks: 1},
+	"Q8":  {tables: 7, minFilter: 2, minJoins: 7, groupBy: false, orderBy: false, minBlocks: 2},
+	"Q9":  {tables: 6, minFilter: 1, minJoins: 6, groupBy: false, orderBy: false, minBlocks: 2},
+	"Q10": {tables: 4, minFilter: 3, minJoins: 3, groupBy: true, orderBy: false, minBlocks: 1},
+	"Q11": {tables: 3, minFilter: 1, minJoins: 2, groupBy: true, orderBy: false, minBlocks: 2},
+	"Q12": {tables: 2, minFilter: 3, minJoins: 1, groupBy: true, orderBy: true, minBlocks: 1},
+	"Q13": {tables: 2, minFilter: 1, minJoins: 1, groupBy: true, orderBy: false, minBlocks: 2},
+	"Q14": {tables: 2, minFilter: 2, minJoins: 1, groupBy: false, orderBy: false, minBlocks: 1},
+	"Q15": {tables: 2, minFilter: 1, minJoins: 0, groupBy: true, orderBy: true, minBlocks: 3},
+	"Q16": {tables: 3, minFilter: 3, minJoins: 1, groupBy: true, orderBy: true, minBlocks: 2},
+	"Q17": {tables: 2, minFilter: 2, minJoins: 2, groupBy: false, orderBy: false, minBlocks: 2},
+	"Q18": {tables: 3, minFilter: 0, minJoins: 2, groupBy: true, orderBy: true, minBlocks: 2},
+	"Q19": {tables: 2, minFilter: 8, minJoins: 1, groupBy: false, orderBy: false, minBlocks: 1},
+	"Q20": {tables: 5, minFilter: 3, minJoins: 3, groupBy: false, orderBy: true, minBlocks: 4},
+	"Q21": {tables: 4, minFilter: 2, minJoins: 4, groupBy: true, orderBy: true, minBlocks: 3},
+	"Q22": {tables: 2, minFilter: 2, minJoins: 0, groupBy: false, orderBy: false, minBlocks: 3},
+}
+
+func TestTPCHTemplateAnalysis(t *testing.T) {
+	g := TPCH(1)
+	rng := rand.New(rand.NewSource(5))
+	ex := features.NewExtractor(g.Cat)
+	for _, tpl := range g.Templates {
+		tpl := tpl
+		t.Run(tpl.Name, func(t *testing.T) {
+			want, ok := tpchExpected[tpl.Name]
+			if !ok {
+				t.Fatalf("no expectation for %s", tpl.Name)
+			}
+			w, err := g.workloadFromTemplateIndices([]int{indexOf(g, tpl.Name)}, rng.Int63())
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := w.Queries[0]
+			info := q.Info
+			if got := len(info.Tables); got != want.tables {
+				t.Errorf("tables = %d, want %d (%v)", got, want.tables, info.Tables)
+			}
+			if got := len(info.Filters); got < want.minFilter {
+				t.Errorf("filters = %d, want >= %d: %+v", got, want.minFilter, info.Filters)
+			}
+			if got := len(info.Joins); got < want.minJoins {
+				t.Errorf("joins = %d, want >= %d: %+v", got, want.minJoins, info.Joins)
+			}
+			if got := len(info.GroupBy) > 0; got != want.groupBy {
+				t.Errorf("groupBy presence = %v, want %v", got, want.groupBy)
+			}
+			if got := len(info.OrderBy) > 0; got != want.orderBy {
+				t.Errorf("orderBy presence = %v, want %v", got, want.orderBy)
+			}
+			if got := len(info.Blocks); got < want.minBlocks {
+				t.Errorf("blocks = %d, want >= %d", got, want.minBlocks)
+			}
+			// Every template must featurise non-trivially.
+			if v := ex.Features(q); len(v) == 0 {
+				t.Error("no features extracted")
+			}
+			// All selectivities in (0, 1].
+			for _, f := range info.Filters {
+				if f.Selectivity <= 0 || f.Selectivity > 1 {
+					t.Errorf("filter selectivity out of range: %+v", f)
+				}
+			}
+			for _, j := range info.Joins {
+				if j.Selectivity <= 0 || j.Selectivity > 1 {
+					t.Errorf("join selectivity out of range: %+v", j)
+				}
+			}
+		})
+	}
+}
+
+func indexOf(g *Generator, name string) int {
+	for i, tpl := range g.Templates {
+		if tpl.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestTPCDSTemplatesFeaturise checks every TPC-DS and DSB template produces
+// non-empty features and at least one table.
+func TestTPCDSTemplatesFeaturise(t *testing.T) {
+	for _, g := range []*Generator{TPCDS(1), DSB(1)} {
+		ex := features.NewExtractor(g.Cat)
+		w, err := g.Workload(g.NumTemplates(), 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range w.Queries {
+			if len(q.Info.Tables) == 0 {
+				t.Errorf("%s template %s binds no tables", g.Name, g.Templates[i].Name)
+			}
+			if len(ex.Features(q)) == 0 {
+				t.Errorf("%s template %s has no features", g.Name, g.Templates[i].Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package catalog
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is an equi-depth (equal-height) histogram over a numeric domain.
+// Buckets hold approximately equal row counts; each bucket records its upper
+// boundary, row count, and distinct-value count, mirroring the statistics
+// objects commercial engines maintain.
+type Histogram struct {
+	// Buckets in ascending boundary order. Bucket i covers
+	// (UpperBound[i-1], UpperBound[i]]; the first bucket's lower edge is Min.
+	Buckets []Bucket
+	Min     float64
+	Rows    int64 // total rows represented (excluding NULLs)
+}
+
+// Bucket is one histogram bucket.
+type Bucket struct {
+	UpperBound float64
+	RowCount   int64
+	Distinct   int64
+}
+
+// BuildHistogram constructs an equi-depth histogram from sorted or unsorted
+// values. numBuckets is clamped to [1, len(values)]. The input slice is not
+// modified.
+func BuildHistogram(values []float64, numBuckets int) *Histogram {
+	if len(values) == 0 {
+		return &Histogram{}
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+
+	if numBuckets < 1 {
+		numBuckets = 1
+	}
+	if numBuckets > len(sorted) {
+		numBuckets = len(sorted)
+	}
+	h := &Histogram{Min: sorted[0], Rows: int64(len(sorted))}
+	per := len(sorted) / numBuckets
+	rem := len(sorted) % numBuckets
+	idx := 0
+	for b := 0; b < numBuckets; b++ {
+		n := per
+		if b < rem {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		end := idx + n
+		// Extend the bucket so equal values never straddle a boundary:
+		// selectivity estimates depend on boundaries separating values.
+		for end < len(sorted) && sorted[end] == sorted[end-1] {
+			end++
+		}
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		seg := sorted[idx:end]
+		distinct := int64(1)
+		for i := 1; i < len(seg); i++ {
+			if seg[i] != seg[i-1] {
+				distinct++
+			}
+		}
+		h.Buckets = append(h.Buckets, Bucket{
+			UpperBound: seg[len(seg)-1],
+			RowCount:   int64(len(seg)),
+			Distinct:   distinct,
+		})
+		idx = end
+		if idx >= len(sorted) {
+			break
+		}
+	}
+	return h
+}
+
+// SyntheticHistogram builds a histogram directly from summary statistics for
+// cases where the raw values are not materialised (very large synthetic
+// tables). The rows are spread uniformly over numBuckets buckets between min
+// and max, with distinct values split proportionally; skew ≥ 0 shifts mass
+// toward the low end of the domain (skew 0 is uniform), approximating a
+// zipf-like distribution without materialising it.
+func SyntheticHistogram(min, max float64, rows, distinct int64, numBuckets int, skew float64) *Histogram {
+	if numBuckets < 1 {
+		numBuckets = 1
+	}
+	if rows <= 0 {
+		return &Histogram{Min: min}
+	}
+	if int64(numBuckets) > rows {
+		numBuckets = int(rows)
+	}
+	if distinct < 1 {
+		distinct = 1
+	}
+	if distinct > rows {
+		distinct = rows
+	}
+	h := &Histogram{Min: min, Rows: rows}
+	span := max - min
+	// Weight of bucket i under the skew: (i+1)^-skew, normalised.
+	weights := make([]float64, numBuckets)
+	var wsum float64
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -skew)
+		wsum += weights[i]
+	}
+	rowsLeft, distLeft := rows, distinct
+	for i := 0; i < numBuckets; i++ {
+		frac := weights[i] / wsum
+		rc := int64(math.Round(float64(rows) * frac))
+		dc := int64(math.Round(float64(distinct) / float64(numBuckets)))
+		if i == numBuckets-1 {
+			rc, dc = rowsLeft, distLeft
+		}
+		if rc > rowsLeft {
+			rc = rowsLeft
+		}
+		if rc < 0 {
+			rc = 0
+		}
+		if dc < 1 && rc > 0 {
+			dc = 1
+		}
+		if dc > rc {
+			dc = rc
+		}
+		if dc > distLeft {
+			dc = distLeft
+		}
+		rowsLeft -= rc
+		distLeft -= dc
+		ub := min + span*float64(i+1)/float64(numBuckets)
+		h.Buckets = append(h.Buckets, Bucket{UpperBound: ub, RowCount: rc, Distinct: dc})
+	}
+	// Any residue from rounding lands in the final bucket so the histogram
+	// accounts for exactly `rows`.
+	if rowsLeft > 0 && len(h.Buckets) > 0 {
+		lb := &h.Buckets[len(h.Buckets)-1]
+		lb.RowCount += rowsLeft
+		if lb.Distinct == 0 {
+			lb.Distinct = 1
+		}
+	}
+	return h
+}
+
+// TotalRows returns the number of rows represented by the histogram.
+func (h *Histogram) TotalRows() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.Rows
+}
+
+// EqFraction estimates the fraction of rows equal to v.
+func (h *Histogram) EqFraction(v float64) float64 {
+	if h == nil || len(h.Buckets) == 0 || h.Rows == 0 {
+		return 0
+	}
+	lo := h.Min
+	for _, b := range h.Buckets {
+		if v <= b.UpperBound {
+			if v < lo {
+				return 0
+			}
+			if b.Distinct <= 0 || b.RowCount == 0 {
+				return 0
+			}
+			return float64(b.RowCount) / float64(b.Distinct) / float64(h.Rows)
+		}
+		lo = b.UpperBound
+	}
+	return 0
+}
+
+// LessFraction estimates the fraction of rows with value < v (or <= v when
+// inclusive is true) using linear interpolation within buckets.
+func (h *Histogram) LessFraction(v float64, inclusive bool) float64 {
+	if h == nil || len(h.Buckets) == 0 || h.Rows == 0 {
+		return 0
+	}
+	if v < h.Min || (!inclusive && v == h.Min) {
+		return 0
+	}
+	var acc int64
+	lo := h.Min
+	for _, b := range h.Buckets {
+		if v > b.UpperBound {
+			acc += b.RowCount
+			lo = b.UpperBound
+			continue
+		}
+		// v falls in this bucket: interpolate.
+		width := b.UpperBound - lo
+		var frac float64
+		if width <= 0 {
+			frac = 1
+		} else {
+			frac = (v - lo) / width
+		}
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		within := float64(b.RowCount) * frac
+		out := (float64(acc) + within) / float64(h.Rows)
+		if inclusive {
+			out += h.EqFraction(v)
+		}
+		if out > 1 {
+			out = 1
+		}
+		return out
+	}
+	return 1
+}
+
+// RangeFraction estimates the fraction of rows in [lo, hi] (inclusive on both
+// ends when the flags are set).
+func (h *Histogram) RangeFraction(lo, hi float64, loInc, hiInc bool) float64 {
+	if h == nil || h.Rows == 0 {
+		return 0
+	}
+	if hi < lo {
+		return 0
+	}
+	upper := h.LessFraction(hi, false)
+	if hiInc {
+		upper += h.EqFraction(hi)
+	}
+	lower := h.LessFraction(lo, false)
+	if !loInc {
+		lower += h.EqFraction(lo)
+	}
+	f := upper - lower
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// MaxValue returns the histogram's upper domain boundary.
+func (h *Histogram) MaxValue() float64 {
+	if h == nil || len(h.Buckets) == 0 {
+		return 0
+	}
+	return h.Buckets[len(h.Buckets)-1].UpperBound
+}
+
+// Validate checks internal invariants: ascending boundaries, non-negative
+// counts, and bucket rows summing to Rows.
+func (h *Histogram) Validate() error {
+	if h == nil {
+		return nil
+	}
+	var sum int64
+	prev := h.Min
+	for i, b := range h.Buckets {
+		if b.UpperBound < prev {
+			return fmt.Errorf("histogram: bucket %d boundary %f below previous %f", i, b.UpperBound, prev)
+		}
+		if b.RowCount < 0 || b.Distinct < 0 {
+			return fmt.Errorf("histogram: bucket %d has negative counts", i)
+		}
+		if b.Distinct > b.RowCount {
+			return fmt.Errorf("histogram: bucket %d distinct %d exceeds rows %d", i, b.Distinct, b.RowCount)
+		}
+		prev = b.UpperBound
+		sum += b.RowCount
+	}
+	if sum != h.Rows {
+		return fmt.Errorf("histogram: bucket rows %d != total %d", sum, h.Rows)
+	}
+	return nil
+}

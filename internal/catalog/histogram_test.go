@@ -1,0 +1,210 @@
+package catalog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildHistogramBasic(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	h := BuildHistogram(vals, 5)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.TotalRows() != 10 {
+		t.Fatalf("rows = %d", h.TotalRows())
+	}
+	if h.Min != 1 || h.MaxValue() != 10 {
+		t.Fatalf("domain = [%f,%f]", h.Min, h.MaxValue())
+	}
+}
+
+func TestBuildHistogramEmptyAndSingle(t *testing.T) {
+	h := BuildHistogram(nil, 4)
+	if h.TotalRows() != 0 || h.EqFraction(1) != 0 || h.LessFraction(1, true) != 0 {
+		t.Fatal("empty histogram should estimate 0")
+	}
+	h = BuildHistogram([]float64{42}, 4)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.EqFraction(42); got != 1 {
+		t.Fatalf("single-value eq = %f, want 1", got)
+	}
+}
+
+func TestBuildHistogramDuplicatesDontStraddle(t *testing.T) {
+	// 100 copies of value 5 among other values: equality estimate should be
+	// close to the true fraction.
+	var vals []float64
+	for i := 0; i < 100; i++ {
+		vals = append(vals, 5)
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, float64(10+i))
+	}
+	h := BuildHistogram(vals, 10)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := h.EqFraction(5)
+	if math.Abs(got-0.5) > 0.2 {
+		t.Fatalf("eq(5) = %f, want ~0.5", got)
+	}
+}
+
+func TestEqFractionOutsideDomain(t *testing.T) {
+	h := BuildHistogram([]float64{1, 2, 3}, 2)
+	if h.EqFraction(-5) != 0 {
+		t.Fatal("below-domain eq should be 0")
+	}
+	if h.EqFraction(100) != 0 {
+		t.Fatal("above-domain eq should be 0")
+	}
+}
+
+func TestLessFractionMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 100
+	}
+	h := BuildHistogram(vals, 20)
+	prev := -1.0
+	for v := -400.0; v <= 400; v += 10 {
+		f := h.LessFraction(v, false)
+		if f < prev-1e-9 {
+			t.Fatalf("LessFraction not monotone at %f: %f < %f", v, f, prev)
+		}
+		if f < 0 || f > 1 {
+			t.Fatalf("LessFraction out of range: %f", f)
+		}
+		prev = f
+	}
+	if got := h.LessFraction(1e9, false); got != 1 {
+		t.Fatalf("beyond max should be 1, got %f", got)
+	}
+}
+
+func TestRangeFraction(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	h := BuildHistogram(vals, 50)
+	got := h.RangeFraction(100, 199, true, true)
+	if math.Abs(got-0.1) > 0.03 {
+		t.Fatalf("range fraction = %f, want ~0.1", got)
+	}
+	if h.RangeFraction(500, 100, true, true) != 0 {
+		t.Fatal("inverted range should be 0")
+	}
+	full := h.RangeFraction(0, 999, true, true)
+	if math.Abs(full-1) > 0.02 {
+		t.Fatalf("full range = %f, want ~1", full)
+	}
+}
+
+func TestSyntheticHistogram(t *testing.T) {
+	h := SyntheticHistogram(0, 1000, 100000, 5000, 20, 0)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.TotalRows() != 100000 {
+		t.Fatalf("rows = %d", h.TotalRows())
+	}
+	mid := h.RangeFraction(250, 750, true, true)
+	if math.Abs(mid-0.5) > 0.1 {
+		t.Fatalf("uniform mid-range = %f, want ~0.5", mid)
+	}
+}
+
+func TestSyntheticHistogramSkew(t *testing.T) {
+	h := SyntheticHistogram(0, 1000, 100000, 5000, 20, 1.2)
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	low := h.RangeFraction(0, 100, true, true)
+	high := h.RangeFraction(900, 1000, true, true)
+	if low <= high {
+		t.Fatalf("skewed histogram should concentrate low: low=%f high=%f", low, high)
+	}
+}
+
+func TestSyntheticHistogramDegenerate(t *testing.T) {
+	if h := SyntheticHistogram(0, 10, 0, 5, 4, 0); h.TotalRows() != 0 {
+		t.Fatal("zero-row synthetic should be empty")
+	}
+	h := SyntheticHistogram(0, 10, 10, 100, 4, 0) // distinct > rows clamps
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any value set and bucket count, the histogram validates and
+// range over the full domain accounts for ~all rows.
+func TestHistogramPropertyQuick(t *testing.T) {
+	f := func(raw []int16, nb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+		}
+		h := BuildHistogram(vals, int(nb%30)+1)
+		if err := h.Validate(); err != nil {
+			return false
+		}
+		full := h.RangeFraction(h.Min, h.MaxValue(), true, true)
+		return full > 0.95 && full <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EqFraction sums over all distinct values to ~1.
+func TestEqFractionSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vals := make([]float64, 400)
+	for i := range vals {
+		vals[i] = float64(rng.Intn(50))
+	}
+	h := BuildHistogram(vals, 8)
+	sum := 0.0
+	for v := 0; v < 50; v++ {
+		sum += h.EqFraction(float64(v))
+	}
+	if math.Abs(sum-1) > 0.05 {
+		t.Fatalf("eq fractions sum to %f, want ~1", sum)
+	}
+}
+
+// Property: SyntheticHistogram always validates, for any parameter combo —
+// including buckets > rows and heavy rounding (regression: nation with 25
+// rows and 40 buckets produced a negative distinct count).
+func TestSyntheticHistogramAlwaysValid(t *testing.T) {
+	f := func(rowsRaw, distinctRaw uint16, buckets uint8, skewRaw uint8) bool {
+		rows := int64(rowsRaw)
+		distinct := int64(distinctRaw)
+		skew := float64(skewRaw) / 64
+		h := SyntheticHistogram(0, 1000, rows, distinct, int(buckets), skew)
+		return h.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticHistogramTinyTable(t *testing.T) {
+	h := SyntheticHistogram(0, 24, 25, 25, 40, 0) // the nation regression
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.TotalRows() != 25 {
+		t.Fatalf("rows = %d", h.TotalRows())
+	}
+}

@@ -1,0 +1,129 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON schema mirrors the statistics a production system would export
+// for tuning on a test server (the DTA workflow): tables, columns, and
+// histograms, with stable lower-case field names.
+
+type jsonCatalog struct {
+	Tables []jsonTable `json:"tables"`
+}
+
+type jsonTable struct {
+	Name    string       `json:"name"`
+	Rows    int64        `json:"rows"`
+	Columns []jsonColumn `json:"columns"`
+}
+
+type jsonColumn struct {
+	Name         string    `json:"name"`
+	Type         string    `json:"type"`
+	AvgWidth     int       `json:"avg_width,omitempty"`
+	Distinct     int64     `json:"distinct,omitempty"`
+	NullFraction float64   `json:"null_fraction,omitempty"`
+	Min          float64   `json:"min,omitempty"`
+	Max          float64   `json:"max,omitempty"`
+	Histogram    *jsonHist `json:"histogram,omitempty"`
+}
+
+type jsonHist struct {
+	Min     float64      `json:"min"`
+	Rows    int64        `json:"rows"`
+	Buckets []jsonBucket `json:"buckets"`
+}
+
+type jsonBucket struct {
+	Upper    float64 `json:"upper"`
+	Rows     int64   `json:"rows"`
+	Distinct int64   `json:"distinct"`
+}
+
+var typeNames = map[string]ColumnType{
+	"INT": TypeInt, "FLOAT": TypeFloat, "DECIMAL": TypeDecimal,
+	"VARCHAR": TypeString, "DATE": TypeDate, "BOOL": TypeBool,
+}
+
+// SaveJSON writes the catalog (schema + statistics) as JSON.
+func (cat *Catalog) SaveJSON(w io.Writer) error {
+	out := jsonCatalog{}
+	for _, t := range cat.Tables() {
+		jt := jsonTable{Name: t.Name, Rows: t.RowCount}
+		for _, c := range t.Columns() {
+			jc := jsonColumn{
+				Name:         c.Name,
+				Type:         c.Type.String(),
+				AvgWidth:     c.AvgWidth,
+				Distinct:     c.DistinctCount,
+				NullFraction: c.NullFraction,
+				Min:          c.Min,
+				Max:          c.Max,
+			}
+			if c.Hist != nil && len(c.Hist.Buckets) > 0 {
+				jh := &jsonHist{Min: c.Hist.Min, Rows: c.Hist.Rows}
+				for _, b := range c.Hist.Buckets {
+					jh.Buckets = append(jh.Buckets, jsonBucket{
+						Upper: b.UpperBound, Rows: b.RowCount, Distinct: b.Distinct,
+					})
+				}
+				jc.Histogram = jh
+			}
+			jt.Columns = append(jt.Columns, jc)
+		}
+		out.Tables = append(out.Tables, jt)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// LoadJSON reads a catalog previously written by SaveJSON (or authored by
+// hand / exported from another system). Unknown type names fail loudly.
+func LoadJSON(r io.Reader) (*Catalog, error) {
+	var in jsonCatalog
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("catalog: decoding JSON: %w", err)
+	}
+	cat := New()
+	for _, jt := range in.Tables {
+		t := NewTable(jt.Name, jt.Rows)
+		for _, jc := range jt.Columns {
+			typ, ok := typeNames[jc.Type]
+			if !ok {
+				return nil, fmt.Errorf("catalog: table %s column %s: unknown type %q",
+					jt.Name, jc.Name, jc.Type)
+			}
+			c := &Column{
+				Name:          jc.Name,
+				Type:          typ,
+				AvgWidth:      jc.AvgWidth,
+				DistinctCount: jc.Distinct,
+				NullFraction:  jc.NullFraction,
+				Min:           jc.Min,
+				Max:           jc.Max,
+			}
+			if jc.Histogram != nil {
+				h := &Histogram{Min: jc.Histogram.Min, Rows: jc.Histogram.Rows}
+				for _, jb := range jc.Histogram.Buckets {
+					h.Buckets = append(h.Buckets, Bucket{
+						UpperBound: jb.Upper, RowCount: jb.Rows, Distinct: jb.Distinct,
+					})
+				}
+				if err := h.Validate(); err != nil {
+					return nil, fmt.Errorf("catalog: table %s column %s: %w", jt.Name, jc.Name, err)
+				}
+				c.Hist = h
+			}
+			t.AddColumn(c)
+		}
+		cat.AddTable(t)
+	}
+	if errs := cat.Validate(); len(errs) > 0 {
+		return nil, fmt.Errorf("catalog: invalid after load: %v", errs[0])
+	}
+	return cat, nil
+}

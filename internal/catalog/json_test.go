@@ -1,0 +1,68 @@
+package catalog
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCatalogJSONRoundTrip(t *testing.T) {
+	cat := New()
+	tb := NewTable("orders", 10000)
+	tb.AddColumn(&Column{Name: "o_orderkey", Type: TypeInt, DistinctCount: 10000, Min: 1, Max: 10000})
+	tb.AddColumn(&Column{Name: "o_comment", Type: TypeString, AvgWidth: 49, DistinctCount: 9000, NullFraction: 0.01})
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = float64(i % 100)
+	}
+	tb.AddColumn(&Column{Name: "o_price", Type: TypeDecimal, DistinctCount: 100, Min: 0, Max: 99,
+		Hist: BuildHistogram(vals, 10)})
+	cat.AddTable(tb)
+
+	var buf bytes.Buffer
+	if err := cat.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := got.Table("orders")
+	if gt == nil || gt.RowCount != 10000 || len(gt.Columns()) != 3 {
+		t.Fatalf("table lost: %+v", gt)
+	}
+	c := gt.Column("o_comment")
+	if c.Type != TypeString || c.AvgWidth != 49 || c.NullFraction != 0.01 {
+		t.Fatalf("column lost: %+v", c)
+	}
+	// Histogram must survive and estimate identically.
+	orig := cat.Table("orders").Column("o_price")
+	loaded := gt.Column("o_price")
+	for _, v := range []float64{0, 25, 50, 99} {
+		if math.Abs(orig.EqSelectivity(v)-loaded.EqSelectivity(v)) > 1e-12 {
+			t.Fatalf("histogram estimates diverge at %f", v)
+		}
+	}
+}
+
+func TestCatalogJSONErrors(t *testing.T) {
+	if _, err := LoadJSON(strings.NewReader("{bad")); err == nil {
+		t.Fatal("bad JSON should fail")
+	}
+	if _, err := LoadJSON(strings.NewReader(
+		`{"tables":[{"name":"t","rows":5,"columns":[{"name":"x","type":"BLOB"}]}]}`)); err == nil {
+		t.Fatal("unknown type should fail")
+	}
+	// Corrupt histogram (bucket rows exceed total) must be rejected.
+	if _, err := LoadJSON(strings.NewReader(
+		`{"tables":[{"name":"t","rows":5,"columns":[{"name":"x","type":"INT",
+		  "histogram":{"min":0,"rows":1,"buckets":[{"upper":1,"rows":5,"distinct":1}]}}]}]}`)); err == nil {
+		t.Fatal("invalid histogram should fail")
+	}
+	// Catalog-level invariants apply after load.
+	if _, err := LoadJSON(strings.NewReader(
+		`{"tables":[{"name":"t","rows":5,"columns":[{"name":"x","type":"INT","distinct":50}]}]}`)); err == nil {
+		t.Fatal("distinct > rows should fail validation")
+	}
+}

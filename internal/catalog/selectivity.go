@@ -1,0 +1,98 @@
+package catalog
+
+import "math"
+
+// Default selectivities used when a column has no histogram, matching the
+// classic System-R magic numbers.
+const (
+	DefaultEqSelectivity    = 0.005
+	DefaultRangeSelectivity = 0.33
+	DefaultLikeSelectivity  = 0.1
+	DefaultInPerValue       = 0.01
+)
+
+// EqSelectivity estimates the fraction of rows where the column equals v.
+func (c *Column) EqSelectivity(v float64) float64 {
+	notNull := 1 - c.NullFraction
+	if c.Hist != nil && c.Hist.Rows > 0 {
+		return clampSel(c.Hist.EqFraction(v) * notNull)
+	}
+	if c.DistinctCount > 0 {
+		return clampSel(notNull / float64(c.DistinctCount))
+	}
+	return DefaultEqSelectivity
+}
+
+// RangeSelectivity estimates the fraction of rows with lo <= value <= hi
+// (inclusivity per the flags). Use math.Inf for open ends.
+func (c *Column) RangeSelectivity(lo, hi float64, loInc, hiInc bool) float64 {
+	notNull := 1 - c.NullFraction
+	if c.Hist != nil && c.Hist.Rows > 0 {
+		l, h := lo, hi
+		if math.IsInf(l, -1) {
+			l = c.Hist.Min
+			loInc = true
+		}
+		if math.IsInf(h, 1) {
+			h = c.Hist.MaxValue()
+			hiInc = true
+		}
+		return clampSel(c.Hist.RangeFraction(l, h, loInc, hiInc) * notNull)
+	}
+	// No histogram: fall back to a uniform-domain estimate when min/max are
+	// known, otherwise the default magic number.
+	if c.Max > c.Min {
+		l, h := lo, hi
+		if math.IsInf(l, -1) {
+			l = c.Min
+		}
+		if math.IsInf(h, 1) {
+			h = c.Max
+		}
+		f := (h - l) / (c.Max - c.Min)
+		return clampSel(f * notNull)
+	}
+	return DefaultRangeSelectivity
+}
+
+// InSelectivity estimates the fraction of rows matching an IN list of n
+// values.
+func (c *Column) InSelectivity(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if c.DistinctCount > 0 {
+		return clampSel(float64(n) / float64(c.DistinctCount) * (1 - c.NullFraction))
+	}
+	return clampSel(float64(n) * DefaultInPerValue)
+}
+
+// NullSelectivity estimates the fraction of rows where the column IS NULL.
+func (c *Column) NullSelectivity() float64 { return clampSel(c.NullFraction) }
+
+// JoinSelectivity estimates the selectivity of an equi-join predicate
+// a = b over the cross product, using the textbook 1/max(V(a), V(b)).
+func JoinSelectivity(a, b *Column) float64 {
+	da, db := a.DistinctCount, b.DistinctCount
+	if da <= 0 {
+		da = 1000
+	}
+	if db <= 0 {
+		db = 1000
+	}
+	d := da
+	if db > d {
+		d = db
+	}
+	return clampSel(1 / float64(d))
+}
+
+func clampSel(s float64) float64 {
+	if math.IsNaN(s) || s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+)
+
+func statsColumn() *Column {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i % 100) // 100 distinct values, uniform
+	}
+	return &Column{
+		Name:          "x",
+		Type:          TypeInt,
+		DistinctCount: 100,
+		Min:           0,
+		Max:           99,
+		Hist:          BuildHistogram(vals, 10),
+	}
+}
+
+func TestEqSelectivityWithHistogram(t *testing.T) {
+	c := statsColumn()
+	got := c.EqSelectivity(50)
+	if math.Abs(got-0.01) > 0.005 {
+		t.Fatalf("eq selectivity = %f, want ~0.01", got)
+	}
+}
+
+func TestEqSelectivityFallbacks(t *testing.T) {
+	c := &Column{Name: "x", DistinctCount: 200}
+	if got := c.EqSelectivity(1); math.Abs(got-0.005) > 1e-12 {
+		t.Fatalf("distinct fallback = %f", got)
+	}
+	c = &Column{Name: "x"}
+	if got := c.EqSelectivity(1); got != DefaultEqSelectivity {
+		t.Fatalf("default fallback = %f", got)
+	}
+}
+
+func TestRangeSelectivityWithHistogram(t *testing.T) {
+	c := statsColumn()
+	got := c.RangeSelectivity(0, 49, true, true)
+	if math.Abs(got-0.5) > 0.1 {
+		t.Fatalf("range selectivity = %f, want ~0.5", got)
+	}
+	// Open-ended ranges.
+	ge := c.RangeSelectivity(90, math.Inf(1), true, true)
+	if math.Abs(ge-0.1) > 0.05 {
+		t.Fatalf(">=90 selectivity = %f, want ~0.1", ge)
+	}
+	le := c.RangeSelectivity(math.Inf(-1), 9, true, true)
+	if math.Abs(le-0.1) > 0.05 {
+		t.Fatalf("<=9 selectivity = %f, want ~0.1", le)
+	}
+}
+
+func TestRangeSelectivityUniformFallback(t *testing.T) {
+	c := &Column{Name: "x", Min: 0, Max: 100}
+	got := c.RangeSelectivity(0, 25, true, true)
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("uniform fallback = %f, want 0.25", got)
+	}
+	bare := &Column{Name: "y"}
+	if got := bare.RangeSelectivity(0, 10, true, true); got != DefaultRangeSelectivity {
+		t.Fatalf("default fallback = %f", got)
+	}
+}
+
+func TestNullFractionScaling(t *testing.T) {
+	c := statsColumn()
+	c.NullFraction = 0.5
+	got := c.EqSelectivity(50)
+	if math.Abs(got-0.005) > 0.003 {
+		t.Fatalf("null-scaled eq = %f, want ~0.005", got)
+	}
+	if got := c.NullSelectivity(); got != 0.5 {
+		t.Fatalf("null selectivity = %f", got)
+	}
+}
+
+func TestInSelectivity(t *testing.T) {
+	c := &Column{Name: "x", DistinctCount: 100}
+	if got := c.InSelectivity(5); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("in selectivity = %f", got)
+	}
+	if c.InSelectivity(0) != 0 {
+		t.Fatal("empty IN should be 0")
+	}
+	if c.InSelectivity(1000) != 1 {
+		t.Fatal("oversized IN should clamp to 1")
+	}
+	bare := &Column{Name: "y"}
+	if got := bare.InSelectivity(3); math.Abs(got-0.03) > 1e-12 {
+		t.Fatalf("default in = %f", got)
+	}
+}
+
+func TestJoinSelectivity(t *testing.T) {
+	a := &Column{Name: "a", DistinctCount: 100}
+	b := &Column{Name: "b", DistinctCount: 1000}
+	if got := JoinSelectivity(a, b); math.Abs(got-0.001) > 1e-12 {
+		t.Fatalf("join selectivity = %f, want 0.001", got)
+	}
+	// Missing stats fall back to 1/1000.
+	u := &Column{Name: "u"}
+	if got := JoinSelectivity(u, u); math.Abs(got-0.001) > 1e-12 {
+		t.Fatalf("fallback join selectivity = %f", got)
+	}
+}
+
+func TestClampSel(t *testing.T) {
+	if clampSel(-1) != 0 || clampSel(2) != 1 || clampSel(math.NaN()) != 0 {
+		t.Fatal("clamp broken")
+	}
+	if clampSel(0.5) != 0.5 {
+		t.Fatal("clamp should pass through in-range values")
+	}
+}

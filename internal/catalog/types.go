@@ -1,0 +1,67 @@
+// Package catalog models database schema metadata and optimizer statistics.
+//
+// The catalog is the substrate beneath the cost-based "what-if" optimizer
+// (internal/cost) and the feature extraction used by ISUM (internal/features).
+// It holds tables, columns, row/page counts, per-column distinct counts,
+// null fractions, value domains, and equi-depth histograms, and exposes the
+// selectivity and density estimates the paper's statistics-based variant
+// (ISUM-S) relies on.
+package catalog
+
+import "fmt"
+
+// ColumnType enumerates the logical column types supported by the catalog.
+// The cost model only needs enough type information to size rows and to
+// interpret predicate constants, so the set is deliberately small.
+type ColumnType int
+
+const (
+	// TypeInt is a 64-bit integer column.
+	TypeInt ColumnType = iota
+	// TypeFloat is a 64-bit floating point column.
+	TypeFloat
+	// TypeDecimal is a fixed-point numeric column (treated as float64).
+	TypeDecimal
+	// TypeString is a variable-length character column.
+	TypeString
+	// TypeDate is a date column, stored as days since an epoch.
+	TypeDate
+	// TypeBool is a boolean column.
+	TypeBool
+)
+
+// String returns the SQL-ish name of the type.
+func (t ColumnType) String() string {
+	switch t {
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeDecimal:
+		return "DECIMAL"
+	case TypeString:
+		return "VARCHAR"
+	case TypeDate:
+		return "DATE"
+	case TypeBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("ColumnType(%d)", int(t))
+	}
+}
+
+// ByteWidth returns the average storage width in bytes used for page-count
+// and index-size estimation. String widths are an average; callers that know
+// better can override Column.AvgWidth.
+func (t ColumnType) ByteWidth() int {
+	switch t {
+	case TypeInt, TypeFloat, TypeDecimal, TypeDate:
+		return 8
+	case TypeBool:
+		return 1
+	case TypeString:
+		return 24
+	default:
+		return 8
+	}
+}

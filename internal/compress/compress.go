@@ -1,0 +1,45 @@
+// Package compress provides the workload-compression baselines the paper
+// evaluates against (Section 8): uniform sampling, cost top-k, stratified
+// template sampling, GSUM [20], and k-medoid clustering [11] — all behind a
+// common Compressor interface that ISUM (internal/core) also satisfies.
+package compress
+
+import (
+	"isum/internal/core"
+	"isum/internal/workload"
+)
+
+// Compressor selects k queries (with weights) from a workload.
+type Compressor interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Compress selects up to k queries from w.
+	Compress(w *workload.Workload, k int) *core.Result
+}
+
+// ISUMAdapter wraps core.Compressor to satisfy Compressor (it already does;
+// this alias keeps call sites uniform).
+type ISUMAdapter = core.Compressor
+
+// uniformWeights returns 1/n weights.
+func uniformWeights(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1.0 / float64(n)
+	}
+	return out
+}
+
+// clampK bounds k to [0, n].
+func clampK(k, n int) int {
+	if k < 0 {
+		return 0
+	}
+	if k > n {
+		return n
+	}
+	return k
+}

@@ -1,0 +1,75 @@
+package core
+
+import "isum/internal/features"
+
+// Influence returns F_qi(qj) = S(qi, qj) · U(qj), the reduction in qj's
+// utility when qi is selected for tuning (Definition 3).
+func Influence(qi, qj *QueryState) float64 {
+	if qi == qj {
+		return 0
+	}
+	return qi.Similarity(qj) * qj.Utility
+}
+
+// BenefitAllPairs returns the conditional benefit of qi against the current
+// states (Definition 10, computed as in Algorithm 1): its discounted
+// utility plus its influence over every unselected query.
+func BenefitAllPairs(qi *QueryState, states []*QueryState) float64 {
+	b := qi.Utility
+	for _, qj := range states {
+		if qj == qi || qj.Selected {
+			continue
+		}
+		b += Influence(qi, qj)
+	}
+	return b
+}
+
+// SummaryState carries the workload-level summary features and total
+// utility over the unselected queries, for the linear-time benefit.
+type SummaryState struct {
+	V            features.Vector
+	TotalUtility float64
+}
+
+// BuildSummary computes the summary features V (Definition 11) and total
+// utility over the unselected queries.
+func BuildSummary(states []*QueryState) *SummaryState {
+	ss := &SummaryState{V: features.Vector{}}
+	for _, s := range states {
+		if s.Selected {
+			continue
+		}
+		ss.V.AddScaled(s.Vec, s.Utility)
+		ss.TotalUtility += s.Utility
+	}
+	return ss
+}
+
+// BenefitSummary returns qi's benefit against the summary (Algorithm 3):
+// its utility plus S(qi, V′) where V′ excludes qi's own contribution.
+func BenefitSummary(qi *QueryState, ss *SummaryState) float64 {
+	vPrime := features.ExcludeFromSummary(ss.V, qi.Vec, qi.Utility, ss.TotalUtility)
+	return qi.Utility + features.WeightedJaccard(qi.Vec, vPrime)
+}
+
+// InfluenceOnWorkload returns F_qs(W) = Σ_j S(qs,qj)·U(qj), the all-pairs
+// influence of qs over the unselected queries — used to validate the
+// summary approximation (Theorem 3 / Fig. 8a).
+func InfluenceOnWorkload(qs *QueryState, states []*QueryState) float64 {
+	var f float64
+	for _, qj := range states {
+		if qj == qs || qj.Selected {
+			continue
+		}
+		f += Influence(qs, qj)
+	}
+	return f
+}
+
+// InfluenceOnSummary returns F_qs(V) = S(qs, V′), the summary-feature
+// estimate of the same quantity.
+func InfluenceOnSummary(qs *QueryState, ss *SummaryState) float64 {
+	vPrime := features.ExcludeFromSummary(ss.V, qs.Vec, qs.Utility, ss.TotalUtility)
+	return features.WeightedJaccard(qs.Vec, vPrime)
+}

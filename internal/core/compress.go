@@ -1,0 +1,136 @@
+package core
+
+import (
+	"time"
+
+	"isum/internal/workload"
+)
+
+// Result is the output of workload compression: the selected query indices
+// (in selection order), their weights, and diagnostics.
+type Result struct {
+	// Indices are positions into the input workload, in selection order.
+	Indices []int
+	// Weights are the queries' weights (parallel to Indices), normalised to
+	// sum to 1 when weighing is enabled.
+	Weights []float64
+	// SelectionBenefits are the conditional benefits at selection time.
+	SelectionBenefits []float64
+	// Elapsed is the wall-clock compression time.
+	Elapsed time.Duration
+}
+
+// Compressor runs ISUM workload compression.
+type Compressor struct {
+	opts Options
+}
+
+// New returns a compressor with the given options.
+func New(opts Options) *Compressor { return &Compressor{opts: opts} }
+
+// Options returns the compressor's options.
+func (c *Compressor) Options() Options { return c.opts }
+
+// Name identifies the configured variant.
+func (c *Compressor) Name() string {
+	switch {
+	case c.opts.Algorithm == AllPairs:
+		return "ISUM-AllPairs"
+	case !c.opts.UseTableWeight:
+		return "ISUM-NoTable"
+	case c.opts.Utility == UtilityCostSelectivity:
+		return "ISUM-S"
+	default:
+		return "ISUM"
+	}
+}
+
+// Compress selects k queries from w (Problem 1) and weighs them. For k ≥
+// n every query is selected with weight 1/n.
+func (c *Compressor) Compress(w *workload.Workload, k int) *Result {
+	start := time.Now()
+	res := &Result{}
+	n := w.Len()
+	if n == 0 || k <= 0 {
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	if k > n {
+		k = n
+	}
+
+	states := BuildStates(w, c.opts)
+	c.selectGreedy(states, k, res)
+	res.Weights = c.weigh(w, states, res)
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// CompressedWorkload runs Compress and materialises the weighted compressed
+// workload ready for the tuner.
+func (c *Compressor) CompressedWorkload(w *workload.Workload, k int) (*workload.Workload, *Result) {
+	res := c.Compress(w, k)
+	return w.WeightedSubset(res.Indices, res.Weights), res
+}
+
+// selectGreedy runs the configured greedy algorithm, appending selections
+// to res.
+func (c *Compressor) selectGreedy(states []*QueryState, k int, res *Result) {
+	for len(res.Indices) < k {
+		var best *QueryState
+		bestBenefit := -1.0
+
+		// benefitEps breaks ties deterministically: feature vectors are maps,
+		// so summation order (and thus the last few ulps of a benefit) varies
+		// between runs; without a tolerance, exact ties would flip.
+		const benefitEps = 1e-9
+		if c.opts.Algorithm == AllPairs {
+			for _, s := range states {
+				if s.Selected || s.Vec.AllZero() {
+					continue
+				}
+				if b := BenefitAllPairs(s, states); b > bestBenefit+benefitEps {
+					bestBenefit, best = b, s
+				}
+			}
+		} else {
+			ss := BuildSummary(states)
+			for _, s := range states {
+				if s.Selected || s.Vec.AllZero() {
+					continue
+				}
+				if b := BenefitSummary(s, ss); b > bestBenefit+benefitEps {
+					bestBenefit, best = b, s
+				}
+			}
+		}
+
+		if best == nil {
+			// Every remaining query has zero-weight features: reset to the
+			// original features (Algorithm 2, line 12) and retry; if reset
+			// does nothing we are out of selectable queries.
+			if !resetIfAllZero(states) || allSelected(states) {
+				return
+			}
+			continue
+		}
+
+		best.Selected = true
+		res.Indices = append(res.Indices, best.Index)
+		res.SelectionBenefits = append(res.SelectionBenefits, bestBenefit)
+		for _, s := range states {
+			if !s.Selected {
+				applyUpdate(best, s, c.opts.Update)
+			}
+		}
+	}
+}
+
+func allSelected(states []*QueryState) bool {
+	for _, s := range states {
+		if !s.Selected {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"isum/internal/catalog"
+	"isum/internal/workload"
+)
+
+// Incremental maintains a bounded compressed pool over a query stream — the
+// future-work direction of Section 10, where the tuner consumes queries
+// incrementally (e.g. under a time budget) and ISUM cannot pre-process the
+// whole input.
+//
+// On each Observe call, the new arrivals join the current pool of weighted
+// representatives and the union is recompressed to the pool size. Carried
+// representatives keep their accumulated weights, so their utilities keep
+// reflecting the workload mass they stand for. Tuning Pool() at any time
+// approximates tuning everything observed so far.
+type Incremental struct {
+	comp *Compressor
+	k    int
+	cat  *catalog.Catalog
+	pool *workload.Workload
+	seen int
+}
+
+// NewIncremental returns an incremental compressor keeping at most k
+// representatives.
+func NewIncremental(cat *catalog.Catalog, opts Options, k int) *Incremental {
+	if k < 1 {
+		k = 1
+	}
+	return &Incremental{
+		comp: New(opts),
+		k:    k,
+		cat:  cat,
+		pool: &workload.Workload{Catalog: cat},
+	}
+}
+
+// Observe folds a batch of queries (with costs filled) into the pool and
+// returns the compression result of the recompression step.
+func (ic *Incremental) Observe(batch []*workload.Query) *Result {
+	ic.seen += len(batch)
+	cand := &workload.Workload{Catalog: ic.cat}
+	cand.Queries = append(cand.Queries, ic.pool.Queries...)
+	cand.Queries = append(cand.Queries, batch...)
+	res := ic.comp.Compress(cand, ic.k)
+	ic.pool = cand.WeightedSubset(res.Indices, res.Weights)
+	return res
+}
+
+// Pool returns the current compressed workload (copies are returned by
+// construction; callers may weigh or tune it freely).
+func (ic *Incremental) Pool() *workload.Workload { return ic.pool }
+
+// Seen returns the number of queries observed so far.
+func (ic *Incremental) Seen() int { return ic.seen }

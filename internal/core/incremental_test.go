@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"isum/internal/cost"
+	"isum/internal/workload"
+)
+
+func TestIncrementalPoolBounded(t *testing.T) {
+	w := testWorkload(t)
+	ic := NewIncremental(w.Catalog, DefaultOptions(), 4)
+	for i := 0; i < w.Len(); i += 4 {
+		end := i + 4
+		if end > w.Len() {
+			end = w.Len()
+		}
+		res := ic.Observe(w.Queries[i:end])
+		if ic.Pool().Len() > 4 {
+			t.Fatalf("pool exceeded bound: %d", ic.Pool().Len())
+		}
+		if len(res.Indices) != ic.Pool().Len() {
+			t.Fatal("result/pool mismatch")
+		}
+	}
+	if ic.Seen() != w.Len() {
+		t.Fatalf("seen = %d, want %d", ic.Seen(), w.Len())
+	}
+	if ic.Pool().Len() != 4 {
+		t.Fatalf("final pool = %d", ic.Pool().Len())
+	}
+}
+
+func TestIncrementalCoversClustersEventually(t *testing.T) {
+	// Feed clusters one at a time; the final pool must represent all three,
+	// even the ones observed early.
+	w := testWorkload(t)
+	ic := NewIncremental(w.Catalog, DefaultOptions(), 3)
+	ic.Observe(w.Queries[0:6])   // cluster A
+	ic.Observe(w.Queries[6:12])  // cluster B
+	ic.Observe(w.Queries[12:16]) // cluster C
+
+	tables := map[string]bool{}
+	for _, q := range ic.Pool().Queries {
+		for _, t := range q.Info.Tables {
+			tables[t] = true
+		}
+	}
+	if len(tables) < 2 {
+		t.Fatalf("pool lost earlier clusters: tables = %v", tables)
+	}
+}
+
+func TestIncrementalWeightsAccumulate(t *testing.T) {
+	// Many instances of one template across batches: the surviving
+	// representative should carry large weight relative to a singleton.
+	cat := testCatalog()
+	var sqls []string
+	for i := 0; i < 12; i++ {
+		sqls = append(sqls, fmt.Sprintf("SELECT o_totalprice FROM orders WHERE o_orderkey = %d", i+1))
+	}
+	sqls = append(sqls, "SELECT c_custkey FROM customer WHERE c_nationkey = 3")
+	w, err := workload.New(cat, sqls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost.NewOptimizer(cat).FillCosts(w)
+
+	ic := NewIncremental(cat, DefaultOptions(), 2)
+	ic.Observe(w.Queries[0:6])
+	ic.Observe(w.Queries[6:13])
+	pool := ic.Pool()
+	if pool.Len() != 2 {
+		t.Fatalf("pool = %d", pool.Len())
+	}
+	var wTemplate, wSingleton float64
+	for _, q := range pool.Queries {
+		if q.Info.Tables[0] == "orders" {
+			wTemplate = q.Weight
+		} else {
+			wSingleton = q.Weight
+		}
+	}
+	if wTemplate <= wSingleton {
+		t.Fatalf("template representative should dominate: %f vs %f", wTemplate, wSingleton)
+	}
+}
+
+func TestIncrementalDegenerateK(t *testing.T) {
+	w := testWorkload(t)
+	ic := NewIncremental(w.Catalog, DefaultOptions(), 0) // clamps to 1
+	ic.Observe(w.Queries[:3])
+	if ic.Pool().Len() != 1 {
+		t.Fatalf("pool = %d", ic.Pool().Len())
+	}
+	// Empty batch is a no-op recompression.
+	ic.Observe(nil)
+	if ic.Pool().Len() != 1 {
+		t.Fatal("empty batch should keep the pool")
+	}
+}

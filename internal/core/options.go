@@ -1,0 +1,131 @@
+// Package core implements ISUM, the paper's contribution: estimating the
+// workload-improvement potential of query subsets via utility + influence
+// (Section 4), the all-pairs greedy algorithm (Section 5), the linear-time
+// summary-feature algorithm (Section 6), and compressed-workload weighing
+// (Section 7).
+package core
+
+import (
+	"isum/internal/catalog"
+	"isum/internal/features"
+)
+
+// Algorithm selects the greedy driver.
+type Algorithm int
+
+const (
+	// SummaryFeatures is the O(k·n) algorithm of Section 6 (Algorithm 3) —
+	// ISUM's default.
+	SummaryFeatures Algorithm = iota
+	// AllPairs is the O(k·n²) algorithm of Section 5 (Algorithms 1–2).
+	AllPairs
+)
+
+// UtilityMode selects how Δ(q), the estimated reduction in cost, is
+// computed (Section 4.1).
+type UtilityMode int
+
+const (
+	// UtilityCostOnly uses Δ(q) = C(q): the query cost as a proxy, shown in
+	// Fig. 5a to correlate strongly with actual reductions. Used when
+	// statistics are unavailable; pairs with rule-based features (ISUM).
+	UtilityCostOnly UtilityMode = iota
+	// UtilityCostSelectivity uses Δ(q) = (1 − Sel(q))·C(q) with Sel the
+	// average filter/join selectivity (Fig. 5b); pairs with stats-based
+	// features (ISUM-S).
+	UtilityCostSelectivity
+)
+
+// UpdateStrategy selects how unselected queries are updated after each
+// greedy selection (Section 4.3, evaluated in Fig. 13).
+type UpdateStrategy int
+
+const (
+	// UpdateFeatureRemove updates the utility and zeroes the features the
+	// selected query covers — the paper's best-performing strategy and the
+	// default.
+	UpdateFeatureRemove UpdateStrategy = iota
+	// UpdateWeightSubtract updates the utility and subtracts the selected
+	// query's feature weights.
+	UpdateWeightSubtract
+	// UpdateUtilityOnly updates only the utility.
+	UpdateUtilityOnly
+	// UpdateNone performs no updates (ablation baseline).
+	UpdateNone
+)
+
+// WeighStrategy selects how the selected queries are weighted before being
+// handed to the tuner (Section 7, evaluated in Fig. 14).
+type WeighStrategy int
+
+const (
+	// WeighTemplateRecalibrated applies template-based utility pooling
+	// (Algorithm 4) followed by recalibrated benefits (Algorithm 5) — the
+	// default.
+	WeighTemplateRecalibrated WeighStrategy = iota
+	// WeighRecalibrated recomputes benefits of the selected queries against
+	// the unselected remainder without template pooling.
+	WeighRecalibrated
+	// WeighSelectionBenefit reuses the conditional benefits observed during
+	// greedy selection.
+	WeighSelectionBenefit
+	// WeighNone assigns uniform weights.
+	WeighNone
+)
+
+// Options configure a Compressor.
+type Options struct {
+	Algorithm Algorithm
+	Utility   UtilityMode
+	Update    UpdateStrategy
+	Weighing  WeighStrategy
+	// FeatureMode selects rule-based (ISUM) or stats-based (ISUM-S) column
+	// weights.
+	FeatureMode features.WeightMode
+	// Norm selects the per-query weight normalisation (NormMax default;
+	// NormMinMaxPaper is the paper-literal variant — see DESIGN.md §5).
+	Norm features.NormMode
+	// UseTableWeight multiplies feature weights by table size
+	// (ISUM-NoTable disables it; Fig. 10).
+	UseTableWeight bool
+}
+
+// DefaultOptions returns ISUM's default configuration: summary features,
+// rule-based weights, cost-only utility, feature-remove updates, template
+// weighing.
+func DefaultOptions() Options {
+	return Options{
+		Algorithm:      SummaryFeatures,
+		Utility:        UtilityCostOnly,
+		Update:         UpdateFeatureRemove,
+		Weighing:       WeighTemplateRecalibrated,
+		FeatureMode:    features.RuleBased,
+		UseTableWeight: true,
+	}
+}
+
+// ISUMSOptions returns the ISUM-S variant: statistics-based feature weights
+// and selectivity-aware utility.
+func ISUMSOptions() Options {
+	o := DefaultOptions()
+	o.FeatureMode = features.StatsBased
+	o.Utility = UtilityCostSelectivity
+	return o
+}
+
+// NoTableOptions returns the ISUM-NoTable ablation of Fig. 10: stats-based
+// weights without the table-size factor.
+func NoTableOptions() Options {
+	o := ISUMSOptions()
+	o.UseTableWeight = false
+	return o
+}
+
+func (o Options) extractor(cat *catalog.Catalog) *features.Extractor {
+	return &features.Extractor{
+		Cat:            cat,
+		Mode:           o.FeatureMode,
+		Norm:           o.Norm,
+		UseTableWeight: o.UseTableWeight,
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"isum/internal/features"
+	"isum/internal/workload"
+)
+
+// QueryState is the mutable per-query state of a greedy run: the current
+// (possibly updated) feature vector and utility, plus the originals for
+// resets and weighing.
+type QueryState struct {
+	// Index is the query's position in the input workload.
+	Index int
+	// Query is the underlying workload query.
+	Query *workload.Query
+
+	// Vec is the current feature vector; mutated by update strategies.
+	Vec features.Vector
+	// Utility is the current (discounted) normalised utility U(q).
+	Utility float64
+
+	// OrigVec and OrigUtility are the values before any updates.
+	OrigVec     features.Vector
+	OrigUtility float64
+
+	// Selected marks membership in the compressed workload.
+	Selected bool
+}
+
+// Similarity returns the weighted-Jaccard similarity between two query
+// states' current features.
+func (s *QueryState) Similarity(t *QueryState) float64 {
+	return features.WeightedJaccard(s.Vec, t.Vec)
+}
+
+// delta computes Δ(q) under the utility mode.
+func delta(q *workload.Query, mode UtilityMode) float64 {
+	switch mode {
+	case UtilityCostSelectivity:
+		sel := 1.0
+		if q.Info != nil {
+			sel = q.Info.AvgFilterJoinSelectivity()
+		}
+		return (1 - sel) * q.Cost
+	default:
+		return q.Cost
+	}
+}
+
+// BuildStates computes the initial per-query states for a workload:
+// feature vectors via the configured extractor and normalised utilities
+// U(q) = Δ(q)/ΣΔ (Definition 2).
+func BuildStates(w *workload.Workload, opts Options) []*QueryState {
+	ex := opts.extractor(w.Catalog)
+	states := make([]*QueryState, len(w.Queries))
+	var totalDelta float64
+	deltas := make([]float64, len(w.Queries))
+	for i, q := range w.Queries {
+		deltas[i] = delta(q, opts.Utility)
+		totalDelta += deltas[i]
+	}
+	for i, q := range w.Queries {
+		u := 0.0
+		if totalDelta > 0 {
+			u = deltas[i] / totalDelta
+		}
+		vec := ex.Features(q)
+		states[i] = &QueryState{
+			Index:       i,
+			Query:       q,
+			Vec:         vec.Clone(),
+			Utility:     u,
+			OrigVec:     vec,
+			OrigUtility: u,
+		}
+	}
+	return states
+}
+
+// applyUpdate updates an unselected query's state given a newly selected
+// query (Section 4.3): the utility always shrinks by the influence
+// F_qs(q) = S(qs,q)·U(q); the features change per the strategy.
+func applyUpdate(sel, q *QueryState, strategy UpdateStrategy) {
+	if strategy == UpdateNone {
+		return
+	}
+	sim := sel.Similarity(q)
+	q.Utility -= q.Utility * sim
+	if q.Utility < 0 {
+		q.Utility = 0
+	}
+	switch strategy {
+	case UpdateWeightSubtract:
+		// Reduce q's feature weights by the selected query's weights,
+		// scaled by similarity (option 1 in Section 4.3).
+		q.Vec.SubClamped(sel.Vec.Clone().Scale(sim))
+	case UpdateFeatureRemove:
+		// Zero the columns covered by the selected query (option 2).
+		q.Vec.ZeroShared(sel.Vec)
+	}
+}
+
+// resetIfAllZero restores original features for unselected queries when
+// every remaining query's features are exhausted (Algorithm 2, line 12).
+// Returns whether a reset happened.
+func resetIfAllZero(states []*QueryState) bool {
+	for _, s := range states {
+		if !s.Selected && !s.Vec.AllZero() {
+			return false
+		}
+	}
+	any := false
+	for _, s := range states {
+		if !s.Selected {
+			s.Vec = s.OrigVec.Clone()
+			any = true
+		}
+	}
+	return any
+}

@@ -1,0 +1,410 @@
+package cost
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"isum/internal/catalog"
+	"isum/internal/index"
+	"isum/internal/workload"
+)
+
+// accessPlan is the chosen single-table access path.
+type accessPlan struct {
+	table    *catalog.Table
+	use      workload.TableUse
+	cost     float64
+	outRows  float64 // rows after local filters
+	idx      *index.Index
+	seekSel  float64  // fraction of the table reached via the seek
+	covering bool     // no base-table lookup needed
+	order    []string // column order the access path delivers (lower-cased)
+}
+
+// blockPlanner plans one SELECT block against a configuration.
+type blockPlanner struct {
+	cat *catalog.Catalog
+	cfg *index.Configuration
+	blk *workload.Block
+	par Params
+
+	// filtersByTable groups the block's filter predicates per base table,
+	// keeping the most selective predicate per column for seek matching.
+	filtersByTable map[string][]workload.FilterPredicate
+}
+
+func planBlock(cat *catalog.Catalog, cfg *index.Configuration, blk *workload.Block, par Params) float64 {
+	p := &blockPlanner{cat: cat, cfg: cfg, blk: blk, par: par}
+	p.groupFilters()
+
+	// Deduplicate table occurrences by name (self-joins cost the same access
+	// path once per occurrence).
+	var plans []*accessPlan
+	for _, tu := range blk.Tables {
+		t := cat.Table(tu.Table)
+		if t == nil {
+			continue
+		}
+		plans = append(plans, p.bestAccess(tu, t))
+	}
+	if len(plans) == 0 {
+		return p.par.CPUTuple // constant block, e.g. SELECT 1
+	}
+
+	total, rows, singleOrder := p.planJoins(plans)
+
+	// Aggregation.
+	groups := rows
+	if len(blk.GroupBy) > 0 {
+		groups = p.estimateGroups(rows)
+		if len(plans) == 1 && orderCovers(singleOrder, blk.GroupBy) {
+			total += p.par.streamAggCost(rows)
+		} else {
+			total += p.par.hashAggCost(rows, groups)
+		}
+		rows = groups
+	} else if blk.HasAgg {
+		total += rows * p.par.CPUOperator
+		rows = 1
+	}
+	if blk.Distinct && len(blk.GroupBy) == 0 {
+		total += p.par.hashAggCost(rows, rows)
+	}
+
+	// Ordering.
+	if len(blk.OrderBy) > 0 {
+		avoided := len(plans) == 1 && len(blk.GroupBy) == 0 && orderCovers(singleOrder, blk.OrderBy)
+		if !avoided {
+			total += p.par.sortCost(rows, p.outputWidth())
+		}
+	}
+	return total
+}
+
+func (p *blockPlanner) groupFilters() {
+	p.filtersByTable = make(map[string][]workload.FilterPredicate)
+	for _, f := range p.blk.Filters {
+		p.filtersByTable[f.Table] = append(p.filtersByTable[f.Table], f)
+	}
+}
+
+// localSelectivity is the combined selectivity of a table's filters.
+func localSelectivity(filters []workload.FilterPredicate) float64 {
+	s := 1.0
+	for _, f := range filters {
+		s *= f.Selectivity
+	}
+	if s < 1e-9 {
+		s = 1e-9
+	}
+	return s
+}
+
+// neededColumns returns the (lower-cased) columns of table needed anywhere in
+// the block, and whether the block needs every column (SELECT *).
+func (p *blockPlanner) neededColumns(table string) ([]string, bool) {
+	if p.blk.SelectStar {
+		return nil, true
+	}
+	seen := map[string]bool{}
+	add := func(cu workload.ColumnUse) {
+		if cu.Table == table {
+			seen[strings.ToLower(cu.Column)] = true
+		}
+	}
+	for _, f := range p.blk.Filters {
+		add(f.ColumnUse)
+	}
+	for _, j := range p.blk.Joins {
+		add(j.Left)
+		add(j.Right)
+	}
+	for _, c := range p.blk.GroupBy {
+		add(c)
+	}
+	for _, c := range p.blk.OrderBy {
+		add(c)
+	}
+	for _, c := range p.blk.Projected {
+		add(c)
+	}
+	cols := make([]string, 0, len(seen))
+	for c := range seen {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	return cols, false
+}
+
+// bestAccess picks the cheapest access path for one table occurrence.
+func (p *blockPlanner) bestAccess(tu workload.TableUse, t *catalog.Table) *accessPlan {
+	filters := p.filtersByTable[tu.Table]
+	localSel := localSelectivity(filters)
+	outRows := rowsAfter(float64(t.RowCount), localSel)
+
+	best := &accessPlan{
+		table:   t,
+		use:     tu,
+		cost:    p.par.scanCost(t),
+		outRows: outRows,
+	}
+	needCols, needAll := p.neededColumns(tu.Table)
+
+	// Most selective predicate per column, for seek matching.
+	bestPred := map[string]workload.FilterPredicate{}
+	for _, f := range filters {
+		c := strings.ToLower(f.Column)
+		if cur, ok := bestPred[c]; !ok || f.Selectivity < cur.Selectivity {
+			bestPred[c] = f
+		}
+	}
+
+	for _, ix := range p.cfg.ForTable(tu.Table) {
+		ix := ix
+		covering := !needAll && ix.Covers(needCols)
+		leaf := leafPages(t, ix)
+
+		// Match a seekable key prefix.
+		seekSel := 1.0
+		matched := 0
+		for _, key := range ix.Keys {
+			f, ok := bestPred[strings.ToLower(key)]
+			if !ok {
+				break
+			}
+			if f.SargableEq {
+				seekSel *= f.Selectivity
+				matched++
+				continue
+			}
+			if f.Kind == workload.PredRange || f.Kind == workload.PredLike {
+				seekSel *= f.Selectivity
+				matched++
+			}
+			break // range terminates the seekable prefix
+		}
+
+		var c float64
+		switch {
+		case matched > 0:
+			matchedRows := rowsAfter(float64(t.RowCount), seekSel)
+			c = p.par.Seek + leaf*seekSel*p.par.SeqPage + matchedRows*p.par.CPUTuple
+			if !covering {
+				c += matchedRows * p.par.RandPage
+			}
+		case covering:
+			// Covering scan of the (narrower) index.
+			c = leaf*p.par.SeqPage + float64(t.RowCount)*p.par.CPUTuple
+		default:
+			continue // index is useless for this block
+		}
+		if c < best.cost {
+			keys := make([]string, len(ix.Keys))
+			for i, k := range ix.Keys {
+				keys[i] = strings.ToLower(k)
+			}
+			best = &accessPlan{
+				table: t, use: tu, cost: c, outRows: outRows,
+				idx: &ix, seekSel: seekSel, covering: covering, order: keys,
+			}
+		}
+	}
+	return best
+}
+
+// leafPages estimates the number of leaf pages in an index on t.
+func leafPages(t *catalog.Table, ix index.Index) float64 {
+	entry := 8
+	for _, name := range ix.AllColumns() {
+		if c := t.Column(name); c != nil {
+			entry += c.Width()
+		} else {
+			entry += 8
+		}
+	}
+	perPage := catalog.PageSizeBytes / entry
+	if perPage < 1 {
+		perPage = 1
+	}
+	pages := float64(t.RowCount) / float64(perPage)
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}
+
+// planJoins performs a greedy left-deep join over the access plans and
+// returns (cost, output rows, delivered order when single-table).
+func (p *blockPlanner) planJoins(plans []*accessPlan) (float64, float64, []string) {
+	if len(plans) == 1 {
+		return plans[0].cost, plans[0].outRows, plans[0].order
+	}
+
+	// Start from the smallest filtered input.
+	sort.Slice(plans, func(i, j int) bool { return plans[i].outRows < plans[j].outRows })
+	joined := map[string]bool{plans[0].use.Table: true}
+	total := plans[0].cost
+	rows := plans[0].outRows
+	remaining := plans[1:]
+
+	for len(remaining) > 0 {
+		// Prefer a connected table; among connected, the one minimising the
+		// joined cardinality.
+		bestIdx := -1
+		bestRows := math.Inf(1)
+		bestConnected := false
+		for i, pl := range remaining {
+			sel, connected := p.joinSelWith(joined, pl.use.Table)
+			outRows := rowsAfter(rows*pl.outRows, sel)
+			if connected && !bestConnected {
+				bestIdx, bestRows, bestConnected = i, outRows, true
+				continue
+			}
+			if connected == bestConnected && outRows < bestRows {
+				bestIdx, bestRows = i, outRows
+			}
+		}
+		pl := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		sel, connected := p.joinSelWith(joined, pl.use.Table)
+
+		if connected {
+			total += p.joinStepCost(rows, pl, sel)
+		} else {
+			// Cross join: materialise the smaller side.
+			total += pl.cost + rows*pl.outRows*p.par.CPUOperator
+		}
+		rows = rowsAfter(rows*pl.outRows, sel)
+		joined[pl.use.Table] = true
+	}
+	return total, rows, nil
+}
+
+// joinSelWith returns the combined selectivity of all join predicates
+// connecting the joined set with table, and whether any exist.
+func (p *blockPlanner) joinSelWith(joined map[string]bool, table string) (float64, bool) {
+	sel := 1.0
+	connected := false
+	for _, j := range p.blk.Joins {
+		lIn, rIn := joined[j.Left.Table], joined[j.Right.Table]
+		if (lIn && j.Right.Table == table) || (rIn && j.Left.Table == table) {
+			sel *= j.Selectivity
+			connected = true
+		}
+	}
+	return sel, connected
+}
+
+// joinStepCost chooses between hash join and index-nested-loop join for
+// bringing pl into a joined set of `outerRows` rows.
+func (p *blockPlanner) joinStepCost(outerRows float64, pl *accessPlan, joinSel float64) float64 {
+	// Hash join: access the inner fully, build on the smaller side.
+	buildRows := math.Min(outerRows, pl.outRows)
+	probeRows := math.Max(outerRows, pl.outRows)
+	hash := pl.cost + buildRows*p.par.CPUOperator*p.par.HashBuild + probeRows*p.par.CPUOperator
+
+	// Index nested loop: needs an index whose leading key is one of the
+	// inner table's join columns.
+	inl := math.Inf(1)
+	joinCols := p.innerJoinColumns(pl.use.Table)
+	needCols, needAll := p.neededColumns(pl.use.Table)
+	localSel := localSelectivity(p.filtersByTable[pl.use.Table])
+	for _, ix := range p.cfg.ForTable(pl.use.Table) {
+		lead := strings.ToLower(ix.LeadingKey())
+		if !joinCols[lead] {
+			continue
+		}
+		covering := !needAll && ix.Covers(needCols)
+		// Matches per probe after the inner's own filters.
+		matchPerProbe := rowsAfter(float64(pl.table.RowCount)*joinSel*localSel, 1)
+		perProbe := p.par.RandPage // descend (mostly cached interior) + leaf
+		if covering {
+			perProbe += matchPerProbe * p.par.CPUTuple
+		} else {
+			perProbe += matchPerProbe * (p.par.RandPage + p.par.CPUTuple)
+		}
+		if c := outerRows * perProbe; c < inl {
+			inl = c
+		}
+	}
+	return math.Min(hash, inl)
+}
+
+// innerJoinColumns returns the join columns on table (lower-cased) across
+// the block's join predicates.
+func (p *blockPlanner) innerJoinColumns(table string) map[string]bool {
+	out := map[string]bool{}
+	for _, j := range p.blk.Joins {
+		if j.Left.Table == table {
+			out[strings.ToLower(j.Left.Column)] = true
+		}
+		if j.Right.Table == table {
+			out[strings.ToLower(j.Right.Column)] = true
+		}
+	}
+	return out
+}
+
+// estimateGroups estimates the number of groups as the capped product of the
+// group-by columns' distinct counts.
+func (p *blockPlanner) estimateGroups(rows float64) float64 {
+	groups := 1.0
+	for _, g := range p.blk.GroupBy {
+		t := p.cat.Table(g.Table)
+		if t == nil {
+			continue
+		}
+		if c := t.Column(g.Column); c != nil && c.DistinctCount > 0 {
+			groups *= float64(c.DistinctCount)
+		} else {
+			groups *= 100
+		}
+		if groups > rows {
+			return rows
+		}
+	}
+	if groups > rows {
+		groups = rows
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	return groups
+}
+
+// outputWidth estimates the sort row width for the block.
+func (p *blockPlanner) outputWidth() int {
+	w := 0
+	for _, cu := range p.blk.Projected {
+		if t := p.cat.Table(cu.Table); t != nil {
+			if c := t.Column(cu.Column); c != nil {
+				w += c.Width()
+			}
+		}
+	}
+	if w == 0 {
+		w = 32
+	}
+	return w
+}
+
+// orderCovers reports whether the delivered order's prefix covers the
+// requested columns (order-insensitive on the requested side: any
+// permutation of a key prefix still allows streaming for group-by, and we
+// accept the same approximation for order-by).
+func orderCovers(order []string, want []workload.ColumnUse) bool {
+	if len(order) < len(want) || len(want) == 0 {
+		return false
+	}
+	prefix := map[string]bool{}
+	for _, c := range order[:len(want)] {
+		prefix[c] = true
+	}
+	for _, cu := range want {
+		if !prefix[strings.ToLower(cu.Column)] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,59 @@
+package cost
+
+import (
+	"sync"
+	"testing"
+
+	"isum/internal/index"
+	"isum/internal/workload"
+)
+
+// TestOptimizerConcurrentCost hammers the what-if cache from many
+// goroutines; run with -race to validate the locking.
+func TestOptimizerConcurrentCost(t *testing.T) {
+	cat := testCatalog()
+	o := NewOptimizer(cat)
+	queries := []string{
+		"SELECT l_comment FROM lineitem WHERE l_orderkey = 5",
+		"SELECT o_totalprice FROM orders WHERE o_custkey = 9",
+		"SELECT c_nationkey FROM customer WHERE c_custkey = 3",
+	}
+	cfgs := []*index.Configuration{
+		nil,
+		index.NewConfiguration(index.New("lineitem", "l_orderkey")),
+		index.NewConfiguration(index.New("orders", "o_custkey"), index.New("customer", "c_custkey")),
+	}
+	// Pre-parse so goroutines never touch testing.T.
+	parsed := make([]*workload.Query, len(queries))
+	for i, sql := range queries {
+		parsed[i] = mustQuery(t, cat, sql)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				q := parsed[(g+i)%len(parsed)]
+				c := o.Cost(q, cfgs[i%len(cfgs)])
+				if c <= 0 {
+					errs <- "non-positive cost"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if o.Calls() != 8*200 {
+		t.Fatalf("calls = %d, want %d", o.Calls(), 8*200)
+	}
+	if o.CostTime() <= 0 {
+		t.Fatal("cost time not recorded")
+	}
+}

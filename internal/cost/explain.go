@@ -1,0 +1,101 @@
+package cost
+
+import (
+	"fmt"
+	"strings"
+
+	"isum/internal/index"
+	"isum/internal/workload"
+)
+
+// TableAccess describes the access path chosen for one table occurrence.
+type TableAccess struct {
+	Table string
+	// Index is nil for a heap scan.
+	Index *index.Index
+	// Covering reports whether the index avoided base-table lookups.
+	Covering bool
+	// SeekSelectivity is the fraction of the index reached by the seek
+	// (1 when the index is scanned or unused for seeking).
+	SeekSelectivity float64
+	// Cost is the access-path cost.
+	Cost float64
+	// OutRows is the estimated row count after local filters.
+	OutRows float64
+}
+
+// String renders the access compactly.
+func (ta TableAccess) String() string {
+	if ta.Index == nil {
+		return fmt.Sprintf("scan %s (%.0f rows)", ta.Table, ta.OutRows)
+	}
+	kind := "seek"
+	if ta.SeekSelectivity >= 1 {
+		kind = "scan"
+	}
+	cov := ""
+	if ta.Covering {
+		cov = ", covering"
+	}
+	return fmt.Sprintf("%s %s%s -> %s (%.0f rows)", kind, ta.Index, cov, ta.Table, ta.OutRows)
+}
+
+// Plan is the optimizer's explanation of one query under a configuration:
+// the chosen access paths per block, plus the total cost. (Join order and
+// method are chosen during costing but not materialised here.)
+type Plan struct {
+	Accesses []TableAccess
+	Total    float64
+}
+
+// IndexesUsed returns the distinct index IDs the plan relies on.
+func (p *Plan) IndexesUsed() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range p.Accesses {
+		if a.Index != nil && !seen[a.Index.ID()] {
+			seen[a.Index.ID()] = true
+			out = append(out, a.Index.ID())
+		}
+	}
+	return out
+}
+
+// String renders the plan as one line per access.
+func (p *Plan) String() string {
+	lines := make([]string, len(p.Accesses))
+	for i, a := range p.Accesses {
+		lines[i] = "  " + a.String()
+	}
+	return fmt.Sprintf("cost %.1f\n%s", p.Total, strings.Join(lines, "\n"))
+}
+
+// Explain returns the access-path choices for q under cfg. It bypasses the
+// cost cache (explains are rare; costs stay cached).
+func (o *Optimizer) Explain(q *workload.Query, cfg *index.Configuration) *Plan {
+	p := &Plan{}
+	if q.Info == nil {
+		return p
+	}
+	for _, blk := range q.Info.Blocks {
+		bp := &blockPlanner{cat: o.cat, cfg: cfg, blk: blk, par: o.par}
+		bp.groupFilters()
+		for _, tu := range blk.Tables {
+			t := o.cat.Table(tu.Table)
+			if t == nil {
+				continue
+			}
+			ap := bp.bestAccess(tu, t)
+			p.Accesses = append(p.Accesses, TableAccess{
+				Table:           tu.Table,
+				Index:           ap.idx,
+				Covering:        ap.covering,
+				SeekSelectivity: ap.seekSel,
+				Cost:            ap.cost,
+				OutRows:         ap.outRows,
+			})
+		}
+	}
+	p.Total = o.Cost(q, cfg)
+	return p
+}

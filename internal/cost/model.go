@@ -1,0 +1,103 @@
+// Package cost implements a cost-based query optimizer over the statistics
+// catalog, with hypothetical-index ("what-if") support.
+//
+// It is the substrate that stands in for the commercial optimizer + what-if
+// API the paper relies on [15]: given a query's bound analysis
+// (workload.Info) and an index configuration, it picks access paths
+// (scan / index seek / covering scan), a greedy left-deep join order with
+// hash vs. index-nested-loop choice, and sort/aggregation costs, and returns
+// an estimated cost in abstract page units. Indexes reduce cost exactly
+// where the paper's intuition says they should: selective filters, join
+// inners, and grouping/ordering.
+package cost
+
+import (
+	"math"
+
+	"isum/internal/catalog"
+)
+
+// Default cost-model constants, in units of one sequential page read.
+// Relative magnitudes follow classic optimizer practice (random I/O ≈ 2-4×
+// sequential, CPU per tuple orders of magnitude below a page read).
+const (
+	// SeqPageCost is the cost of reading one page sequentially.
+	SeqPageCost = 1.0
+	// RandPageCost is the cost of one random page access (index lookups).
+	RandPageCost = 2.5
+	// CPUTupleCost is the CPU cost of processing one row.
+	CPUTupleCost = 0.01
+	// CPUOperatorCost is the CPU cost of one comparison/hash operation.
+	CPUOperatorCost = 0.0025
+	// SeekCost is the fixed cost of descending a B-tree to a leaf.
+	SeekCost = 3.0
+	// HashBuildFactor scales the per-row cost of building a hash table.
+	HashBuildFactor = 1.5
+	// SortMemBudgetBytes is the nominal sort memory before spilling.
+	SortMemBudgetBytes = 64 << 20
+)
+
+// Params are the tunable cost-model constants — the equivalent of an
+// engine's cost GUCs. The zero value is not valid; start from
+// DefaultParams.
+type Params struct {
+	SeqPage            float64
+	RandPage           float64
+	CPUTuple           float64
+	CPUOperator        float64
+	Seek               float64
+	HashBuild          float64
+	SortMemBudgetBytes int64
+}
+
+// DefaultParams returns the package defaults.
+func DefaultParams() Params {
+	return Params{
+		SeqPage:            SeqPageCost,
+		RandPage:           RandPageCost,
+		CPUTuple:           CPUTupleCost,
+		CPUOperator:        CPUOperatorCost,
+		Seek:               SeekCost,
+		HashBuild:          HashBuildFactor,
+		SortMemBudgetBytes: SortMemBudgetBytes,
+	}
+}
+
+// rowsAfter applies a selectivity to a row count with a floor of one row.
+func rowsAfter(rows float64, sel float64) float64 {
+	r := rows * sel
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// scanCost is the cost of a full sequential scan of a table.
+func (p Params) scanCost(t *catalog.Table) float64 {
+	return float64(t.PageCount())*p.SeqPage + float64(t.RowCount)*p.CPUTuple
+}
+
+// sortCost is the n·log n CPU cost of sorting rows, plus spill I/O when the
+// data exceeds the memory budget.
+func (p Params) sortCost(rows float64, rowWidth int) float64 {
+	if rows < 2 {
+		return 0
+	}
+	c := rows * math.Log2(rows) * p.CPUOperator * 2
+	bytes := rows * float64(rowWidth)
+	if bytes > float64(p.SortMemBudgetBytes) {
+		spillPages := bytes / catalog.PageSizeBytes
+		c += 2 * spillPages * p.SeqPage // write + read one spill pass
+	}
+	return c
+}
+
+// hashAggCost is the cost of hash aggregation over rows into groups.
+func (p Params) hashAggCost(rows, groups float64) float64 {
+	return rows*p.CPUOperator*p.HashBuild + groups*p.CPUTuple
+}
+
+// streamAggCost is the cost of aggregation over pre-ordered input.
+func (p Params) streamAggCost(rows float64) float64 {
+	return rows * p.CPUOperator
+}

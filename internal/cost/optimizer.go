@@ -1,0 +1,175 @@
+package cost
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"isum/internal/catalog"
+	"isum/internal/index"
+	"isum/internal/workload"
+)
+
+// Optimizer estimates query costs against hypothetical index configurations
+// — the "what-if" API of Section 2.1. It caches (query, relevant-config)
+// pairs and counts invocations so the advisor can report optimizer-call
+// statistics (Fig. 2).
+type Optimizer struct {
+	cat *catalog.Catalog
+	par Params
+
+	mu        sync.Mutex
+	calls     int64 // what-if invocations (cache hits included)
+	plans     int64 // actual plan computations (cache misses)
+	costNanos int64 // wall time spent inside Cost (Fig. 2's optimizer share)
+	// cache is keyed by query text, so copies of a Query (e.g. weighted
+	// compressed-workload entries) share cost entries.
+	cache map[string]map[string]float64
+}
+
+// NewOptimizer returns a what-if optimizer over the catalog.
+func NewOptimizer(cat *catalog.Catalog) *Optimizer {
+	return NewOptimizerWithParams(cat, DefaultParams())
+}
+
+// NewOptimizerWithParams returns an optimizer with custom cost-model
+// constants — the ablation/calibration path.
+func NewOptimizerWithParams(cat *catalog.Catalog, par Params) *Optimizer {
+	return &Optimizer{
+		cat:   cat,
+		par:   par,
+		cache: make(map[string]map[string]float64),
+	}
+}
+
+// Params returns the optimizer's cost-model constants.
+func (o *Optimizer) Params() Params { return o.par }
+
+// Catalog returns the optimizer's catalog.
+func (o *Optimizer) Catalog() *catalog.Catalog { return o.cat }
+
+// Cost returns the estimated cost of q under the given (hypothetical)
+// configuration. A nil configuration means the current design (no secondary
+// indexes).
+func (o *Optimizer) Cost(q *workload.Query, cfg *index.Configuration) float64 {
+	start := time.Now()
+	defer func() {
+		o.mu.Lock()
+		o.costNanos += time.Since(start).Nanoseconds()
+		o.mu.Unlock()
+	}()
+	key := o.relevantFingerprint(q, cfg)
+
+	o.mu.Lock()
+	o.calls++
+	if perQ, ok := o.cache[q.Text]; ok {
+		if c, ok := perQ[key]; ok {
+			o.mu.Unlock()
+			return c
+		}
+	}
+	o.plans++
+	o.mu.Unlock()
+
+	c := o.computeCost(q, cfg)
+
+	o.mu.Lock()
+	perQ, ok := o.cache[q.Text]
+	if !ok {
+		perQ = make(map[string]float64)
+		o.cache[q.Text] = perQ
+	}
+	perQ[key] = c
+	o.mu.Unlock()
+	return c
+}
+
+// WorkloadCost returns the weighted cost Σ w(q)·C(q) of the workload under
+// the configuration.
+func (o *Optimizer) WorkloadCost(w *workload.Workload, cfg *index.Configuration) float64 {
+	var total float64
+	for _, q := range w.Queries {
+		wt := q.Weight
+		if wt <= 0 {
+			wt = 1
+		}
+		total += wt * o.Cost(q, cfg)
+	}
+	return total
+}
+
+// FillCosts sets each query's Cost field to its cost under the current
+// physical design (empty configuration) — producing the "input workload
+// with optimizer estimated costs" the paper's problem statement assumes.
+func (o *Optimizer) FillCosts(w *workload.Workload) {
+	for _, q := range w.Queries {
+		q.Cost = o.Cost(q, nil)
+	}
+}
+
+// Calls returns the number of what-if invocations so far.
+func (o *Optimizer) Calls() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.calls
+}
+
+// Plans returns the number of cache-miss plan computations so far.
+func (o *Optimizer) Plans() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.plans
+}
+
+// CostTime returns the cumulative wall time spent inside Cost — the
+// "time on optimizer calls" series of Fig. 2a.
+func (o *Optimizer) CostTime() time.Duration {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return time.Duration(o.costNanos)
+}
+
+// ResetCounters zeroes the call counters and timers (the cache is
+// retained).
+func (o *Optimizer) ResetCounters() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.calls, o.plans, o.costNanos = 0, 0, 0
+}
+
+// computeCost plans every block of the query and sums their costs.
+func (o *Optimizer) computeCost(q *workload.Query, cfg *index.Configuration) float64 {
+	if q.Info == nil {
+		return 0
+	}
+	var total float64
+	for _, blk := range q.Info.Blocks {
+		total += planBlock(o.cat, cfg, blk, o.par)
+	}
+	if total <= 0 {
+		total = o.par.CPUTuple
+	}
+	return total
+}
+
+// relevantFingerprint narrows the configuration to indexes on tables the
+// query references, so cache entries are reused across configurations that
+// differ only on irrelevant tables — the same trick commercial advisors use
+// to suppress redundant what-if calls.
+func (o *Optimizer) relevantFingerprint(q *workload.Query, cfg *index.Configuration) string {
+	if cfg == nil || cfg.Len() == 0 || q.Info == nil {
+		return ""
+	}
+	var ids []string
+	for _, t := range q.Info.Tables {
+		for _, ix := range cfg.ForTable(t) {
+			ids = append(ids, ix.ID())
+		}
+	}
+	if len(ids) == 0 {
+		return ""
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ";")
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"isum/internal/benchmarks"
+	"isum/internal/compress"
+	"isum/internal/core"
+	"isum/internal/cost"
+)
+
+// freshOptimizer returns a new optimizer over a generator's catalog.
+func freshOptimizer(g *benchmarks.Generator) *cost.Optimizer {
+	return cost.NewOptimizer(g.Cat)
+}
+
+// Fig11 reproduces Figure 11: improvement (a, b) and compression time
+// (c, d) of the summary-features algorithm vs the all-pairs greedy and
+// k-medoid [11] as the input workload grows, on TPC-H and Real-M.
+func Fig11(env *Env) []*Table {
+	sizes := []int{64, 256, 512, 1024, 2048}
+	if env.Cfg.Fast {
+		sizes = []int{32, 64, 128}
+	}
+	apOpts := core.DefaultOptions()
+	apOpts.Algorithm = core.AllPairs
+	algos := []compress.Compressor{
+		core.New(apOpts),
+		&compress.KMedoid{Seed: env.Cfg.Seed},
+		core.New(core.DefaultOptions()),
+	}
+
+	var tables []*Table
+	for _, name := range []string{"TPC-H", "Real-M"} {
+		g := env.Generator(name)
+		imp := &Table{
+			Title:   fmt.Sprintf("Fig 11a/b (%s): improvement %% vs input size", name),
+			Columns: append([]string{"n"}, compNames(algos)...),
+		}
+		tm := &Table{
+			Title:   fmt.Sprintf("Fig 11c/d (%s): compression time (ms) vs input size", name),
+			Columns: append([]string{"n"}, compNames(algos)...),
+		}
+		for _, n := range sizes {
+			w, err := g.Workload(n, env.Cfg.Seed)
+			if err != nil {
+				panic(err)
+			}
+			o := freshOptimizer(g)
+			o.FillCosts(w)
+			k := halfSqrt(n)
+			aopts := env.AdvisorOptions(name)
+			impRow := []any{n}
+			tmRow := []any{n}
+			for _, algo := range algos {
+				res := algo.Compress(w, k)
+				tmRow = append(tmRow, float64(res.Elapsed.Microseconds())/1000)
+				cw := w.WeightedSubset(res.Indices, res.Weights)
+				tuned := advisorTune(o, cw, aopts)
+				pct, _, _ := evaluate(o, w, tuned)
+				impRow = append(impRow, pct)
+			}
+			imp.AddRow(impRow...)
+			tm.AddRow(tmRow...)
+		}
+		tables = append(tables, imp, tm)
+	}
+	return tables
+}

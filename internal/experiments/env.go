@@ -1,0 +1,217 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 8) over the repository's substrates: the benchmark
+// generators, the what-if optimizer, the DTA/DEXTER-style advisors, ISUM
+// and the baseline compressors. See DESIGN.md §3 for the experiment index
+// and EXPERIMENTS.md for recorded results.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"isum/internal/advisor"
+	"isum/internal/benchmarks"
+	"isum/internal/compress"
+	"isum/internal/core"
+	"isum/internal/cost"
+	"isum/internal/index"
+	"isum/internal/workload"
+)
+
+// Config scopes an experiment run.
+type Config struct {
+	// Scale is the benchmark scale factor (the paper uses 10). It affects
+	// only catalog statistics, not runtime.
+	Scale float64
+	// Seed drives workload parameter generation.
+	Seed int64
+	// Fast shrinks workload sizes (used by tests and quick runs); the full
+	// sizes are the paper's Table 2 values.
+	Fast bool
+}
+
+// DefaultConfig returns the paper-faithful configuration.
+func DefaultConfig() Config { return Config{Scale: 10, Seed: 1} }
+
+// FastConfig returns a configuration sized for minutes, not hours.
+func FastConfig() Config { return Config{Scale: 10, Seed: 1, Fast: true} }
+
+// WorkloadSize returns the number of query instances for a benchmark under
+// this config (Table 2 sizes, shrunk 10–20× in Fast mode).
+func (c Config) WorkloadSize(name string) int {
+	full := map[string]int{"TPC-H": 2200, "TPC-DS": 9100, "DSB": 520, "Real-M": 473}
+	fast := map[string]int{"TPC-H": 110, "TPC-DS": 182, "DSB": 104, "Real-M": 95}
+	if c.Fast {
+		return fast[name]
+	}
+	return full[name]
+}
+
+// Env lazily builds and caches benchmark workloads with filled costs.
+type Env struct {
+	Cfg Config
+
+	gens    map[string]*benchmarks.Generator
+	wls     map[string]*workload.Workload
+	opts    map[string]*cost.Optimizer
+	studies map[string]*perQueryStudy
+}
+
+// NewEnv returns an empty environment.
+func NewEnv(cfg Config) *Env {
+	return &Env{
+		Cfg:     cfg,
+		gens:    map[string]*benchmarks.Generator{},
+		wls:     map[string]*workload.Workload{},
+		opts:    map[string]*cost.Optimizer{},
+		studies: map[string]*perQueryStudy{},
+	}
+}
+
+// Generator returns (building on first use) the named benchmark generator.
+func (e *Env) Generator(name string) *benchmarks.Generator {
+	if g, ok := e.gens[name]; ok {
+		return g
+	}
+	var g *benchmarks.Generator
+	switch name {
+	case "TPC-H":
+		g = benchmarks.TPCH(e.Cfg.Scale)
+	case "TPC-DS":
+		g = benchmarks.TPCDS(e.Cfg.Scale)
+	case "DSB":
+		g = benchmarks.DSB(e.Cfg.Scale)
+	case "Real-M":
+		g = benchmarks.RealM(e.Cfg.Seed + 40)
+	default:
+		panic("experiments: unknown benchmark " + name)
+	}
+	e.gens[name] = g
+	return g
+}
+
+// Workload returns (building on first use) the named benchmark workload at
+// the configured size, with optimizer-estimated costs filled — the paper's
+// input-workload contract.
+func (e *Env) Workload(name string) (*workload.Workload, *cost.Optimizer) {
+	if w, ok := e.wls[name]; ok {
+		return w, e.opts[name]
+	}
+	g := e.Generator(name)
+	w, err := g.Workload(e.Cfg.WorkloadSize(name), e.Cfg.Seed)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: building %s workload: %v", name, err))
+	}
+	o := cost.NewOptimizer(g.Cat)
+	o.FillCosts(w)
+	e.wls[name] = w
+	e.opts[name] = o
+	return w, o
+}
+
+// AdvisorOptions returns the default DTA-style tuning constraints used
+// across experiments unless a figure varies them: up to 30 indexes (the
+// paper observes negligible improvement past 30) within 3× database
+// storage (DTA's default budget).
+func (e *Env) AdvisorOptions(name string) advisor.Options {
+	opts := advisor.DefaultOptions()
+	opts.MaxIndexes = 30
+	opts.StorageBudget = 3 * e.Generator(name).Cat.TotalSizeBytes()
+	return opts
+}
+
+// advisorTune tunes a (compressed) workload and returns the configuration.
+func advisorTune(o *cost.Optimizer, w *workload.Workload, aopts advisor.Options) *index.Configuration {
+	return advisor.New(o, aopts).Tune(w).Config
+}
+
+// evaluate returns the improvement % (and before/after costs) of cfg on w.
+func evaluate(o *cost.Optimizer, w *workload.Workload, cfg *index.Configuration) (pct, base, final float64) {
+	return advisor.EvaluateImprovement(o, w, cfg)
+}
+
+// RunPipeline compresses w to k queries with comp, tunes the compressed
+// workload, and returns the improvement % on the full workload — the
+// paper's evaluation metric.
+func RunPipeline(o *cost.Optimizer, w *workload.Workload, comp compress.Compressor, k int, aopts advisor.Options) float64 {
+	res := comp.Compress(w, k)
+	cw := w.WeightedSubset(res.Indices, res.Weights)
+	tuned := advisor.New(o, aopts).Tune(cw)
+	pct, _, _ := advisor.EvaluateImprovement(o, w, tuned.Config)
+	return pct
+}
+
+// StandardCompressors returns the Fig. 9 comparison set: the four baselines
+// plus ISUM and ISUM-S.
+func StandardCompressors(seed int64) []compress.Compressor {
+	return []compress.Compressor{
+		&compress.Uniform{Seed: seed},
+		&compress.CostTopK{},
+		&compress.Stratified{Seed: seed},
+		&compress.GSUM{},
+		core.New(core.DefaultOptions()),
+		core.New(core.ISUMSOptions()),
+	}
+}
+
+// KSweep returns the compressed-size sweep {2, 4, ..., ≤ 2√n} the paper
+// uses in Fig. 9a, capped at maxPoints entries (from the top) in Fast mode.
+func (c Config) KSweep(n int) []int {
+	limit := int(2 * math.Sqrt(float64(n)))
+	var ks []int
+	for k := 2; k <= limit; k *= 2 {
+		ks = append(ks, k)
+	}
+	if len(ks) == 0 {
+		ks = []int{2}
+	}
+	if c.Fast && len(ks) > 4 {
+		ks = ks[len(ks)-4:]
+	}
+	return ks
+}
+
+// Pearson returns the Pearson correlation coefficient of two series.
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0
+	}
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Median returns the median of a series (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64{}, xs...)
+	for i := range cp {
+		for j := i + 1; j < len(cp); j++ {
+			if cp[j] < cp[i] {
+				cp[i], cp[j] = cp[j], cp[i]
+			}
+		}
+	}
+	if len(cp)%2 == 1 {
+		return cp[len(cp)/2]
+	}
+	return (cp[len(cp)/2-1] + cp[len(cp)/2]) / 2
+}

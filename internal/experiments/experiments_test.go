@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func fastEnv() *Env { return NewEnv(FastConfig()) }
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect correlation = %f", got)
+	}
+	inv := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, inv); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation = %f", got)
+	}
+	if Pearson(xs, []float64{1, 1, 1, 1, 1}) != 0 {
+		t.Fatal("constant series should give 0")
+	}
+	if Pearson(xs, ys[:3]) != 0 {
+		t.Fatal("length mismatch should give 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+}
+
+func TestKSweep(t *testing.T) {
+	cfg := Config{}
+	ks := cfg.KSweep(2200)
+	if ks[0] != 2 {
+		t.Fatalf("sweep start = %d", ks[0])
+	}
+	limit := int(2 * math.Sqrt(2200))
+	for _, k := range ks {
+		if k > limit {
+			t.Fatalf("k %d exceeds 2*sqrt(n) = %d", k, limit)
+		}
+	}
+	fast := Config{Fast: true}
+	if got := fast.KSweep(2200); len(got) > 4 {
+		t.Fatalf("fast sweep too long: %v", got)
+	}
+	if got := cfg.KSweep(1); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("degenerate sweep: %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "demo", Columns: []string{"a", "b"}}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x", 3.14159)
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "3.142") {
+		t.Fatalf("render = %q", out)
+	}
+	var csvBuf bytes.Buffer
+	if err := tbl.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csvBuf.String(), "a,b\n") {
+		t.Fatalf("csv = %q", csvBuf.String())
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9a",
+		"fig9b", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"table2", "table3", "extra-norm", "extra-advisor", "extra-incremental"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for _, id := range want {
+		if reg[id] == nil {
+			t.Fatalf("missing experiment %q", id)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Run(fastEnv(), "nope", &buf); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	env := fastEnv()
+	tabs := Table2(env)
+	if len(tabs) != 1 || len(tabs[0].Rows) != 4 {
+		t.Fatalf("table2 = %+v", tabs)
+	}
+}
+
+func TestFig5CorrelationsPositive(t *testing.T) {
+	env := fastEnv()
+	tabs := Fig5(env)
+	for _, row := range tabs[0].Rows {
+		r := parseF(t, row[1])
+		if r < 0.5 {
+			t.Fatalf("utility correlation too weak: %v", row)
+		}
+	}
+}
+
+func TestFig6BenefitBeatsComponents(t *testing.T) {
+	env := fastEnv()
+	tabs := Fig6(env)
+	rows := tabs[0].Rows
+	utility, similarity, benefit := parseF(t, rows[0][1]), parseF(t, rows[1][1]), parseF(t, rows[2][1])
+	// The paper's core claim (Fig. 6): benefit correlates better than either
+	// component alone.
+	if benefit <= utility || benefit <= similarity {
+		t.Fatalf("benefit (%f) should beat utility (%f) and similarity (%f)",
+			benefit, utility, similarity)
+	}
+}
+
+func TestFig8SummaryEstimationTight(t *testing.T) {
+	env := fastEnv()
+	tabs := Fig8(env)
+	for _, row := range tabs[0].Rows {
+		within10 := strings.TrimSuffix(row[2], "%")
+		if v := parseF(t, within10); v < 70 {
+			t.Fatalf("summary estimate too loose: %v", row)
+		}
+	}
+	if len(tabs) != 2 || len(tabs[1].Rows) != 2 {
+		t.Fatalf("fig8b missing: %+v", tabs)
+	}
+}
+
+func TestFig13UpdatesHelp(t *testing.T) {
+	env := fastEnv()
+	tabs := Fig13(env)
+	for _, tab := range tabs {
+		last := tab.Rows[len(tab.Rows)-1] // largest k
+		noUpdate := parseF(t, last[1])
+		featureRemove := parseF(t, last[4])
+		if featureRemove < noUpdate {
+			t.Fatalf("%s: feature-remove (%f) should beat no-update (%f)",
+				tab.Title, featureRemove, noUpdate)
+		}
+	}
+}
+
+func TestFig2CountersGrow(t *testing.T) {
+	env := fastEnv()
+	tabs := Fig2(env)
+	rows := tabs[0].Rows
+	firstCalls, lastCalls := parseF(t, rows[0][3]), parseF(t, rows[len(rows)-1][3])
+	if lastCalls <= firstCalls {
+		t.Fatalf("optimizer calls should grow with workload size: %v", rows)
+	}
+	// Optimizer time should be a substantial share of tuning time at the
+	// largest size (the paper reports 70–80%).
+	if share := parseF(t, rows[len(rows)-1][2]); share < 20 || share > 101 {
+		t.Fatalf("optimizer time share implausible: %f%%", share)
+	}
+}
+
+func TestFig3CompressionApproachesFull(t *testing.T) {
+	env := fastEnv()
+	tabs := Fig3(env)
+	rows := tabs[0].Rows
+	full := parseF(t, rows[len(rows)-1][1])
+	biggestK := parseF(t, rows[len(rows)-2][1])
+	if biggestK < full*0.5 {
+		t.Fatalf("compressed improvement %f too far from full %f", biggestK, full)
+	}
+	// Improvement must be non-decreasing-ish in k (allow small noise).
+	prev := -1.0
+	for _, row := range rows[:len(rows)-1] {
+		v := parseF(t, row[1])
+		if v < prev-10 {
+			t.Fatalf("improvement collapsed with larger k: %v", rows)
+		}
+		prev = v
+	}
+}
+
+// TestFig9aISUMCompetitive runs the heaviest experiment (skipped in -short
+// mode) and asserts the headline claim: ISUM is at or near the top at the
+// largest compressed size on every workload.
+func TestFig9aISUMCompetitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig9a is expensive")
+	}
+	env := fastEnv()
+	tabs := Fig9a(env)
+	if len(tabs) != 4 {
+		t.Fatalf("fig9a tables = %d", len(tabs))
+	}
+	for _, tab := range tabs {
+		last := tab.Rows[len(tab.Rows)-1]
+		// Columns: k, Uniform, Cost, Stratified, GSUM, ISUM, ISUM-S.
+		isum := math.Max(parseF(t, last[5]), parseF(t, last[6]))
+		bestBaseline := 0.0
+		for i := 1; i <= 4; i++ {
+			bestBaseline = math.Max(bestBaseline, parseF(t, last[i]))
+		}
+		if isum < bestBaseline*0.8 {
+			t.Errorf("%s: ISUM (%f) far below best baseline (%f)", tab.Title, isum, bestBaseline)
+		}
+	}
+}
+
+func TestFig15DexterRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig15 is moderately expensive")
+	}
+	env := fastEnv()
+	tabs := Fig15(env)
+	if len(tabs) != 2 {
+		t.Fatalf("fig15 tables = %d", len(tabs))
+	}
+	for _, tab := range tabs {
+		for _, row := range tab.Rows {
+			for _, cell := range row[1:] {
+				if v := parseF(t, cell); v < -1 || v > 100 {
+					t.Fatalf("%s: improvement out of range: %v", tab.Title, row)
+				}
+			}
+		}
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmtSscan(s, &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// fmtSscan parses a float cell, tolerating a trailing '%'.
+func fmtSscan(s string, v *float64) (int, error) {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "%")
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	*v = f
+	return 1, nil
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"isum/internal/advisor"
+	"isum/internal/core"
+	"isum/internal/features"
+)
+
+// The "extra-" experiments are ablations of this implementation's design
+// choices (DESIGN.md §5) beyond the paper's own figures.
+
+// ExtraNormAblation compares feature-normalisation modes: our divide-by-max
+// default, the paper-literal max−min denominator, and no normalisation.
+func ExtraNormAblation(env *Env) []*Table {
+	w, o := env.Workload("TPC-H")
+	aopts := env.AdvisorOptions("TPC-H")
+	modes := []struct {
+		name string
+		m    features.NormMode
+	}{
+		{"divide-by-max (default)", features.NormMax},
+		{"paper max-min", features.NormMinMaxPaper},
+		{"none", features.NormNone},
+	}
+	t := &Table{
+		Title:   "Extra: feature-normalisation ablation (TPC-H)",
+		Columns: []string{"k", modes[0].name, modes[1].name, modes[2].name},
+	}
+	for _, k := range env.Cfg.KSweep(w.Len()) {
+		row := []any{k}
+		for _, m := range modes {
+			opts := core.DefaultOptions()
+			opts.Norm = m.m
+			row = append(row, RunPipeline(o, w, core.New(opts), k, aopts))
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}
+}
+
+// ExtraAdvisorAblation ablates the DTA-style advisor's covering-index and
+// index-merging features when tuning an ISUM-compressed workload.
+func ExtraAdvisorAblation(env *Env) []*Table {
+	w, o := env.Workload("TPC-H")
+	k := halfSqrt(w.Len())
+	comp := core.New(core.DefaultOptions())
+	res := comp.Compress(w, k)
+	cw := w.WeightedSubset(res.Indices, res.Weights)
+
+	variants := []struct {
+		name     string
+		includes bool
+		merging  bool
+	}{
+		{"full (includes+merging)", true, true},
+		{"no merging", true, false},
+		{"no includes", false, true},
+		{"neither", false, false},
+	}
+	t := &Table{
+		Title:   "Extra: advisor feature ablation (TPC-H, ISUM-compressed)",
+		Columns: []string{"variant", "improvement %", "indexes", "configs explored"},
+	}
+	for _, v := range variants {
+		aopts := env.AdvisorOptions("TPC-H")
+		aopts.EnableIncludes = v.includes
+		aopts.EnableMerging = v.merging
+		tuned := advisor.New(o, aopts).Tune(cw)
+		pct, _, _ := advisor.EvaluateImprovement(o, w, tuned.Config)
+		t.AddRow(v.name, pct, tuned.Config.Len(), tuned.ConfigsExplored)
+	}
+	return []*Table{t}
+}
+
+// ExtraIncremental measures the incremental compressor (Section 10) against
+// one-shot compression at equal pool size.
+func ExtraIncremental(env *Env) []*Table {
+	name := "TPC-DS"
+	g := env.Generator(name)
+	n := env.Cfg.WorkloadSize(name)
+	w, err := g.Workload(n, env.Cfg.Seed)
+	if err != nil {
+		panic(err)
+	}
+	o := freshOptimizer(g)
+	o.FillCosts(w)
+	aopts := env.AdvisorOptions(name)
+	k := halfSqrt(n)
+	batches := 5
+
+	t := &Table{
+		Title:   "Extra: incremental vs one-shot compression (TPC-DS)",
+		Columns: []string{"batch", "seen", "incremental improvement %", "one-shot improvement %"},
+	}
+	ic := core.NewIncremental(g.Cat, core.DefaultOptions(), k)
+	per := n / batches
+	oneShot := core.New(core.DefaultOptions())
+	for b := 0; b < batches; b++ {
+		lo, hi := b*per, (b+1)*per
+		if b == batches-1 {
+			hi = n
+		}
+		ic.Observe(w.Queries[lo:hi])
+		seen := w.Subset(rangeInts(0, hi))
+		incTuned := advisorTune(o, ic.Pool(), aopts)
+		incPct, _, _ := evaluate(o, seen, incTuned)
+		osRes := oneShot.Compress(seen, k)
+		osTuned := advisorTune(o, seen.WeightedSubset(osRes.Indices, osRes.Weights), aopts)
+		osPct, _, _ := evaluate(o, seen, osTuned)
+		t.AddRow(b+1, hi, incPct, osPct)
+	}
+	return []*Table{t}
+}
+
+func rangeInts(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

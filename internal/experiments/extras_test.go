@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+func TestExtraNormAblationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("norm ablation runs several pipelines")
+	}
+	env := fastEnv()
+	tabs := ExtraNormAblation(env)
+	if len(tabs) != 1 || len(tabs[0].Rows) == 0 {
+		t.Fatalf("tables = %+v", tabs)
+	}
+	// All three modes should land in the same ballpark at the largest k —
+	// the normalisation deviation is safe (DESIGN.md §5).
+	last := tabs[0].Rows[len(tabs[0].Rows)-1]
+	def, paper := parseF(t, last[1]), parseF(t, last[2])
+	if def < paper-15 {
+		t.Errorf("default normalisation much worse than paper-literal: %f vs %f", def, paper)
+	}
+}
+
+func TestExtraAdvisorAblation(t *testing.T) {
+	env := fastEnv()
+	tabs := ExtraAdvisorAblation(env)
+	rows := tabs[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	full := parseF(t, rows[0][1])
+	neither := parseF(t, rows[3][1])
+	if full < neither {
+		t.Fatalf("full advisor (%f) should beat stripped advisor (%f)", full, neither)
+	}
+}
+
+func TestExtraIncrementalTracksOneShot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("incremental experiment is moderately expensive")
+	}
+	env := fastEnv()
+	tabs := ExtraIncremental(env)
+	rows := tabs[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	last := rows[len(rows)-1]
+	inc, os := parseF(t, last[2]), parseF(t, last[3])
+	if inc < os*0.6 {
+		t.Errorf("incremental (%f) too far below one-shot (%f)", inc, os)
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner produces the tables for one paper figure/table.
+type Runner func(*Env) []*Table
+
+// Registry maps experiment ids to runners — one entry per table and figure
+// in the paper's evaluation.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig2":   Fig2,
+		"fig3":   Fig3,
+		"fig5":   Fig5,
+		"fig6":   Fig6,
+		"fig7":   Fig7,
+		"fig8":   Fig8,
+		"fig9a":  Fig9a,
+		"fig9b":  Fig9b,
+		"fig10":  Fig10,
+		"fig11":  Fig11,
+		"fig12":  Fig12,
+		"fig13":  Fig13,
+		"fig14":  Fig14,
+		"fig15":  Fig15,
+		"table2": Table2,
+		"table3": Table3,
+		// Implementation ablations beyond the paper (DESIGN.md §5).
+		"extra-norm":        ExtraNormAblation,
+		"extra-advisor":     ExtraAdvisorAblation,
+		"extra-incremental": ExtraIncremental,
+	}
+}
+
+// Names returns the registered experiment ids in sorted order.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes one experiment by id and writes its tables to w.
+func Run(env *Env, id string, w io.Writer) error {
+	r, ok := Registry()[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, Names())
+	}
+	for _, t := range r(env) {
+		if err := t.Write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunAll executes every experiment in name order.
+func RunAll(env *Env, w io.Writer) error {
+	for _, id := range Names() {
+		if err := Run(env, id, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"isum/internal/advisor"
+	"isum/internal/core"
+)
+
+// Fig2 reproduces Figure 2: index-tuning time (2a) and configurations
+// explored (2b) as the TPC-DS workload grows — the scalability motivation
+// for workload compression.
+func Fig2(env *Env) []*Table {
+	sizes := []int{1, 20, 40, 60, 80, 92}
+	if env.Cfg.Fast {
+		sizes = []int{1, 8, 16, 24}
+	}
+	g := env.Generator("TPC-DS")
+	t := &Table{
+		Title: "Fig 2: tuning scalability vs workload size (TPC-DS)",
+		Columns: []string{"queries", "tuning time (s)", "optimizer time %",
+			"optimizer calls", "configs explored", "indexes"},
+	}
+	for _, n := range sizes {
+		// Fresh workload and optimizer per point so caches don't flatter the
+		// larger runs.
+		w, err := g.Workload(n, env.Cfg.Seed)
+		if err != nil {
+			panic(err)
+		}
+		o := freshOptimizer(g)
+		o.FillCosts(w)
+		o.ResetCounters()
+		aopts := env.AdvisorOptions("TPC-DS")
+		res := advisor.New(o, aopts).Tune(w)
+		share := 0.0
+		if res.Elapsed > 0 {
+			share = float64(o.CostTime()) / float64(res.Elapsed) * 100
+		}
+		t.AddRow(n, res.Elapsed.Seconds(), share, res.OptimizerCalls, res.ConfigsExplored, res.Config.Len())
+	}
+	return []*Table{t}
+}
+
+// Fig3 reproduces Figure 3: improvement of the compressed workload vs the
+// full workload on 92 distinct TPC-DS queries, including the end-to-end
+// (compression + tuning) time.
+func Fig3(env *Env) []*Table {
+	g := env.Generator("TPC-DS")
+	n := 92
+	if env.Cfg.Fast {
+		n = 46
+	}
+	w, err := g.Workload(n, env.Cfg.Seed)
+	if err != nil {
+		panic(err)
+	}
+	o := freshOptimizer(g)
+	o.FillCosts(w)
+	aopts := env.AdvisorOptions("TPC-DS")
+
+	fullStart := time.Now()
+	fullRes := advisor.New(o, aopts).Tune(w)
+	fullTime := time.Since(fullStart)
+	fullPct, _, _ := advisor.EvaluateImprovement(o, w, fullRes.Config)
+
+	t := &Table{
+		Title:   fmt.Sprintf("Fig 3: compressed vs full workload tuning (TPC-DS, n=%d)", n),
+		Columns: []string{"compressed size", "improvement %", "full-workload improvement %", "total time (s)"},
+	}
+	ks := []int{1, 2, 4, 8, 16, 20, 24}
+	if env.Cfg.Fast {
+		ks = []int{1, 4, 8, 16}
+	}
+	comp := core.New(core.DefaultOptions())
+	for _, k := range ks {
+		start := time.Now()
+		res := comp.Compress(w, k)
+		cw := w.WeightedSubset(res.Indices, res.Weights)
+		tuned := advisor.New(o, aopts).Tune(cw)
+		elapsed := time.Since(start)
+		pct, _, _ := advisor.EvaluateImprovement(o, w, tuned.Config)
+		t.AddRow(k, pct, fullPct, elapsed.Seconds())
+	}
+	t.AddRow("full", fullPct, fullPct, fullTime.Seconds())
+	return []*Table{t}
+}

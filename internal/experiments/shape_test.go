@@ -1,0 +1,135 @@
+package experiments
+
+// Shape tests for the heavier experiments: each asserts the qualitative
+// claim the paper draws from the corresponding figure, in fast mode. They
+// are skipped under -short.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFig9bMoreIndexesHelp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig9b is expensive")
+	}
+	env := fastEnv()
+	tabs := Fig9b(env)
+	if len(tabs) != 4 {
+		t.Fatalf("tables = %d", len(tabs))
+	}
+	// For ISUM (column 5), improvement at the largest configuration size
+	// should be at least that of the smallest (minus noise).
+	for _, tab := range tabs {
+		first := parseF(t, tab.Rows[0][5])
+		last := parseF(t, tab.Rows[len(tab.Rows)-1][5])
+		if last < first-10 {
+			t.Errorf("%s: ISUM degraded with more indexes: %f -> %f", tab.Title, first, last)
+		}
+	}
+}
+
+func TestFig10BudgetsRespectOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig10 is expensive")
+	}
+	env := fastEnv()
+	tabs := Fig10(env)
+	for _, tab := range tabs {
+		// Improvements stay in [0, 100] and ISUM stays competitive at 3x.
+		for _, row := range tab.Rows {
+			for _, cell := range row[1:] {
+				v := parseF(t, cell)
+				if v < -1 || v > 100 {
+					t.Fatalf("%s: out-of-range improvement %v", tab.Title, row)
+				}
+			}
+		}
+		last := tab.Rows[len(tab.Rows)-1]
+		isum := parseF(t, last[5])
+		if isum <= 0 {
+			t.Errorf("%s: ISUM no improvement at 3x budget", tab.Title)
+		}
+	}
+}
+
+func TestFig11SummaryFasterThanAllPairs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig11 is expensive")
+	}
+	env := fastEnv()
+	tabs := Fig11(env)
+	if len(tabs) != 4 {
+		t.Fatalf("tables = %d", len(tabs))
+	}
+	// Time tables are at indices 1 and 3; columns: n, all-pairs, k-medoid,
+	// summary. At the largest n, summary must not be the slowest, and
+	// all-pairs time must grow superlinearly vs the smallest n.
+	for _, ti := range []int{1, 3} {
+		tab := tabs[ti]
+		first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+		nRatio := parseF(t, last[0]) / parseF(t, first[0])
+		apRatio := parseF(t, last[1]) / math.Max(parseF(t, first[1]), 1e-6)
+		if apRatio < nRatio {
+			t.Logf("%s: all-pairs scaled sublinearly at these sizes (ratio %.1f vs n %.1f)",
+				tab.Title, apRatio, nRatio)
+		}
+		summary := parseF(t, last[3])
+		allPairs := parseF(t, last[1])
+		if summary > allPairs*2 {
+			t.Errorf("%s: summary (%.1fms) much slower than all-pairs (%.1fms)",
+				tab.Title, summary, allPairs)
+		}
+	}
+	// Quality: summary within reach of all-pairs at the largest n.
+	for _, ti := range []int{0, 2} {
+		tab := tabs[ti]
+		last := tab.Rows[len(tab.Rows)-1]
+		ap, sum := parseF(t, last[1]), parseF(t, last[3])
+		if sum < ap*0.6 {
+			t.Errorf("%s: summary quality %f too far below all-pairs %f", tab.Title, sum, ap)
+		}
+	}
+}
+
+func TestFig12InstancesSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig12 is expensive")
+	}
+	env := fastEnv()
+	tabs := Fig12(env)
+	if len(tabs) != 4 {
+		t.Fatalf("tables = %d", len(tabs))
+	}
+	// 12a: ISUM (column 5) should not collapse as instances grow.
+	ta := tabs[0]
+	for _, row := range ta.Rows {
+		if v := parseF(t, row[5]); v <= 0 {
+			t.Errorf("Fig12a: ISUM collapsed: %v", row)
+		}
+	}
+	// 12b-d exist for each class and have the full sweep.
+	for _, tab := range tabs[1:] {
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty", tab.Title)
+		}
+	}
+}
+
+func TestFig14WeighingHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig14 is moderately expensive")
+	}
+	env := fastEnv()
+	tabs := Fig14(env)
+	rows := tabs[0].Rows
+	// At the largest k, some weighing strategy should beat "No Weighing"
+	// (the paper's Fig. 14 claim), and template weighing should be at least
+	// competitive with selection-time benefits.
+	last := rows[len(rows)-1]
+	noW := parseF(t, last[1])
+	best := math.Max(math.Max(parseF(t, last[2]), parseF(t, last[3])), parseF(t, last[4]))
+	if best < noW-5 {
+		t.Errorf("weighing should help at large k: none=%f best=%f", noW, best)
+	}
+}

@@ -1,0 +1,19 @@
+package experiments
+
+import "isum/internal/workload"
+
+// Table2 reproduces Table 2: the summary of the four evaluation workloads.
+func Table2(env *Env) []*Table {
+	t := &Table{
+		Title:   "Table 2: workload summary",
+		Columns: []string{"name", "#queries", "#templates", "#tables (schema)", "#tables (referenced)"},
+	}
+	for _, name := range []string{"TPC-H", "TPC-DS", "DSB", "Real-M"} {
+		w, _ := env.Workload(name)
+		g := env.Generator(name)
+		t.AddRow(name, w.Len(), w.NumTemplates(), g.Cat.NumTables(), w.TablesReferenced())
+	}
+	return []*Table{t}
+}
+
+var _ = workload.Fingerprint

@@ -1,0 +1,113 @@
+package features
+
+import (
+	"sort"
+	"strings"
+
+	"isum/internal/workload"
+)
+
+// CandidateIndexIDs enumerates the syntactically-relevant candidate indexes
+// a Table-1-style generator would produce for the query, as canonical ID
+// strings. This powers the "similarity using candidate indexes" baseline of
+// Section 4.2 / Fig. 7; the advisor package has its own (cost-based)
+// candidate selection.
+//
+// Per table: single-column candidates for every indexable column, plus
+// two-column combinations (sel+join, join+sel) and three-column
+// combinations led by an order-by/group-by column, mirroring rules R1–R8.
+func CandidateIndexIDs(info *workload.Info) map[string]bool {
+	type cols struct{ sel, join, group, order []string }
+	byTable := map[string]*cols{}
+	get := func(t string) *cols {
+		c := byTable[t]
+		if c == nil {
+			c = &cols{}
+			byTable[t] = c
+		}
+		return c
+	}
+	add := func(list []string, c string) []string {
+		for _, x := range list {
+			if x == c {
+				return list
+			}
+		}
+		return append(list, c)
+	}
+	for _, f := range info.FilterColumns() {
+		tc := get(f.Table)
+		tc.sel = add(tc.sel, strings.ToLower(f.Column))
+	}
+	for _, j := range info.JoinColumns() {
+		tc := get(j.Table)
+		tc.join = add(tc.join, strings.ToLower(j.Column))
+	}
+	for _, g := range info.GroupByColumns() {
+		tc := get(g.Table)
+		tc.group = add(tc.group, strings.ToLower(g.Column))
+	}
+	for _, o := range info.OrderByColumns() {
+		tc := get(o.Table)
+		tc.order = add(tc.order, strings.ToLower(o.Column))
+	}
+
+	out := map[string]bool{}
+	id := func(t string, keys ...string) string {
+		return t + "(" + strings.Join(keys, ",") + ")"
+	}
+	for t, c := range byTable {
+		sort.Strings(c.sel)
+		sort.Strings(c.join)
+		sort.Strings(c.group)
+		sort.Strings(c.order)
+		for _, s := range c.sel { // R1
+			out[id(t, s)] = true
+		}
+		for _, j := range c.join { // R2
+			out[id(t, j)] = true
+		}
+		for _, g := range c.group {
+			out[id(t, g)] = true
+		}
+		for _, o := range c.order {
+			out[id(t, o)] = true
+		}
+		for _, s := range c.sel {
+			for _, j := range c.join {
+				if s == j {
+					continue
+				}
+				out[id(t, s, j)] = true // R3
+				out[id(t, j, s)] = true // R4
+				for _, o := range c.order {
+					out[id(t, o, s, j)] = true // R5
+					out[id(t, o, j, s)] = true // R7
+				}
+				for _, g := range c.group {
+					out[id(t, g, s, j)] = true // R6
+					out[id(t, g, j, s)] = true // R8
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SetJaccard returns |A∩B| / |A∪B| over two string sets.
+func SetJaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

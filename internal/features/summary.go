@@ -1,0 +1,39 @@
+package features
+
+// Summary computes the workload summary features of Definition 11:
+// V_c = Σ_i q_ic · U(q_i), the utility-weighted sum of the query feature
+// vectors. vecs and utils must be parallel; utilities are expected to be
+// normalised (Σ U = 1) but any non-negative weights work.
+func Summary(vecs []Vector, utils []float64) Vector {
+	out := Vector{}
+	for i, v := range vecs {
+		if i >= len(utils) {
+			break
+		}
+		out.AddScaled(v, utils[i])
+	}
+	return out
+}
+
+// ExcludeFromSummary computes V′, the summary with query i's own
+// contribution removed and the remainder rescaled, per Algorithm 3
+// (line 11):
+//
+//	V′ = (V − q_i·U(q_i)) × totalUtility / (totalUtility − U(q_i))
+//
+// so that S(q_i, V′) measures q_i's influence on the *other* queries. The
+// paper's pseudocode subtracts the unscaled feature vector; we subtract the
+// utility-scaled contribution, which is what makes V′ exactly the summary
+// of W − {q_i} (the pseudocode's version can go negative). When q_i is the
+// only query with utility, V′ is empty.
+func ExcludeFromSummary(v Vector, qv Vector, qUtil, totalUtil float64) Vector {
+	out := v.Clone()
+	scaled := qv.Clone().Scale(qUtil)
+	out.SubClamped(scaled)
+	reduced := totalUtil - qUtil
+	if reduced <= 0 {
+		return Vector{}
+	}
+	out.Scale(totalUtil / reduced)
+	return out
+}

@@ -1,0 +1,124 @@
+// Package features implements ISUM's query featurization (Section 4.2):
+// indexable-column extraction, rule-based and statistics-based column
+// weighting, normalisation, the weighted-Jaccard similarity measure, and
+// workload summary features (Definition 11).
+package features
+
+import "math"
+
+// Vector is a sparse feature vector mapping feature keys ("table.column")
+// to non-negative weights. Absent keys are zero.
+type Vector map[string]float64
+
+// Clone returns a deep copy of the vector.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	for k, w := range v {
+		out[k] = w
+	}
+	return out
+}
+
+// AllZero reports whether the vector has no positive weight.
+func (v Vector) AllZero() bool {
+	for _, w := range v {
+		if w > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum returns the total weight.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, w := range v {
+		s += w
+	}
+	return s
+}
+
+// Scale multiplies every weight by f in place and returns v.
+func (v Vector) Scale(f float64) Vector {
+	for k, w := range v {
+		v[k] = w * f
+	}
+	return v
+}
+
+// AddScaled adds f·other into v in place and returns v.
+func (v Vector) AddScaled(other Vector, f float64) Vector {
+	for k, w := range other {
+		v[k] += w * f
+	}
+	return v
+}
+
+// SubClamped subtracts other from v in place, clamping at zero, and
+// returns v.
+func (v Vector) SubClamped(other Vector) Vector {
+	for k, w := range other {
+		nw := v[k] - w
+		if nw <= 0 {
+			delete(v, k)
+		} else {
+			v[k] = nw
+		}
+	}
+	return v
+}
+
+// ZeroShared removes from v every feature that has positive weight in
+// other — the paper's "feature remove" update strategy (Section 4.3,
+// second option), which empirically beats weight subtraction (Fig. 13).
+func (v Vector) ZeroShared(other Vector) Vector {
+	for k, w := range other {
+		if w > 0 {
+			delete(v, k)
+		}
+	}
+	return v
+}
+
+// WeightedJaccard returns Σ_c min(a_c, b_c) / Σ_c max(a_c, b_c), the
+// similarity measure of Section 4.2. It is 0 when either vector is empty
+// and always lies in [0, 1].
+func WeightedJaccard(a, b Vector) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var minSum, maxSum float64
+	for k, aw := range a {
+		bw := b[k]
+		minSum += math.Min(aw, bw)
+		maxSum += math.Max(aw, bw)
+	}
+	for k, bw := range b {
+		if _, ok := a[k]; !ok {
+			maxSum += bw
+		}
+	}
+	if maxSum == 0 {
+		return 0
+	}
+	return minSum / maxSum
+}
+
+// Jaccard returns the unweighted Jaccard similarity of the key sets
+// (weights ignored), used by the Fig. 7 similarity-measure comparison.
+func Jaccard(a, b Vector) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for k := range a {
+		if _, ok := b[k]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,0 +1,157 @@
+package index
+
+import (
+	"sort"
+	"strings"
+
+	"isum/internal/catalog"
+)
+
+// Configuration is a set of indexes — the unit the advisor enumerates over
+// and the what-if optimizer costs against. The zero value is an empty
+// configuration (base tables only).
+type Configuration struct {
+	byID    map[string]Index
+	byTable map[string][]Index
+}
+
+// NewConfiguration returns a configuration containing the given indexes
+// (duplicates by ID collapse).
+func NewConfiguration(indexes ...Index) *Configuration {
+	c := &Configuration{
+		byID:    make(map[string]Index),
+		byTable: make(map[string][]Index),
+	}
+	for _, ix := range indexes {
+		c.Add(ix)
+	}
+	return c
+}
+
+// Add inserts an index; returns false if an identical index was present.
+func (c *Configuration) Add(ix Index) bool {
+	id := ix.ID()
+	if _, ok := c.byID[id]; ok {
+		return false
+	}
+	c.byID[id] = ix
+	tk := strings.ToLower(ix.Table)
+	c.byTable[tk] = append(c.byTable[tk], ix)
+	return true
+}
+
+// Remove deletes an index by identity; returns whether it was present.
+func (c *Configuration) Remove(ix Index) bool {
+	id := ix.ID()
+	if _, ok := c.byID[id]; !ok {
+		return false
+	}
+	delete(c.byID, id)
+	tk := strings.ToLower(ix.Table)
+	list := c.byTable[tk]
+	for i := range list {
+		if list[i].ID() == id {
+			c.byTable[tk] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Contains reports whether an identical index is present.
+func (c *Configuration) Contains(ix Index) bool {
+	if c == nil {
+		return false
+	}
+	_, ok := c.byID[ix.ID()]
+	return ok
+}
+
+// ForTable returns the indexes on the named table.
+func (c *Configuration) ForTable(table string) []Index {
+	if c == nil {
+		return nil
+	}
+	return c.byTable[strings.ToLower(table)]
+}
+
+// Len returns the number of indexes.
+func (c *Configuration) Len() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.byID)
+}
+
+// Indexes returns all indexes in deterministic (ID-sorted) order.
+func (c *Configuration) Indexes() []Index {
+	if c == nil {
+		return nil
+	}
+	ids := make([]string, 0, len(c.byID))
+	for id := range c.byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Index, len(ids))
+	for i, id := range ids {
+		out[i] = c.byID[id]
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (c *Configuration) Clone() *Configuration {
+	out := NewConfiguration()
+	if c == nil {
+		return out
+	}
+	for _, ix := range c.byID {
+		out.Add(ix)
+	}
+	return out
+}
+
+// Union returns a new configuration containing indexes from both.
+func (c *Configuration) Union(other *Configuration) *Configuration {
+	out := c.Clone()
+	if other != nil {
+		for _, ix := range other.byID {
+			out.Add(ix)
+		}
+	}
+	return out
+}
+
+// With returns a copy with ix added (convenient for what-if probing).
+func (c *Configuration) With(ix Index) *Configuration {
+	out := c.Clone()
+	out.Add(ix)
+	return out
+}
+
+// SizeBytes estimates the total on-disk size of the configuration.
+func (c *Configuration) SizeBytes(cat *catalog.Catalog) int64 {
+	if c == nil {
+		return 0
+	}
+	var n int64
+	for _, ix := range c.byID {
+		n += ix.SizeBytes(cat)
+	}
+	return n
+}
+
+// Fingerprint returns a canonical string identifying the configuration,
+// suitable as a cache key for what-if costing.
+func (c *Configuration) Fingerprint() string {
+	if c == nil || len(c.byID) == 0 {
+		return ""
+	}
+	ids := make([]string, 0, len(c.byID))
+	for id := range c.byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ";")
+}

@@ -1,0 +1,185 @@
+// Package index defines physical index structures: single index definitions
+// (key columns plus included columns), size estimation against a catalog,
+// and Configuration — the set-of-indexes type exchanged between the what-if
+// optimizer (internal/cost) and the index advisor (internal/advisor).
+package index
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"isum/internal/catalog"
+)
+
+// Index is a (hypothetical or materialised) secondary B-tree index: an
+// ordered list of key columns over one table, with optional included
+// (non-key) columns that make the index covering for more queries.
+type Index struct {
+	Table    string
+	Keys     []string // ordered key columns
+	Includes []string // unordered included columns
+}
+
+// New returns an index on table with the given key columns.
+func New(table string, keys ...string) Index {
+	return Index{Table: table, Keys: keys}
+}
+
+// WithIncludes returns a copy of the index with included columns attached
+// (deduplicated against the keys).
+func (ix Index) WithIncludes(cols ...string) Index {
+	keySet := make(map[string]bool, len(ix.Keys))
+	for _, k := range ix.Keys {
+		keySet[strings.ToLower(k)] = true
+	}
+	out := Index{Table: ix.Table, Keys: ix.Keys}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		lc := strings.ToLower(c)
+		if keySet[lc] || seen[lc] {
+			continue
+		}
+		seen[lc] = true
+		out.Includes = append(out.Includes, c)
+	}
+	sort.Strings(out.Includes)
+	return out
+}
+
+// ID returns a canonical identifier for the index: key order matters,
+// include order does not. Two indexes with equal IDs are interchangeable.
+func (ix Index) ID() string {
+	var sb strings.Builder
+	sb.WriteString(strings.ToLower(ix.Table))
+	sb.WriteString("(")
+	for i, k := range ix.Keys {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(strings.ToLower(k))
+	}
+	sb.WriteString(")")
+	if len(ix.Includes) > 0 {
+		inc := make([]string, len(ix.Includes))
+		for i, c := range ix.Includes {
+			inc[i] = strings.ToLower(c)
+		}
+		sort.Strings(inc)
+		sb.WriteString(" include(")
+		sb.WriteString(strings.Join(inc, ","))
+		sb.WriteString(")")
+	}
+	return sb.String()
+}
+
+// String renders the index as a CREATE INDEX-like description.
+func (ix Index) String() string {
+	s := fmt.Sprintf("IDX %s(%s)", ix.Table, strings.Join(ix.Keys, ", "))
+	if len(ix.Includes) > 0 {
+		s += fmt.Sprintf(" INCLUDE(%s)", strings.Join(ix.Includes, ", "))
+	}
+	return s
+}
+
+// LeadingKey returns the first key column, or "".
+func (ix Index) LeadingKey() string {
+	if len(ix.Keys) == 0 {
+		return ""
+	}
+	return ix.Keys[0]
+}
+
+// HasKeyPrefix reports whether cols is a prefix (in order, case-insensitive)
+// of the index keys.
+func (ix Index) HasKeyPrefix(cols []string) bool {
+	if len(cols) > len(ix.Keys) {
+		return false
+	}
+	for i, c := range cols {
+		if !strings.EqualFold(c, ix.Keys[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Covers reports whether every column in cols appears in the index (key or
+// include), i.e. the index can answer a query touching only cols without a
+// base-table lookup.
+func (ix Index) Covers(cols []string) bool {
+	have := make(map[string]bool, len(ix.Keys)+len(ix.Includes))
+	for _, k := range ix.Keys {
+		have[strings.ToLower(k)] = true
+	}
+	for _, c := range ix.Includes {
+		have[strings.ToLower(c)] = true
+	}
+	for _, c := range cols {
+		if !have[strings.ToLower(c)] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllColumns returns keys followed by includes.
+func (ix Index) AllColumns() []string {
+	out := make([]string, 0, len(ix.Keys)+len(ix.Includes))
+	out = append(out, ix.Keys...)
+	out = append(out, ix.Includes...)
+	return out
+}
+
+// SizeBytes estimates the on-disk size of the index given the catalog: leaf
+// pages holding (key + include + rowid) entries for every table row, plus a
+// small interior overhead.
+func (ix Index) SizeBytes(cat *catalog.Catalog) int64 {
+	t := cat.Table(ix.Table)
+	if t == nil {
+		return 0
+	}
+	entry := 8 // rowid
+	for _, name := range ix.AllColumns() {
+		if c := t.Column(name); c != nil {
+			entry += c.Width()
+		} else {
+			entry += 8
+		}
+	}
+	perPage := catalog.PageSizeBytes / entry
+	if perPage < 1 {
+		perPage = 1
+	}
+	leaf := t.RowCount / int64(perPage)
+	if leaf < 1 {
+		leaf = 1
+	}
+	// ~0.5% interior-node overhead, at least one page.
+	interior := leaf/200 + 1
+	return (leaf + interior) * catalog.PageSizeBytes
+}
+
+// Validate checks that the index references existing columns of an existing
+// table and has at least one key.
+func (ix Index) Validate(cat *catalog.Catalog) error {
+	if len(ix.Keys) == 0 {
+		return fmt.Errorf("index: no key columns on table %q", ix.Table)
+	}
+	t := cat.Table(ix.Table)
+	if t == nil {
+		return fmt.Errorf("index: unknown table %q", ix.Table)
+	}
+	seen := map[string]bool{}
+	for _, c := range ix.AllColumns() {
+		lc := strings.ToLower(c)
+		if t.Column(c) == nil {
+			return fmt.Errorf("index: unknown column %s.%s", ix.Table, c)
+		}
+		if seen[lc] {
+			return fmt.Errorf("index: duplicate column %s.%s", ix.Table, c)
+		}
+		seen[lc] = true
+	}
+	return nil
+}

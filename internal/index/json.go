@@ -1,0 +1,41 @@
+package index
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+type jsonIndex struct {
+	Table    string   `json:"table"`
+	Keys     []string `json:"keys"`
+	Includes []string `json:"includes,omitempty"`
+}
+
+// SaveJSON writes the configuration as a JSON array of index definitions,
+// in deterministic order.
+func (c *Configuration) SaveJSON(w io.Writer) error {
+	out := make([]jsonIndex, 0, c.Len())
+	for _, ix := range c.Indexes() {
+		out = append(out, jsonIndex{Table: ix.Table, Keys: ix.Keys, Includes: ix.Includes})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// LoadConfigurationJSON reads a configuration written by SaveJSON.
+func LoadConfigurationJSON(r io.Reader) (*Configuration, error) {
+	var in []jsonIndex
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("index: decoding configuration JSON: %w", err)
+	}
+	cfg := NewConfiguration()
+	for i, ji := range in {
+		if ji.Table == "" || len(ji.Keys) == 0 {
+			return nil, fmt.Errorf("index: entry %d: table and keys are required", i)
+		}
+		cfg.Add(New(ji.Table, ji.Keys...).WithIncludes(ji.Includes...))
+	}
+	return cfg, nil
+}

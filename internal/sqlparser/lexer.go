@@ -1,0 +1,255 @@
+// Package sqlparser implements a hand-written lexer and recursive-descent
+// parser for the SQL subset used by the TPC-H-, TPC-DS-, DSB-, and
+// Real-M-style workloads in this repository: SELECT queries with joins
+// (explicit and comma syntax), WHERE predicates (AND/OR/NOT, comparison,
+// IN, BETWEEN, LIKE, IS NULL, EXISTS), scalar and relational subqueries,
+// CTEs, GROUP BY/HAVING, ORDER BY, and LIMIT/TOP.
+//
+// The parser produces an AST (ast.go) that the workload analyser binds
+// against a catalog to extract indexable columns — the feature space of the
+// ISUM paper (Section 4.2).
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+const (
+	// TokenEOF marks the end of input.
+	TokenEOF TokenKind = iota
+	// TokenIdent is an identifier or non-reserved word.
+	TokenIdent
+	// TokenKeyword is a reserved word (SELECT, FROM, ...).
+	TokenKeyword
+	// TokenNumber is a numeric literal.
+	TokenNumber
+	// TokenString is a single-quoted string literal.
+	TokenString
+	// TokenOp is an operator (=, <>, <=, +, ...).
+	TokenOp
+	// TokenPunct is punctuation: ( ) , . ;
+	TokenPunct
+	// TokenParam is a positional parameter marker '?'.
+	TokenParam
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Pos  int    // byte offset in the input
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true, "TOP": true,
+	"AS": true, "ON": true, "AND": true, "OR": true, "NOT": true, "IN": true,
+	"BETWEEN": true, "LIKE": true, "IS": true, "NULL": true, "EXISTS": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
+	"OUTER": true, "CROSS": true, "DISTINCT": true, "ALL": true, "ANY": true,
+	"SOME": true, "UNION": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "ASC": true, "DESC": true, "WITH": true,
+	"TRUE": true, "FALSE": true, "CAST": true, "INTERVAL": true,
+	"SUBSTRING": true, "EXTRACT": true,
+}
+
+// Lexer tokenises SQL text.
+type Lexer struct {
+	input string
+	pos   int
+}
+
+// NewLexer returns a lexer over the given SQL text.
+func NewLexer(input string) *Lexer { return &Lexer{input: input} }
+
+// Tokenize consumes the entire input and returns all tokens (excluding EOF),
+// or the first lexical error.
+func Tokenize(input string) ([]Token, error) {
+	lx := NewLexer(input)
+	var out []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if tok.Kind == TokenEOF {
+			return out, nil
+		}
+		out = append(out, tok)
+	}
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipSpaceAndComments()
+	if lx.pos >= len(lx.input) {
+		return Token{Kind: TokenEOF, Pos: lx.pos}, nil
+	}
+	start := lx.pos
+	ch := lx.input[lx.pos]
+
+	switch {
+	case isIdentStart(rune(ch)):
+		lx.pos++
+		for lx.pos < len(lx.input) && isIdentPart(rune(lx.input[lx.pos])) {
+			lx.pos++
+		}
+		word := lx.input[start:lx.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return Token{Kind: TokenKeyword, Text: up, Pos: start}, nil
+		}
+		return Token{Kind: TokenIdent, Text: word, Pos: start}, nil
+
+	case ch >= '0' && ch <= '9':
+		return lx.lexNumber(start)
+
+	case ch == '.':
+		// Could be ".5" (number) or a qualifier dot.
+		if lx.pos+1 < len(lx.input) && lx.input[lx.pos+1] >= '0' && lx.input[lx.pos+1] <= '9' {
+			return lx.lexNumber(start)
+		}
+		lx.pos++
+		return Token{Kind: TokenPunct, Text: ".", Pos: start}, nil
+
+	case ch == '\'':
+		return lx.lexString(start)
+
+	case ch == '"' || ch == '`':
+		return lx.lexQuotedIdent(start, ch)
+
+	case ch == '[':
+		return lx.lexQuotedIdent(start, ']') // SQL Server style [ident]
+
+	case ch == '?':
+		lx.pos++
+		return Token{Kind: TokenParam, Text: "?", Pos: start}, nil
+
+	case ch == '(' || ch == ')' || ch == ',' || ch == ';':
+		lx.pos++
+		return Token{Kind: TokenPunct, Text: string(ch), Pos: start}, nil
+
+	default:
+		return lx.lexOperator(start)
+	}
+}
+
+func (lx *Lexer) lexNumber(start int) (Token, error) {
+	seenDot, seenExp := false, false
+	for lx.pos < len(lx.input) {
+		c := lx.input[lx.pos]
+		switch {
+		case c >= '0' && c <= '9':
+			lx.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			lx.pos++
+		case (c == 'e' || c == 'E') && !seenExp && lx.pos > start:
+			seenExp = true
+			lx.pos++
+			if lx.pos < len(lx.input) && (lx.input[lx.pos] == '+' || lx.input[lx.pos] == '-') {
+				lx.pos++
+			}
+		default:
+			return Token{Kind: TokenNumber, Text: lx.input[start:lx.pos], Pos: start}, nil
+		}
+	}
+	return Token{Kind: TokenNumber, Text: lx.input[start:lx.pos], Pos: start}, nil
+}
+
+func (lx *Lexer) lexString(start int) (Token, error) {
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.input) {
+		c := lx.input[lx.pos]
+		if c == '\'' {
+			if lx.pos+1 < len(lx.input) && lx.input[lx.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			return Token{Kind: TokenString, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+		lx.pos++
+	}
+	return Token{}, fmt.Errorf("sqlparser: unterminated string literal at offset %d", start)
+}
+
+func (lx *Lexer) lexQuotedIdent(start int, closer byte) (Token, error) {
+	open := lx.input[lx.pos]
+	if open == '[' {
+		closer = ']'
+	} else {
+		closer = open
+	}
+	lx.pos++
+	idStart := lx.pos
+	for lx.pos < len(lx.input) {
+		if lx.input[lx.pos] == closer {
+			text := lx.input[idStart:lx.pos]
+			lx.pos++
+			return Token{Kind: TokenIdent, Text: text, Pos: start}, nil
+		}
+		lx.pos++
+	}
+	return Token{}, fmt.Errorf("sqlparser: unterminated quoted identifier at offset %d", start)
+}
+
+func (lx *Lexer) lexOperator(start int) (Token, error) {
+	two := ""
+	if lx.pos+2 <= len(lx.input) {
+		two = lx.input[lx.pos : lx.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=", "||":
+		lx.pos += 2
+		return Token{Kind: TokenOp, Text: two, Pos: start}, nil
+	}
+	one := lx.input[lx.pos]
+	switch one {
+	case '=', '<', '>', '+', '-', '*', '/', '%':
+		lx.pos++
+		return Token{Kind: TokenOp, Text: string(one), Pos: start}, nil
+	}
+	return Token{}, fmt.Errorf("sqlparser: unexpected character %q at offset %d", one, start)
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.input) {
+		c := lx.input[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.pos++
+		case c == '-' && lx.pos+1 < len(lx.input) && lx.input[lx.pos+1] == '-':
+			for lx.pos < len(lx.input) && lx.input[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.input) && lx.input[lx.pos+1] == '*':
+			lx.pos += 2
+			for lx.pos+1 < len(lx.input) && !(lx.input[lx.pos] == '*' && lx.input[lx.pos+1] == '/') {
+				lx.pos++
+			}
+			lx.pos += 2
+			if lx.pos > len(lx.input) {
+				lx.pos = len(lx.input)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$' || r == '#'
+}

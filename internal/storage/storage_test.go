@@ -1,0 +1,205 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isum/internal/catalog"
+)
+
+func TestPopulateBasic(t *testing.T) {
+	cat := catalog.New()
+	tbl, err := Populate(cat, TableSpec{
+		Name: "users",
+		Rows: 1_000_000,
+		Columns: []ColumnSpec{
+			{Name: "id", Type: catalog.TypeInt, Dist: &Sequential{}},
+			{Name: "age", Type: catalog.TypeInt, Dist: Uniform{18, 90}},
+			{Name: "score", Type: catalog.TypeFloat, Dist: Normal{50, 10}, NullFraction: 0.1},
+			{Name: "plan", Type: catalog.TypeInt, Dist: Categorical{K: 4, Skew: 1}},
+		},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Table("users") != tbl {
+		t.Fatal("table not registered")
+	}
+	if errs := cat.Validate(); len(errs) > 0 {
+		t.Fatalf("catalog invalid: %v", errs)
+	}
+	id := tbl.Column("id")
+	if id.DistinctCount < 900_000 {
+		t.Fatalf("sequential column should be near-unique: %d", id.DistinctCount)
+	}
+	plan := tbl.Column("plan")
+	if plan.DistinctCount > 10 {
+		t.Fatalf("categorical distinct = %d, want ~4", plan.DistinctCount)
+	}
+	if tbl.Column("score").NullFraction != 0.1 {
+		t.Fatal("null fraction lost")
+	}
+	if got := tbl.Column("age").Hist.TotalRows(); got != 1_000_000 {
+		t.Fatalf("histogram not scaled: %d", got)
+	}
+}
+
+func TestPopulateErrors(t *testing.T) {
+	cat := catalog.New()
+	if _, err := Populate(cat, TableSpec{Name: "x", Rows: -1,
+		Columns: []ColumnSpec{{Name: "a", Dist: Uniform{0, 1}}}}, 1); err == nil {
+		t.Fatal("negative rows should fail")
+	}
+	if _, err := Populate(cat, TableSpec{Name: "x", Rows: 10}, 1); err == nil {
+		t.Fatal("no columns should fail")
+	}
+	if _, err := Populate(cat, TableSpec{Name: "x", Rows: 10,
+		Columns: []ColumnSpec{{Name: "a"}}}, 1); err == nil {
+		t.Fatal("nil distribution should fail")
+	}
+}
+
+func TestUniformSelectivityAccuracy(t *testing.T) {
+	cat := catalog.New()
+	tbl, err := Populate(cat, TableSpec{
+		Name: "t", Rows: 500_000, SampleSize: 20_000,
+		Columns: []ColumnSpec{{Name: "v", Type: catalog.TypeFloat, Dist: Uniform{0, 1000}}},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tbl.Column("v")
+	got := c.RangeSelectivity(0, 250, true, true)
+	if math.Abs(got-0.25) > 0.03 {
+		t.Fatalf("quartile selectivity = %f, want ~0.25", got)
+	}
+}
+
+func TestZipfSkewVisibleInHistogram(t *testing.T) {
+	cat := catalog.New()
+	tbl, err := Populate(cat, TableSpec{
+		Name: "t", Rows: 1_000_000, SampleSize: 30_000,
+		Columns: []ColumnSpec{{Name: "v", Type: catalog.TypeInt, Dist: Zipf{N: 10_000, S: 1.5}}},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tbl.Column("v")
+	low := c.RangeSelectivity(1, 10, true, true)
+	high := c.RangeSelectivity(5000, 10_000, true, true)
+	if low <= high {
+		t.Fatalf("zipf should concentrate at low ranks: low=%f high=%f", low, high)
+	}
+}
+
+func TestEstimateDistinct(t *testing.T) {
+	// All singletons → near-unique: scales with table.
+	if got := EstimateDistinct(1000, 1000, 1000, 1_000_000); got < 900_000 {
+		t.Fatalf("unique column underestimated: %d", got)
+	}
+	// No singletons → domain exhausted: stays at sample distinct.
+	if got := EstimateDistinct(1000, 5, 0, 1_000_000); got != 5 {
+		t.Fatalf("exhausted domain = %d, want 5", got)
+	}
+	// Full table sampled → exact.
+	if got := EstimateDistinct(100, 37, 10, 100); got != 37 {
+		t.Fatalf("full sample = %d", got)
+	}
+	if EstimateDistinct(0, 0, 0, 100) != 0 {
+		t.Fatal("empty sample")
+	}
+	// Clamp at table rows.
+	if got := EstimateDistinct(10, 10, 10, 20); got > 20 {
+		t.Fatalf("clamp failed: %d", got)
+	}
+}
+
+func TestScaleHistogram(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	h := catalog.BuildHistogram(vals, 10)
+	ScaleHistogram(h, 1_000_000)
+	if h.TotalRows() != 1_000_000 {
+		t.Fatalf("rows = %d", h.TotalRows())
+	}
+	var sum int64
+	for _, b := range h.Buckets {
+		sum += b.RowCount
+	}
+	if sum != 1_000_000 {
+		t.Fatalf("bucket sum = %d", sum)
+	}
+	// Shape preserved: mid-range still ~50%.
+	mid := h.RangeFraction(250, 750, true, true)
+	if math.Abs(mid-0.5) > 0.05 {
+		t.Fatalf("shape lost: %f", mid)
+	}
+	ScaleHistogram(nil, 5) // must not panic
+}
+
+func TestDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := Uniform{10, 20}
+	for i := 0; i < 100; i++ {
+		v := u.Sample(rng)
+		if v < 10 || v > 20 {
+			t.Fatalf("uniform out of range: %f", v)
+		}
+	}
+	z := Zipf{N: 100, S: 1.2}
+	for i := 0; i < 100; i++ {
+		v := z.Sample(rng)
+		if v < 1 || v > 100 {
+			t.Fatalf("zipf out of range: %f", v)
+		}
+	}
+	// Degenerate zipf params are clamped, not panicking.
+	bad := Zipf{N: 0, S: 0}
+	_ = bad.Sample(rng)
+
+	seq := &Sequential{}
+	if seq.Sample(rng) != 1 || seq.Sample(rng) != 2 {
+		t.Fatal("sequential broken")
+	}
+
+	c := Categorical{K: 3}
+	seen := map[float64]bool{}
+	for i := 0; i < 200; i++ {
+		seen[c.Sample(rng)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("categorical coverage = %d", len(seen))
+	}
+	if (Categorical{K: 0}).Sample(rng) != 0 {
+		t.Fatal("degenerate categorical")
+	}
+	skewed := Categorical{K: 5, Skew: 2}
+	counts := map[float64]int{}
+	for i := 0; i < 2000; i++ {
+		counts[skewed.Sample(rng)]++
+	}
+	if counts[0] <= counts[4] {
+		t.Fatalf("skew not visible: %v", counts)
+	}
+}
+
+func TestPopulateDeterministic(t *testing.T) {
+	build := func() *catalog.Table {
+		cat := catalog.New()
+		tbl, err := Populate(cat, TableSpec{
+			Name: "t", Rows: 10_000,
+			Columns: []ColumnSpec{{Name: "v", Type: catalog.TypeInt, Dist: Uniform{0, 100}}},
+		}, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	a, b := build(), build()
+	if a.Column("v").DistinctCount != b.Column("v").DistinctCount {
+		t.Fatal("same seed should give identical statistics")
+	}
+}

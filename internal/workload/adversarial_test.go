@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAnalyzeAdversarialSQL feeds structurally hostile (but parseable) SQL
+// through the full parse+bind pipeline and requires graceful handling —
+// no panics, selectivities in range, no phantom columns.
+func TestAnalyzeAdversarialSQL(t *testing.T) {
+	cat := tpchMiniCatalog()
+	cases := []string{
+		// Deeply nested subqueries.
+		`SELECT * FROM orders WHERE o_totalprice > (SELECT AVG(o_totalprice) FROM orders WHERE o_custkey IN (
+			SELECT c_custkey FROM customer WHERE c_nationkey = (SELECT MAX(c_nationkey) FROM customer)))`,
+		// Self-join with aliases.
+		`SELECT a.o_orderkey FROM orders a, orders b WHERE a.o_custkey = b.o_custkey AND a.o_orderkey <> b.o_orderkey`,
+		// Tautologies and contradictions.
+		`SELECT * FROM orders WHERE 1 = 1`,
+		`SELECT * FROM orders WHERE o_custkey = o_custkey`,
+		`SELECT * FROM orders WHERE NOT (NOT (NOT (o_custkey = 5)))`,
+		// Predicates on expressions of multiple columns.
+		`SELECT * FROM lineitem WHERE l_extendedprice / l_quantity > 100`,
+		// Empty IN via subquery, EXISTS of EXISTS.
+		`SELECT * FROM orders WHERE EXISTS (SELECT 1 FROM customer WHERE EXISTS (
+			SELECT 1 FROM lineitem WHERE l_orderkey = o_orderkey))`,
+		// ORDER BY constant and expression.
+		`SELECT o_custkey FROM orders ORDER BY 1`,
+		`SELECT o_custkey FROM orders ORDER BY o_totalprice * -1 DESC`,
+		// CASE everywhere.
+		`SELECT CASE WHEN o_totalprice > 100 THEN 'hi' ELSE 'lo' END FROM orders
+		 WHERE CASE WHEN o_custkey > 5 THEN 1 ELSE 0 END = 1`,
+		// Huge IN list.
+		"SELECT * FROM customer WHERE c_nationkey IN (" + nums(200) + ")",
+		// Cross join, no predicates.
+		`SELECT 1 FROM customer, orders, lineitem`,
+		// GROUP BY expression over column.
+		`SELECT COUNT(*) FROM orders GROUP BY o_totalprice / 1000`,
+		// Reserved-adjacent identifiers via quoting.
+		`SELECT "o_custkey" FROM orders WHERE [o_totalprice] > 5`,
+		// Comparison of two constants.
+		`SELECT * FROM orders WHERE 'a' = 'b'`,
+		// Date arithmetic both sides.
+		`SELECT * FROM orders WHERE o_orderdate + INTERVAL '1' month < '1995-06-01'`,
+	}
+	for _, sql := range cases {
+		q, err := NewQuery(cat, 0, sql)
+		if err != nil {
+			t.Errorf("analyse %q: %v", sql, err)
+			continue
+		}
+		for _, f := range q.Info.Filters {
+			if f.Selectivity <= 0 || f.Selectivity > 1 {
+				t.Errorf("%q: filter selectivity %f out of range", sql, f.Selectivity)
+			}
+			if f.Table == "" || f.Column == "" {
+				t.Errorf("%q: phantom filter %+v", sql, f)
+			}
+		}
+		for _, j := range q.Info.Joins {
+			if j.Selectivity <= 0 || j.Selectivity > 1 {
+				t.Errorf("%q: join selectivity %f out of range", sql, j.Selectivity)
+			}
+		}
+	}
+}
+
+func nums(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("1")
+		sb.WriteByte(byte('0' + i%10))
+	}
+	return sb.String()
+}
+
+// TestSelfJoinSharesPredicates documents the self-join approximation: both
+// aliases map to the base table, so predicates merge per table.
+func TestSelfJoinSharesPredicates(t *testing.T) {
+	cat := tpchMiniCatalog()
+	q, err := NewQuery(cat, 0,
+		`SELECT a.o_orderkey FROM orders a, orders b
+		 WHERE a.o_custkey = b.o_custkey AND b.o_totalprice > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Info.Joins) != 1 {
+		t.Fatalf("joins = %+v", q.Info.Joins)
+	}
+	j := q.Info.Joins[0]
+	if j.Left.Table != "orders" || j.Right.Table != "orders" {
+		t.Fatalf("self-join tables = %+v", j)
+	}
+	// Both table occurrences appear in the block.
+	if len(q.Info.Blocks[0].Tables) != 2 {
+		t.Fatalf("table uses = %+v", q.Info.Blocks[0].Tables)
+	}
+}
+
+// TestZeroAndNegativeCosts ensures downstream consumers tolerate degenerate
+// cost inputs loaded from logs.
+func TestZeroAndNegativeCosts(t *testing.T) {
+	cat := tpchMiniCatalog()
+	w, err := New(cat, []string{
+		"SELECT * FROM orders WHERE o_custkey = 1",
+		"SELECT * FROM orders WHERE o_custkey = 2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Queries[0].Cost = 0
+	w.Queries[1].Cost = -5 // corrupted log entry
+	if got := w.TotalCost(); got != -5 {
+		t.Fatalf("total = %f", got)
+	}
+}

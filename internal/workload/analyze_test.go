@@ -1,0 +1,316 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"isum/internal/catalog"
+)
+
+// tpchMiniCatalog builds a small TPC-H-flavoured catalog used across the
+// workload tests.
+func tpchMiniCatalog() *catalog.Catalog {
+	cat := catalog.New()
+
+	li := catalog.NewTable("lineitem", 6000000)
+	li.AddColumn(&catalog.Column{Name: "l_orderkey", Type: catalog.TypeInt, DistinctCount: 1500000, Min: 1, Max: 6000000})
+	li.AddColumn(&catalog.Column{Name: "l_suppkey", Type: catalog.TypeInt, DistinctCount: 10000, Min: 1, Max: 10000})
+	li.AddColumn(&catalog.Column{Name: "l_quantity", Type: catalog.TypeDecimal, DistinctCount: 50, Min: 1, Max: 50})
+	li.AddColumn(&catalog.Column{Name: "l_extendedprice", Type: catalog.TypeDecimal, DistinctCount: 1000000, Min: 900, Max: 105000})
+	li.AddColumn(&catalog.Column{Name: "l_discount", Type: catalog.TypeDecimal, DistinctCount: 11, Min: 0, Max: 0.1})
+	dmin, _ := ParseDateDays("1992-01-01")
+	dmax, _ := ParseDateDays("1998-12-31")
+	li.AddColumn(&catalog.Column{Name: "l_shipdate", Type: catalog.TypeDate, DistinctCount: 2526, Min: dmin, Max: dmax,
+		Hist: catalog.SyntheticHistogram(dmin, dmax, 6000000, 2526, 50, 0)})
+	li.AddColumn(&catalog.Column{Name: "l_returnflag", Type: catalog.TypeString, DistinctCount: 3})
+	cat.AddTable(li)
+
+	o := catalog.NewTable("orders", 1500000)
+	o.AddColumn(&catalog.Column{Name: "o_orderkey", Type: catalog.TypeInt, DistinctCount: 1500000, Min: 1, Max: 6000000})
+	o.AddColumn(&catalog.Column{Name: "o_custkey", Type: catalog.TypeInt, DistinctCount: 100000, Min: 1, Max: 150000})
+	o.AddColumn(&catalog.Column{Name: "o_orderdate", Type: catalog.TypeDate, DistinctCount: 2406, Min: dmin, Max: dmax,
+		Hist: catalog.SyntheticHistogram(dmin, dmax, 1500000, 2406, 50, 0)})
+	o.AddColumn(&catalog.Column{Name: "o_totalprice", Type: catalog.TypeDecimal, DistinctCount: 1400000, Min: 800, Max: 600000})
+	cat.AddTable(o)
+
+	c := catalog.NewTable("customer", 150000)
+	c.AddColumn(&catalog.Column{Name: "c_custkey", Type: catalog.TypeInt, DistinctCount: 150000, Min: 1, Max: 150000})
+	c.AddColumn(&catalog.Column{Name: "c_mktsegment", Type: catalog.TypeString, DistinctCount: 5})
+	c.AddColumn(&catalog.Column{Name: "c_nationkey", Type: catalog.TypeInt, DistinctCount: 25, Min: 0, Max: 24})
+	cat.AddTable(c)
+
+	return cat
+}
+
+func analyzeSQL(t *testing.T, sql string) *Info {
+	t.Helper()
+	q, err := NewQuery(tpchMiniCatalog(), 0, sql)
+	if err != nil {
+		t.Fatalf("analyze %q: %v", sql, err)
+	}
+	return q.Info
+}
+
+func TestAnalyzeSimpleFilter(t *testing.T) {
+	info := analyzeSQL(t, "SELECT l_quantity FROM lineitem WHERE l_quantity = 10")
+	if len(info.Tables) != 1 || info.Tables[0] != "lineitem" {
+		t.Fatalf("tables = %v", info.Tables)
+	}
+	if len(info.Filters) != 1 {
+		t.Fatalf("filters = %+v", info.Filters)
+	}
+	f := info.Filters[0]
+	if f.Kind != PredEq || f.Column != "l_quantity" || !f.SargableEq {
+		t.Fatalf("filter = %+v", f)
+	}
+	if math.Abs(f.Selectivity-0.02) > 0.001 { // 1/50 distinct
+		t.Fatalf("selectivity = %f, want ~0.02", f.Selectivity)
+	}
+}
+
+func TestAnalyzeAliasResolution(t *testing.T) {
+	info := analyzeSQL(t, "SELECT o.o_totalprice FROM orders o WHERE o.o_custkey = 42")
+	if len(info.Filters) != 1 || info.Filters[0].Table != "orders" {
+		t.Fatalf("filters = %+v", info.Filters)
+	}
+}
+
+func TestAnalyzeJoinExtraction(t *testing.T) {
+	info := analyzeSQL(t, `SELECT * FROM customer, orders WHERE c_custkey = o_custkey AND c_mktsegment = 'BUILDING'`)
+	if len(info.Joins) != 1 {
+		t.Fatalf("joins = %+v", info.Joins)
+	}
+	j := info.Joins[0]
+	keys := j.Left.Key() + "|" + j.Right.Key()
+	if keys != "customer.c_custkey|orders.o_custkey" && keys != "orders.o_custkey|customer.c_custkey" {
+		t.Fatalf("join = %+v", j)
+	}
+	if math.Abs(j.Selectivity-1.0/150000) > 1e-9 {
+		t.Fatalf("join selectivity = %g", j.Selectivity)
+	}
+	if len(info.Filters) != 1 || info.Filters[0].Kind != PredEq {
+		t.Fatalf("filters = %+v", info.Filters)
+	}
+}
+
+func TestAnalyzeExplicitJoinOn(t *testing.T) {
+	info := analyzeSQL(t, `SELECT * FROM customer c JOIN orders o ON c.c_custkey = o.o_custkey`)
+	if len(info.Joins) != 1 {
+		t.Fatalf("joins = %+v", info.Joins)
+	}
+}
+
+func TestAnalyzeDatePredicates(t *testing.T) {
+	info := analyzeSQL(t, `SELECT * FROM orders WHERE o_orderdate >= '1995-01-01' AND o_orderdate < '1996-01-01'`)
+	if len(info.Filters) != 2 {
+		t.Fatalf("filters = %+v", info.Filters)
+	}
+	// A one-year slice of a 7-year domain should be ~1/7 each way.
+	for _, f := range info.Filters {
+		if f.Selectivity <= 0.05 || f.Selectivity >= 0.95 {
+			t.Fatalf("date range selectivity implausible: %+v", f)
+		}
+	}
+}
+
+func TestAnalyzeBetweenInLikeNull(t *testing.T) {
+	info := analyzeSQL(t, `SELECT * FROM lineitem
+		WHERE l_quantity BETWEEN 10 AND 20
+		  AND l_returnflag IN ('A', 'R')
+		  AND l_shipdate IS NOT NULL
+		  AND l_returnflag LIKE 'A%'`)
+	kinds := map[PredKind]int{}
+	for _, f := range info.Filters {
+		kinds[f.Kind]++
+	}
+	if kinds[PredRange] != 1 || kinds[PredIn] != 1 || kinds[PredNull] != 1 || kinds[PredLike] != 1 {
+		t.Fatalf("kinds = %v filters=%+v", kinds, info.Filters)
+	}
+	for _, f := range info.Filters {
+		if f.Kind == PredIn && math.Abs(f.Selectivity-2.0/3.0) > 0.01 {
+			t.Fatalf("IN selectivity = %f, want ~0.667", f.Selectivity)
+		}
+	}
+}
+
+func TestAnalyzeGroupOrderBy(t *testing.T) {
+	info := analyzeSQL(t, `SELECT l_returnflag, SUM(l_quantity) FROM lineitem
+		GROUP BY l_returnflag ORDER BY l_returnflag`)
+	if len(info.GroupByColumns()) != 1 || info.GroupByColumns()[0].Column != "l_returnflag" {
+		t.Fatalf("group by = %+v", info.GroupBy)
+	}
+	if len(info.OrderByColumns()) != 1 {
+		t.Fatalf("order by = %+v", info.OrderBy)
+	}
+	if !info.Blocks[0].HasAgg {
+		t.Fatal("aggregate not detected")
+	}
+}
+
+func TestAnalyzeSubqueryCorrelation(t *testing.T) {
+	info := analyzeSQL(t, `SELECT * FROM orders WHERE EXISTS (
+		SELECT 1 FROM lineitem WHERE l_orderkey = o_orderkey AND l_quantity > 45)`)
+	if len(info.Blocks) != 2 {
+		t.Fatalf("blocks = %d", len(info.Blocks))
+	}
+	// The correlated predicate l_orderkey = o_orderkey resolves across scopes
+	// and lands as a join.
+	if len(info.Joins) != 1 {
+		t.Fatalf("joins = %+v", info.Joins)
+	}
+	if len(info.Filters) != 1 || info.Filters[0].Column != "l_quantity" {
+		t.Fatalf("filters = %+v", info.Filters)
+	}
+}
+
+func TestAnalyzeScalarSubquery(t *testing.T) {
+	info := analyzeSQL(t, `SELECT * FROM orders WHERE o_totalprice > (SELECT AVG(o_totalprice) FROM orders)`)
+	if len(info.Blocks) != 2 {
+		t.Fatalf("blocks = %d", len(info.Blocks))
+	}
+	if len(info.Filters) != 1 || info.Filters[0].Kind != PredRange {
+		t.Fatalf("filters = %+v", info.Filters)
+	}
+}
+
+func TestAnalyzeCTENotBaseTable(t *testing.T) {
+	info := analyzeSQL(t, `WITH big AS (SELECT o_custkey, SUM(o_totalprice) AS tp FROM orders GROUP BY o_custkey)
+		SELECT * FROM big WHERE tp > 1000`)
+	if len(info.Tables) != 1 || info.Tables[0] != "orders" {
+		t.Fatalf("tables = %v", info.Tables)
+	}
+	// tp is a CTE output: no filter should be recorded for it.
+	for _, f := range info.Filters {
+		if f.Column == "tp" {
+			t.Fatalf("CTE output column leaked: %+v", f)
+		}
+	}
+}
+
+func TestAnalyzeDerivedTable(t *testing.T) {
+	info := analyzeSQL(t, `SELECT s.k FROM (SELECT o_custkey AS k FROM orders WHERE o_totalprice > 100000) s WHERE s.k > 5`)
+	if len(info.Blocks) != 2 {
+		t.Fatalf("blocks = %d", len(info.Blocks))
+	}
+	if len(info.Filters) != 1 || info.Filters[0].Column != "o_totalprice" {
+		t.Fatalf("filters = %+v", info.Filters)
+	}
+}
+
+func TestAnalyzeOrSelectivity(t *testing.T) {
+	info := analyzeSQL(t, `SELECT * FROM lineitem WHERE l_quantity = 1 OR l_quantity = 2`)
+	if len(info.Filters) != 2 {
+		t.Fatalf("filters = %+v", info.Filters)
+	}
+}
+
+func TestAnalyzeExpressionFilter(t *testing.T) {
+	// Arithmetic over a column still yields a filter on the lead column.
+	info := analyzeSQL(t, `SELECT * FROM lineitem WHERE l_extendedprice * (1 - l_discount) > 1000`)
+	if len(info.Filters) != 1 || info.Filters[0].Column != "l_extendedprice" {
+		t.Fatalf("filters = %+v", info.Filters)
+	}
+}
+
+func TestAnalyzeDateArithmetic(t *testing.T) {
+	info := analyzeSQL(t, `SELECT * FROM orders WHERE o_orderdate < '1995-01-01' + INTERVAL '3' month`)
+	if len(info.Filters) != 1 {
+		t.Fatalf("filters = %+v", info.Filters)
+	}
+	f := info.Filters[0]
+	if f.Selectivity <= 0 || f.Selectivity >= 1 {
+		t.Fatalf("selectivity = %f", f.Selectivity)
+	}
+}
+
+func TestAnalyzeAvgFilterJoinSelectivity(t *testing.T) {
+	info := analyzeSQL(t, `SELECT * FROM customer, orders WHERE c_custkey = o_custkey AND c_nationkey = 7`)
+	s := info.AvgFilterJoinSelectivity()
+	if s <= 0 || s >= 0.5 {
+		t.Fatalf("avg selectivity = %f", s)
+	}
+	empty := analyzeSQL(t, "SELECT * FROM orders")
+	if empty.AvgFilterJoinSelectivity() != 1 {
+		t.Fatal("no-predicate query should have Sel=1")
+	}
+}
+
+func TestAnalyzeUnion(t *testing.T) {
+	info := analyzeSQL(t, `SELECT o_custkey FROM orders WHERE o_totalprice > 500000
+		UNION ALL SELECT c_custkey FROM customer WHERE c_nationkey = 3`)
+	if len(info.Blocks) != 2 {
+		t.Fatalf("blocks = %d", len(info.Blocks))
+	}
+	if len(info.Tables) != 2 {
+		t.Fatalf("tables = %v", info.Tables)
+	}
+}
+
+func TestAnalyzeUnknownTableIgnored(t *testing.T) {
+	// Tables absent from the catalog are treated as non-base (external)
+	// relations rather than failing: real logs reference temp tables.
+	info := analyzeSQL(t, "SELECT * FROM sometable WHERE x = 1")
+	if len(info.Tables) != 0 || len(info.Filters) != 0 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestAnalyzeQuantified(t *testing.T) {
+	info := analyzeSQL(t, `SELECT * FROM orders WHERE o_totalprice > ALL (SELECT l_extendedprice FROM lineitem WHERE l_quantity = 1)`)
+	if len(info.Blocks) != 2 {
+		t.Fatalf("blocks = %d", len(info.Blocks))
+	}
+	var found bool
+	for _, f := range info.Filters {
+		if f.Column == "o_totalprice" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("quantified filter missing: %+v", info.Filters)
+	}
+}
+
+func TestParseDateDays(t *testing.T) {
+	d, ok := ParseDateDays("1970-01-01")
+	if !ok || d != 0 {
+		t.Fatalf("epoch = %f, %v", d, ok)
+	}
+	d2, ok := ParseDateDays("1970-01-02")
+	if !ok || d2 != 1 {
+		t.Fatalf("epoch+1 = %f", d2)
+	}
+	d3, _ := ParseDateDays("1995-03-15")
+	d4, _ := ParseDateDays("1996-03-15")
+	if d4-d3 != 366 { // 1996 is a leap year
+		t.Fatalf("leap-year diff = %f", d4-d3)
+	}
+	if _, ok := ParseDateDays("BUILDING"); ok {
+		t.Fatal("non-date should not parse")
+	}
+	if _, ok := ParseDateDays("1995-13-01"); ok {
+		t.Fatal("bad month should not parse")
+	}
+	if d, ok := ParseDateDays("1998-12-01 00:00:00"); !ok || d <= 0 {
+		t.Fatal("datetime suffix should parse")
+	}
+}
+
+func TestIntervalDays(t *testing.T) {
+	cases := map[string]float64{
+		"'90' day":    90,
+		"'3' month":   91.32,
+		"'1' year":    365.25,
+		"'2' week":    14,
+		"'1' quarter": 91.31,
+	}
+	for text, want := range cases {
+		got, ok := IntervalDays(text)
+		if !ok || math.Abs(got-want) > 0.5 {
+			t.Fatalf("IntervalDays(%q) = %f, %v; want ~%f", text, got, ok, want)
+		}
+	}
+	if _, ok := IntervalDays("'x' parsec"); ok {
+		t.Fatal("unknown unit should fail")
+	}
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ParseDateDays parses a 'YYYY-MM-DD' literal into a day number (days since
+// 1970-01-01, negative before). Returns ok=false for non-date strings.
+// Date columns store their min/max/histograms in this domain so date
+// predicates get real selectivity estimates.
+func ParseDateDays(s string) (float64, bool) {
+	parts := strings.SplitN(strings.TrimSpace(s), "-", 3)
+	if len(parts) != 3 {
+		return 0, false
+	}
+	y, err1 := strconv.Atoi(parts[0])
+	m, err2 := strconv.Atoi(parts[1])
+	// Allow a trailing time component: '1998-12-01 00:00:00'.
+	dayStr := parts[2]
+	if i := strings.IndexByte(dayStr, ' '); i > 0 {
+		dayStr = dayStr[:i]
+	}
+	d, err3 := strconv.Atoi(dayStr)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, false
+	}
+	if y < 1 || m < 1 || m > 12 || d < 1 || d > 31 {
+		return 0, false
+	}
+	return float64(civilDays(y, m, d)), true
+}
+
+// civilDays converts a civil date to days since the Unix epoch using the
+// standard days-from-civil algorithm (Howard Hinnant).
+func civilDays(y, m, d int) int64 {
+	yy := int64(y)
+	if m <= 2 {
+		yy--
+	}
+	era := yy / 400
+	if yy < 0 {
+		era = (yy - 399) / 400
+	}
+	yoe := yy - era*400
+	mm := int64(m)
+	var doy int64
+	if mm > 2 {
+		doy = (153*(mm-3)+2)/5 + int64(d) - 1
+	} else {
+		doy = (153*(mm+9)+2)/5 + int64(d) - 1
+	}
+	doe := yoe*365 + yoe/4 - yoe/100 + doy
+	return era*146097 + doe - 719468
+}
+
+// IntervalDays converts an INTERVAL literal text like "'3' month" or
+// "'90' day" into an approximate day count.
+func IntervalDays(text string) (float64, bool) {
+	t := strings.TrimSpace(text)
+	t = strings.Trim(t, "'")
+	fields := strings.Fields(strings.ReplaceAll(t, "'", " "))
+	if len(fields) == 0 {
+		return 0, false
+	}
+	n, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, false
+	}
+	unit := "day"
+	if len(fields) > 1 {
+		unit = strings.ToLower(strings.TrimSuffix(fields[1], "s"))
+	}
+	switch unit {
+	case "day":
+		return n, true
+	case "week":
+		return n * 7, true
+	case "month":
+		return n * 30.44, true
+	case "quarter":
+		return n * 91.31, true
+	case "year":
+		return n * 365.25, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"sort"
+	"strings"
+)
+
+// PredKind classifies filter predicates; it determines which Table-1 rule
+// positions a column can occupy (internal/features) and how the cost model
+// treats the predicate.
+type PredKind int
+
+const (
+	// PredEq is an equality comparison with a constant.
+	PredEq PredKind = iota
+	// PredRange is a range comparison (<, <=, >, >=, BETWEEN).
+	PredRange
+	// PredIn is an IN-list or IN-subquery membership test.
+	PredIn
+	// PredLike is a LIKE pattern match.
+	PredLike
+	// PredNull is an IS [NOT] NULL test.
+	PredNull
+)
+
+// String names the predicate kind.
+func (k PredKind) String() string {
+	switch k {
+	case PredEq:
+		return "eq"
+	case PredRange:
+		return "range"
+	case PredIn:
+		return "in"
+	case PredLike:
+		return "like"
+	case PredNull:
+		return "null"
+	default:
+		return "?"
+	}
+}
+
+// ColumnUse is a resolved reference to a base-table column. Table is the
+// base table name (not the alias), lower-cased.
+type ColumnUse struct {
+	Table  string
+	Column string
+}
+
+// Key returns "table.column", the feature identity used throughout ISUM.
+func (c ColumnUse) Key() string { return c.Table + "." + c.Column }
+
+// TableUse is one base-table occurrence in a FROM clause.
+type TableUse struct {
+	Table string // base table name, lower-cased
+	Alias string // alias or table name, lower-cased
+}
+
+// FilterPredicate is one single-table predicate with its estimated
+// selectivity.
+type FilterPredicate struct {
+	ColumnUse
+	Kind        PredKind
+	Selectivity float64
+	// SargableEq reports whether an index seek can directly apply the
+	// predicate (equality/IN with constants); range and LIKE-prefix
+	// predicates are sargable but only as the last seek column.
+	SargableEq bool
+}
+
+// JoinPredicate is one equi-join predicate between two base-table columns
+// (possibly across query blocks, for correlated subqueries).
+type JoinPredicate struct {
+	Left, Right ColumnUse
+	Selectivity float64
+}
+
+// Block is the analysis of one SELECT block (the outer query or a
+// subquery/CTE body): the unit the cost model plans independently.
+type Block struct {
+	Tables    []TableUse
+	Filters   []FilterPredicate
+	Joins     []JoinPredicate
+	GroupBy   []ColumnUse
+	OrderBy   []ColumnUse
+	Projected []ColumnUse // base columns appearing in the SELECT list
+	// SelectStar reports a '*' (or 't.*') projection: the block needs every
+	// column, so no index can be covering for its tables.
+	SelectStar bool
+	Distinct   bool
+	HasAgg     bool
+	Limit      *int64
+}
+
+// Info is the full analysis of a query: its blocks plus flattened views used
+// by feature extraction.
+type Info struct {
+	Blocks []*Block
+
+	// Flattened, deduplicated views across all blocks.
+	Tables  []string // distinct base tables, sorted
+	Filters []FilterPredicate
+	Joins   []JoinPredicate
+	GroupBy []ColumnUse
+	OrderBy []ColumnUse
+}
+
+// flatten fills the aggregate views from Blocks.
+func (info *Info) flatten() {
+	tset := map[string]bool{}
+	for _, b := range info.Blocks {
+		for _, t := range b.Tables {
+			tset[t.Table] = true
+		}
+		info.Filters = append(info.Filters, b.Filters...)
+		info.Joins = append(info.Joins, b.Joins...)
+		info.GroupBy = append(info.GroupBy, b.GroupBy...)
+		info.OrderBy = append(info.OrderBy, b.OrderBy...)
+	}
+	for t := range tset {
+		info.Tables = append(info.Tables, t)
+	}
+	sort.Strings(info.Tables)
+}
+
+// FilterColumns returns the distinct filter columns across all blocks.
+func (info *Info) FilterColumns() []ColumnUse { return dedupCols(filterCols(info.Filters)) }
+
+// JoinColumns returns the distinct join columns (both sides) across blocks.
+func (info *Info) JoinColumns() []ColumnUse {
+	var cols []ColumnUse
+	for _, j := range info.Joins {
+		cols = append(cols, j.Left, j.Right)
+	}
+	return dedupCols(cols)
+}
+
+// GroupByColumns returns the distinct group-by columns.
+func (info *Info) GroupByColumns() []ColumnUse { return dedupCols(info.GroupBy) }
+
+// OrderByColumns returns the distinct order-by columns.
+func (info *Info) OrderByColumns() []ColumnUse { return dedupCols(info.OrderBy) }
+
+// AvgFilterJoinSelectivity returns Sel(q): the mean selectivity across the
+// query's filter and join predicates, used by the utility estimate
+// Δ(q) = (1 − Sel(q))·C(q) (Section 4.1). Returns 1 when the query has no
+// such predicates (no potential for index-driven reduction).
+func (info *Info) AvgFilterJoinSelectivity() float64 {
+	var sum float64
+	var n int
+	for _, f := range info.Filters {
+		sum += f.Selectivity
+		n++
+	}
+	for _, j := range info.Joins {
+		sum += j.Selectivity
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+func filterCols(fs []FilterPredicate) []ColumnUse {
+	out := make([]ColumnUse, len(fs))
+	for i, f := range fs {
+		out[i] = f.ColumnUse
+	}
+	return out
+}
+
+func dedupCols(in []ColumnUse) []ColumnUse {
+	seen := map[string]bool{}
+	var out []ColumnUse
+	for _, c := range in {
+		k := strings.ToLower(c.Key())
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}

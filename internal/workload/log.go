@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"isum/internal/catalog"
+)
+
+// LogEntry is the serialised form of one workload query, mirroring the
+// contract in Section 2.2: query text plus its optimizer-estimated cost,
+// as systems like Query Store would provide.
+type LogEntry struct {
+	SQL    string  `json:"sql"`
+	Cost   float64 `json:"cost"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// Save writes the workload as a JSON array of log entries.
+func (w *Workload) Save(out io.Writer) error {
+	entries := make([]LogEntry, len(w.Queries))
+	for i, q := range w.Queries {
+		entries[i] = LogEntry{SQL: q.Text, Cost: q.Cost, Weight: q.Weight}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}
+
+// LoadSQLScript reads a plain SQL script — statements separated by
+// semicolons, with -- and /* */ comments — and analyses each statement.
+// Costs are left zero (fill them with the optimizer); this is the format
+// benchmarks and migration scripts usually ship in.
+func LoadSQLScript(cat *catalog.Catalog, in io.Reader) (*Workload, error) {
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading script: %w", err)
+	}
+	stmts, err := SplitStatements(string(raw))
+	if err != nil {
+		return nil, err
+	}
+	return New(cat, stmts)
+}
+
+// SplitStatements splits SQL text on top-level semicolons, respecting
+// string literals and comments. Empty statements are dropped.
+func SplitStatements(script string) ([]string, error) {
+	var stmts []string
+	var cur []byte
+	i := 0
+	for i < len(script) {
+		c := script[i]
+		switch {
+		case c == ';':
+			if s := strings.TrimSpace(string(cur)); s != "" {
+				stmts = append(stmts, s)
+			}
+			cur = cur[:0]
+			i++
+		case c == '\'':
+			// Copy the string literal verbatim (with '' escapes).
+			cur = append(cur, c)
+			i++
+			for i < len(script) {
+				cur = append(cur, script[i])
+				if script[i] == '\'' {
+					if i+1 < len(script) && script[i+1] == '\'' {
+						cur = append(cur, '\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+		case c == '-' && i+1 < len(script) && script[i+1] == '-':
+			for i < len(script) && script[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(script) && script[i+1] == '*':
+			i += 2
+			for i+1 < len(script) && !(script[i] == '*' && script[i+1] == '/') {
+				i++
+			}
+			i += 2
+			if i > len(script) {
+				i = len(script)
+			}
+		default:
+			cur = append(cur, c)
+			i++
+		}
+	}
+	if s := strings.TrimSpace(string(cur)); s != "" {
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+// Load reads a JSON workload log and analyses each query against the
+// catalog. Entries with missing weights default to 1.
+func Load(cat *catalog.Catalog, in io.Reader) (*Workload, error) {
+	var entries []LogEntry
+	if err := json.NewDecoder(in).Decode(&entries); err != nil {
+		return nil, fmt.Errorf("workload: decoding log: %w", err)
+	}
+	w := &Workload{Catalog: cat}
+	for i, e := range entries {
+		q, err := NewQuery(cat, i, e.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("workload: entry %d: %w", i, err)
+		}
+		q.Cost = e.Cost
+		if e.Weight > 0 {
+			q.Weight = e.Weight
+		}
+		w.Queries = append(w.Queries, q)
+	}
+	return w, nil
+}

@@ -1,0 +1,146 @@
+// Package workload models SQL workloads for index tuning: queries with their
+// optimizer-estimated costs, template fingerprints, and the bound analysis
+// (tables, filter/join/group-by/order-by columns with selectivities) that
+// both the cost model and ISUM's feature extraction consume.
+//
+// The paper assumes the input workload arrives with optimizer-estimated
+// costs, e.g. harvested from SQL Server's Query Store (Section 2.2); the
+// Load/Save functions in log.go mirror that contract with a JSON format.
+package workload
+
+import (
+	"fmt"
+
+	"isum/internal/catalog"
+	"isum/internal/sqlparser"
+)
+
+// Query is one workload query.
+type Query struct {
+	// ID is the query's position in the workload (stable identifier).
+	ID int
+	// Text is the original SQL.
+	Text string
+	// Stmt is the parsed AST.
+	Stmt *sqlparser.SelectStmt
+	// Cost is the optimizer-estimated cost C(q) under the current physical
+	// design, provided as part of the input workload (Section 2.2).
+	Cost float64
+	// TemplateID fingerprints the query modulo literal values; instances of
+	// the same prepared statement share a TemplateID.
+	TemplateID string
+	// Info is the bound analysis against the catalog.
+	Info *Info
+	// Weight is the query's weight in a (compressed) workload; 1 by default.
+	Weight float64
+}
+
+// Workload is an ordered collection of queries over one catalog.
+type Workload struct {
+	Queries []*Query
+	Catalog *catalog.Catalog
+}
+
+// New builds a workload by parsing and analysing each SQL string against the
+// catalog. Costs are left zero; callers typically fill them via the what-if
+// optimizer or load them from a log.
+func New(cat *catalog.Catalog, sqls []string) (*Workload, error) {
+	w := &Workload{Catalog: cat}
+	for i, sql := range sqls {
+		q, err := NewQuery(cat, i, sql)
+		if err != nil {
+			return nil, fmt.Errorf("workload: query %d: %w", i, err)
+		}
+		w.Queries = append(w.Queries, q)
+	}
+	return w, nil
+}
+
+// NewQuery parses and analyses a single SQL string.
+func NewQuery(cat *catalog.Catalog, id int, sql string) (*Query, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	info, err := Analyze(cat, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{
+		ID:         id,
+		Text:       sql,
+		Stmt:       stmt,
+		TemplateID: Fingerprint(sql),
+		Info:       info,
+		Weight:     1,
+	}, nil
+}
+
+// Len returns the number of queries.
+func (w *Workload) Len() int { return len(w.Queries) }
+
+// TotalCost returns C(W) = Σ C(q_i).
+func (w *Workload) TotalCost() float64 {
+	var c float64
+	for _, q := range w.Queries {
+		c += q.Cost
+	}
+	return c
+}
+
+// Subset returns a new workload containing copies of the queries at the
+// given indices. The copies share the parsed AST and analysis (read-only)
+// but have independent Weight/Cost fields, so weighting a compressed
+// workload never mutates the input workload.
+func (w *Workload) Subset(ids []int) *Workload {
+	out := &Workload{Catalog: w.Catalog}
+	for _, id := range ids {
+		if id >= 0 && id < len(w.Queries) {
+			cp := *w.Queries[id]
+			out.Queries = append(out.Queries, &cp)
+		}
+	}
+	return out
+}
+
+// WeightedSubset returns a new workload of query copies with the given
+// weights — the shape a compression algorithm hands to the index tuner
+// (Problem 1: k queries plus weights w_1..w_k).
+func (w *Workload) WeightedSubset(ids []int, weights []float64) *Workload {
+	out := w.Subset(ids)
+	for i, q := range out.Queries {
+		if i < len(weights) && weights[i] > 0 {
+			q.Weight = weights[i]
+		} else {
+			q.Weight = 1
+		}
+	}
+	return out
+}
+
+// TemplateCounts returns the number of queries per template.
+func (w *Workload) TemplateCounts() map[string]int {
+	out := make(map[string]int)
+	for _, q := range w.Queries {
+		out[q.TemplateID]++
+	}
+	return out
+}
+
+// NumTemplates returns the number of distinct templates.
+func (w *Workload) NumTemplates() int { return len(w.TemplateCounts()) }
+
+// TablesReferenced returns the number of distinct base tables referenced
+// anywhere in the workload.
+func (w *Workload) TablesReferenced() int {
+	seen := map[string]bool{}
+	for _, q := range w.Queries {
+		if q.Info == nil {
+			continue
+		}
+		for _, t := range q.Info.Tables {
+			seen[t] = true
+		}
+	}
+	return len(seen)
+}

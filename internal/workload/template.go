@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"strings"
+
+	"isum/internal/sqlparser"
+)
+
+// Fingerprint returns a canonical template identifier for a SQL string:
+// literals are replaced by '?', identifiers are lower-cased, keywords
+// upper-cased, and whitespace normalised. Two instances of the same prepared
+// statement that differ only in parameter bindings share a fingerprint —
+// the notion of "template" used throughout the paper (Sections 1, 7).
+//
+// Unparseable input falls back to a whitespace-normalised copy so callers
+// can fingerprint raw log lines defensively.
+func Fingerprint(sql string) string {
+	toks, err := sqlparser.Tokenize(sql)
+	if err != nil {
+		return strings.Join(strings.Fields(sql), " ")
+	}
+	parts := make([]string, 0, len(toks))
+	for _, t := range toks {
+		switch t.Kind {
+		case sqlparser.TokenNumber, sqlparser.TokenString, sqlparser.TokenParam:
+			parts = append(parts, "?")
+		case sqlparser.TokenIdent:
+			parts = append(parts, strings.ToLower(t.Text))
+		default:
+			parts = append(parts, t.Text)
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,165 @@
+// Package isum is a from-scratch reproduction of "ISUM: Efficiently
+// Compressing Large and Complex Workloads for Scalable Index Tuning"
+// (SIGMOD 2022): a workload-compression library for index tuning, together
+// with every substrate the paper depends on — a SQL parser, a statistics
+// catalog, a cost-based "what-if" optimizer, DTA- and DEXTER-style index
+// advisors, and the TPC-H / TPC-DS / DSB / Real-M evaluation workloads.
+//
+// This root package is the public façade: it re-exports the library's main
+// types and provides one-call helpers for the common pipeline
+//
+//	workload  →  Compress  →  Tune  →  Evaluate
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// architecture and the paper-experiment index.
+package isum
+
+import (
+	"io"
+
+	"isum/internal/advisor"
+	"isum/internal/benchmarks"
+	"isum/internal/catalog"
+	"isum/internal/core"
+	"isum/internal/cost"
+	"isum/internal/index"
+	"isum/internal/workload"
+)
+
+// Re-exported core types. The implementation lives under internal/; these
+// aliases are the supported public names.
+type (
+	// Catalog holds schema metadata and optimizer statistics.
+	Catalog = catalog.Catalog
+	// Table is one base table with statistics.
+	Table = catalog.Table
+	// Column is one column with statistics.
+	Column = catalog.Column
+	// Workload is an analysed SQL workload with costs.
+	Workload = workload.Workload
+	// Query is one workload query.
+	Query = workload.Query
+	// Index is a (hypothetical) secondary index definition.
+	Index = index.Index
+	// Configuration is a set of indexes.
+	Configuration = index.Configuration
+	// Optimizer is the cost-based what-if optimizer.
+	Optimizer = cost.Optimizer
+	// Compressor runs ISUM workload compression.
+	Compressor = core.Compressor
+	// CompressionResult reports selected queries, weights, and timings.
+	CompressionResult = core.Result
+	// CompressorOptions configure ISUM (algorithm, utility mode, update and
+	// weighing strategies, feature weighting).
+	CompressorOptions = core.Options
+	// Advisor is an index advisor over the what-if optimizer.
+	Advisor = advisor.Advisor
+	// AdvisorOptions configure a tuning run (mode, index count, storage).
+	AdvisorOptions = advisor.Options
+	// TuningResult reports a tuning run.
+	TuningResult = advisor.Result
+	// BenchmarkGenerator produces evaluation workloads (TPC-H, TPC-DS, DSB,
+	// Real-M).
+	BenchmarkGenerator = benchmarks.Generator
+	// IncrementalCompressor maintains a bounded compressed pool over a
+	// query stream (Section 10 extension).
+	IncrementalCompressor = core.Incremental
+	// Plan is the optimizer's per-query access-path explanation.
+	Plan = cost.Plan
+	// WorkloadReport is the DTA-style per-query improvement drill-down.
+	WorkloadReport = advisor.WorkloadReport
+)
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return catalog.New() }
+
+// NewCatalogTable returns an empty table with the given name and row
+// count, ready to receive columns and be added to a catalog.
+func NewCatalogTable(name string, rows int64) *Table { return catalog.NewTable(name, rows) }
+
+// NewWorkload parses and analyses SQL strings against a catalog. Fill the
+// costs with Optimizer.FillCosts or load them from your query store.
+func NewWorkload(cat *Catalog, sqls []string) (*Workload, error) {
+	return workload.New(cat, sqls)
+}
+
+// LoadWorkload reads a JSON query log (text + optimizer-estimated costs,
+// the Section 2.2 contract) and analyses it against the catalog.
+func LoadWorkload(cat *Catalog, r io.Reader) (*Workload, error) {
+	return workload.Load(cat, r)
+}
+
+// LoadSQLScript reads a semicolon-separated SQL script (comments allowed)
+// and analyses it against the catalog; costs are left zero.
+func LoadSQLScript(cat *Catalog, r io.Reader) (*Workload, error) {
+	return workload.LoadSQLScript(cat, r)
+}
+
+// LoadCatalog reads a catalog (schema + statistics) from its JSON export —
+// the "tune with production stats on a test server" workflow.
+func LoadCatalog(r io.Reader) (*Catalog, error) { return catalog.LoadJSON(r) }
+
+// LoadConfiguration reads an index configuration from its JSON export.
+func LoadConfiguration(r io.Reader) (*Configuration, error) {
+	return index.LoadConfigurationJSON(r)
+}
+
+// NewOptimizer returns a what-if optimizer over a catalog.
+func NewOptimizer(cat *Catalog) *Optimizer { return cost.NewOptimizer(cat) }
+
+// DefaultOptions returns ISUM's default configuration (rule-based weights,
+// summary-features algorithm).
+func DefaultOptions() CompressorOptions { return core.DefaultOptions() }
+
+// ISUMSOptions returns the statistics-based ISUM-S variant.
+func ISUMSOptions() CompressorOptions { return core.ISUMSOptions() }
+
+// NewCompressor returns an ISUM compressor.
+func NewCompressor(opts CompressorOptions) *Compressor { return core.New(opts) }
+
+// Compress selects k weighted queries from w using the default ISUM
+// configuration and returns the compressed workload ready for tuning.
+func Compress(w *Workload, k int) (*Workload, *CompressionResult) {
+	return core.New(core.DefaultOptions()).CompressedWorkload(w, k)
+}
+
+// DefaultAdvisorOptions returns DTA-style tuning options.
+func DefaultAdvisorOptions() AdvisorOptions { return advisor.DefaultOptions() }
+
+// DexterAdvisorOptions returns DEXTER-style tuning options.
+func DexterAdvisorOptions() AdvisorOptions { return advisor.DexterOptions() }
+
+// Tune runs the advisor on a (typically compressed, weighted) workload.
+func Tune(o *Optimizer, w *Workload, opts AdvisorOptions) *TuningResult {
+	return advisor.New(o, opts).Tune(w)
+}
+
+// Evaluate returns the improvement % of cfg on w — the paper's metric
+// (C(W) − C_I(W)) / C(W) × 100 — with the before/after costs.
+func Evaluate(o *Optimizer, w *Workload, cfg *Configuration) (pct, before, after float64) {
+	return advisor.EvaluateImprovement(o, w, cfg)
+}
+
+// NewIncremental returns an incremental compressor keeping at most k
+// weighted representatives across Observe calls.
+func NewIncremental(cat *Catalog, opts CompressorOptions, k int) *IncrementalCompressor {
+	return core.NewIncremental(cat, opts, k)
+}
+
+// Explain returns the optimizer's access-path choices for q under cfg.
+func Explain(o *Optimizer, q *Query, cfg *Configuration) *Plan {
+	return o.Explain(q, cfg)
+}
+
+// Report computes the per-query improvement drill-down of cfg on w — the
+// reporting contract commercial advisors expose (Section 10).
+func Report(o *Optimizer, w *Workload, cfg *Configuration) *WorkloadReport {
+	return advisor.Report(o, w, cfg)
+}
+
+// TPCH, TPCDS, DSB, and RealM return the paper's evaluation workload
+// generators (DESIGN.md §1 documents the synthetic substitutions).
+func TPCH(sf float64) *BenchmarkGenerator  { return benchmarks.TPCH(sf) }
+func TPCDS(sf float64) *BenchmarkGenerator { return benchmarks.TPCDS(sf) }
+func DSB(sf float64) *BenchmarkGenerator   { return benchmarks.DSB(sf) }
+func RealM(seed int64) *BenchmarkGenerator { return benchmarks.RealM(seed) }

@@ -1,0 +1,192 @@
+package isum_test
+
+import (
+	"bytes"
+	"strings"
+
+	"testing"
+
+	"isum"
+)
+
+// TestPublicAPIPipeline exercises the façade end to end: generate → cost →
+// compress → tune → evaluate, entirely through the public names.
+func TestPublicAPIPipeline(t *testing.T) {
+	gen := isum.TPCH(1)
+	w, err := gen.Workload(44, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := isum.NewOptimizer(gen.Cat)
+	o.FillCosts(w)
+
+	cw, res := isum.Compress(w, 6)
+	if cw.Len() != 6 || len(res.Weights) != 6 {
+		t.Fatalf("compressed = %d queries", cw.Len())
+	}
+
+	opts := isum.DefaultAdvisorOptions()
+	opts.MaxIndexes = 10
+	tuned := isum.Tune(o, cw, opts)
+	if tuned.Config.Len() == 0 {
+		t.Fatal("no indexes recommended")
+	}
+
+	pct, before, after := isum.Evaluate(o, w, tuned.Config)
+	if pct <= 0 || after >= before {
+		t.Fatalf("no improvement: %f%% (%f -> %f)", pct, before, after)
+	}
+}
+
+// TestPublicAPICustomCatalog checks that a user-built catalog and workload
+// work through the façade.
+func TestPublicAPICustomCatalog(t *testing.T) {
+	cat := isum.NewCatalog()
+	tab := isum.NewCatalogTable("items", 100000)
+	tab.AddColumn(&isum.Column{Name: "id", Type: 0, DistinctCount: 100000, Min: 1, Max: 100000})
+	tab.AddColumn(&isum.Column{Name: "price", Type: 2, DistinctCount: 5000, Min: 0, Max: 1000})
+	cat.AddTable(tab)
+
+	w, err := isum.NewWorkload(cat, []string{
+		"SELECT price FROM items WHERE id = 7",
+		"SELECT id FROM items WHERE price > 900",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	isum.NewOptimizer(cat).FillCosts(w)
+	cw, _ := isum.Compress(w, 1)
+	if cw.Len() != 1 {
+		t.Fatalf("compressed = %d", cw.Len())
+	}
+}
+
+// TestVariantOptions checks the documented variant constructors.
+func TestVariantOptions(t *testing.T) {
+	d := isum.DefaultOptions()
+	s := isum.ISUMSOptions()
+	if d.FeatureMode == s.FeatureMode {
+		t.Fatal("ISUM-S should switch feature mode")
+	}
+	if isum.NewCompressor(d).Name() != "ISUM" || isum.NewCompressor(s).Name() != "ISUM-S" {
+		t.Fatal("variant names wrong")
+	}
+	if isum.DexterAdvisorOptions().MinImprovement != 0.05 {
+		t.Fatal("dexter threshold wrong")
+	}
+}
+
+// TestFacadeExtensions covers Explain, Report, and NewIncremental through
+// the public API.
+func TestFacadeExtensions(t *testing.T) {
+	gen := isum.TPCH(1)
+	w, err := gen.Workload(44, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := isum.NewOptimizer(gen.Cat)
+	o.FillCosts(w)
+
+	cw, _ := isum.Compress(w, 6)
+	opts := isum.DefaultAdvisorOptions()
+	opts.MaxIndexes = 8
+	tuned := isum.Tune(o, cw, opts)
+
+	plan := isum.Explain(o, w.Queries[0], tuned.Config)
+	if plan.Total <= 0 {
+		t.Fatal("plan cost missing")
+	}
+	rep := isum.Report(o, w, tuned.Config)
+	if len(rep.Queries) != w.Len() || rep.ImprovementPct <= 0 {
+		t.Fatalf("report = %d queries, %.1f%%", len(rep.Queries), rep.ImprovementPct)
+	}
+
+	ic := isum.NewIncremental(gen.Cat, isum.DefaultOptions(), 5)
+	ic.Observe(w.Queries[:20])
+	ic.Observe(w.Queries[20:])
+	if ic.Pool().Len() != 5 || ic.Seen() != 44 {
+		t.Fatalf("incremental pool=%d seen=%d", ic.Pool().Len(), ic.Seen())
+	}
+}
+
+// TestAllBenchmarksEndToEnd runs the full pipeline on every benchmark
+// generator through the public API.
+func TestAllBenchmarksEndToEnd(t *testing.T) {
+	gens := []*isum.BenchmarkGenerator{
+		isum.TPCH(1), isum.TPCDS(1), isum.DSB(1), isum.RealM(3),
+	}
+	for _, gen := range gens {
+		gen := gen
+		t.Run(gen.Name, func(t *testing.T) {
+			w, err := gen.Workload(40, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := isum.NewOptimizer(gen.Cat)
+			o.FillCosts(w)
+			cw, _ := isum.Compress(w, 6)
+			opts := isum.DefaultAdvisorOptions()
+			opts.MaxIndexes = 8
+			tuned := isum.Tune(o, cw, opts)
+			pct, _, _ := isum.Evaluate(o, w, tuned.Config)
+			if pct <= 0 {
+				t.Fatalf("%s: no improvement (%f)", gen.Name, pct)
+			}
+			if pct > 100 {
+				t.Fatalf("%s: impossible improvement %f", gen.Name, pct)
+			}
+		})
+	}
+}
+
+// TestFacadeSerialization round-trips a catalog, a workload log, and a
+// configuration through the public load/save APIs.
+func TestFacadeSerialization(t *testing.T) {
+	gen := isum.TPCH(1)
+	w, _ := gen.Workload(10, 1)
+	o := isum.NewOptimizer(gen.Cat)
+	o.FillCosts(w)
+
+	var catBuf, wBuf, cfgBuf bytes.Buffer
+	if err := gen.Cat.SaveJSON(&catBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Save(&wBuf); err != nil {
+		t.Fatal(err)
+	}
+	cat2, err := isum.LoadCatalog(&catBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := isum.LoadWorkload(cat2, &wBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Len() != w.Len() || w2.TotalCost() != w.TotalCost() {
+		t.Fatal("workload round trip lost data")
+	}
+
+	cw, _ := isum.Compress(w2, 3)
+	opts := isum.DefaultAdvisorOptions()
+	opts.MaxIndexes = 4
+	tuned := isum.Tune(isum.NewOptimizer(cat2), cw, opts)
+	if err := tuned.Config.SaveJSON(&cfgBuf); err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := isum.LoadConfiguration(&cfgBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Fingerprint() != tuned.Config.Fingerprint() {
+		t.Fatal("configuration round trip lost data")
+	}
+
+	sw, err := isum.LoadSQLScript(cat2, strings.NewReader(
+		"SELECT o_totalprice FROM orders WHERE o_custkey = 3; SELECT 1;"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Len() != 2 {
+		t.Fatalf("script len = %d", sw.Len())
+	}
+}
