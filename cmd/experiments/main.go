@@ -25,6 +25,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	out := flag.String("out", "", "output file (default stdout)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	parallelism := flag.Int("parallelism", 0,
+		"worker goroutines for compression and tuning hot paths (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	flag.Parse()
 
 	if *list {
@@ -44,7 +46,7 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
-	cfg := experiments.Config{Scale: *sf, Seed: *seed, Fast: *fast}
+	cfg := experiments.Config{Scale: *sf, Seed: *seed, Fast: *fast, Parallelism: *parallelism}
 	env := experiments.NewEnv(cfg)
 
 	ids := flag.Args()

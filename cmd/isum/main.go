@@ -29,6 +29,8 @@ func main() {
 	variant := flag.String("variant", "isum",
 		"isum (rule-based), isum-s (stats-based), notable, allpairs")
 	out := flag.String("out", "", "output file (default stdout)")
+	parallelism := flag.Int("parallelism", 0,
+		"worker goroutines for compression hot paths (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	flag.Parse()
 
 	g, err := benchmarks.FromName(*bench, *sf, *seed)
@@ -68,6 +70,7 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown variant %q", *variant))
 	}
+	opts.Parallelism = *parallelism
 
 	comp := core.New(opts)
 	cw, res := comp.CompressedWorkload(w, *k)

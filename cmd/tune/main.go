@@ -31,6 +31,8 @@ func main() {
 	report := flag.Int("report", 0, "with -eval: print a per-query drill-down of the top N improved queries")
 	catalogIn := flag.String("catalog", "", "load the catalog from a JSON export instead of the benchmark schema")
 	configOut := flag.String("config-out", "", "save the recommended configuration as JSON")
+	parallelism := flag.Int("parallelism", 0,
+		"worker goroutines for what-if calls (0 = GOMAXPROCS, 1 = serial); recommendations are identical at any setting")
 	flag.Parse()
 
 	if *in == "" {
@@ -76,6 +78,7 @@ func main() {
 		fatal(fmt.Errorf("unknown advisor %q", *mode))
 	}
 	opts.MaxIndexes = *maxIndexes
+	opts.Parallelism = *parallelism
 	if *storageMult > 0 {
 		opts.StorageBudget = int64(*storageMult * float64(g.Cat.TotalSizeBytes()))
 	}
@@ -103,7 +106,7 @@ func main() {
 
 	if *eval != "" {
 		ew := load(*eval)
-		pct, base, final := advisor.EvaluateImprovement(o, ew, res.Config)
+		pct, base, final := advisor.EvaluateImprovementN(o, ew, res.Config, *parallelism)
 		fmt.Printf("improvement on evaluation workload: %.2f%% (cost %.0f -> %.0f)\n", pct, base, final)
 		if *report > 0 {
 			advisor.Report(o, ew, res.Config).Write(os.Stdout, *report)

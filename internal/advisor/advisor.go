@@ -12,6 +12,7 @@ import (
 
 	"isum/internal/cost"
 	"isum/internal/index"
+	"isum/internal/parallel"
 	"isum/internal/workload"
 )
 
@@ -58,6 +59,13 @@ type Options struct {
 	// Zero means no budget. The result is always a valid (possibly
 	// truncated) recommendation.
 	TimeBudget time.Duration
+	// Parallelism bounds the worker goroutines used for per-query what-if
+	// calls during candidate selection, enumeration probing, and workload
+	// costing. 0 uses GOMAXPROCS; 1 forces the serial reference path. The
+	// recommended configuration is identical at any setting: per-query
+	// results are merged and weighted sums reduced in input order (see
+	// DESIGN.md, "Concurrency model").
+	Parallelism int
 }
 
 // DefaultOptions returns the standard DTA-style configuration.
@@ -134,7 +142,7 @@ func (a *Advisor) Tune(w *workload.Workload) *Result {
 		deadline = start.Add(a.opts.TimeBudget)
 	}
 	callsBefore := a.o.Calls()
-	res := &Result{InitialCost: a.o.WorkloadCost(w, nil)}
+	res := &Result{InitialCost: a.o.WorkloadCostN(w, nil, a.opts.Parallelism)}
 
 	candidates := a.selectCandidates(w, res, deadline)
 	if a.opts.EnableMerging {
@@ -143,7 +151,7 @@ func (a *Advisor) Tune(w *workload.Workload) *Result {
 	cfg := a.enumerate(w, candidates, res, deadline)
 
 	res.Config = cfg
-	res.FinalCost = a.o.WorkloadCost(w, cfg)
+	res.FinalCost = a.o.WorkloadCostN(w, cfg, a.opts.Parallelism)
 	res.OptimizerCalls = a.o.Calls() - callsBefore
 	res.Elapsed = time.Since(start)
 	return res
@@ -155,38 +163,70 @@ type scored struct {
 	benefit float64
 }
 
+// queryCandidates is one query's contribution to candidate selection: its
+// winning candidates and how many configurations it probed.
+type queryCandidates struct {
+	local    []scored
+	explored int64
+}
+
 // selectCandidates runs per-query candidate selection: each query's
 // syntactic candidates are what-if costed in isolation and the winners
 // (positive improvement above the threshold) are pooled.
+//
+// Queries fan out across Options.Parallelism workers; per-query results
+// are merged serially in input order, so the pooled benefits (ordered
+// float sums) and the final ranking match the serial path exactly. Under a
+// TimeBudget, workers skip queries whose processing would start past the
+// deadline — in-flight queries finish, so the anytime result is a superset
+// of the serial prefix.
 func (a *Advisor) selectCandidates(w *workload.Workload, res *Result, deadline time.Time) []scored {
+	perQuery := parallel.Map(parallel.Workers(a.opts.Parallelism), len(w.Queries),
+		func(i int) *queryCandidates {
+			if expired(deadline) {
+				return nil // anytime mode: keep what we have
+			}
+			q := w.Queries[i]
+			base := a.o.Cost(q, nil)
+			if base <= 0 {
+				return nil
+			}
+			wt := q.Weight
+			if wt <= 0 {
+				wt = 1
+			}
+			qc := &queryCandidates{}
+			for _, ix := range a.syntacticCandidatesForMode(q) {
+				c := a.o.Cost(q, index.NewConfiguration(ix))
+				qc.explored++
+				gain := base - c
+				if gain <= 0 || gain < a.opts.MinImprovement*base {
+					continue
+				}
+				qc.local = append(qc.local, scored{ix: ix, benefit: wt * gain})
+			}
+			// Tie-break by index ID: syntactic generation follows map
+			// iteration order, so a benefit-only sort would truncate
+			// equal-gain candidates nondeterministically.
+			sort.Slice(qc.local, func(i, j int) bool {
+				if qc.local[i].benefit != qc.local[j].benefit {
+					return qc.local[i].benefit > qc.local[j].benefit
+				}
+				return qc.local[i].ix.ID() < qc.local[j].ix.ID()
+			})
+			if len(qc.local) > a.opts.CandidatesPerQuery {
+				qc.local = qc.local[:a.opts.CandidatesPerQuery]
+			}
+			return qc
+		})
+
 	pool := map[string]*scored{}
-	for _, q := range w.Queries {
-		if expired(deadline) {
-			break // anytime mode: keep what we have
-		}
-		base := a.o.Cost(q, nil)
-		if base <= 0 {
+	for _, qc := range perQuery {
+		if qc == nil {
 			continue
 		}
-		wt := q.Weight
-		if wt <= 0 {
-			wt = 1
-		}
-		var local []scored
-		for _, ix := range a.syntacticCandidatesForMode(q) {
-			c := a.o.Cost(q, index.NewConfiguration(ix))
-			res.ConfigsExplored++
-			gain := base - c
-			if gain <= 0 || gain < a.opts.MinImprovement*base {
-				continue
-			}
-			local = append(local, scored{ix: ix, benefit: wt * gain})
-		}
-		sort.Slice(local, func(i, j int) bool { return local[i].benefit > local[j].benefit })
-		if len(local) > a.opts.CandidatesPerQuery {
-			local = local[:a.opts.CandidatesPerQuery]
-		}
-		for _, s := range local {
+		res.ConfigsExplored += qc.explored
+		for _, s := range qc.local {
 			id := s.ix.ID()
 			if cur, ok := pool[id]; ok {
 				cur.benefit += s.benefit
@@ -228,8 +268,17 @@ func (a *Advisor) addMerged(cands []scored) []scored {
 	for _, c := range cands {
 		byTable[c.ix.Table] = append(byTable[c.ix.Table], c)
 	}
+	tables := make([]string, 0, len(byTable))
+	for t := range byTable {
+		tables = append(tables, t)
+	}
+	// Deterministic merge order: map iteration would append merged
+	// candidates in a different order each run, and the enumeration
+	// argmax breaks ties by position.
+	sort.Strings(tables)
 	out := cands
-	for _, list := range byTable {
+	for _, t := range tables {
+		list := byTable[t]
 		for i := 0; i < len(list); i++ {
 			for j := 0; j < len(list); j++ {
 				if i == j {
@@ -297,14 +346,16 @@ func (a *Advisor) enumerate(w *workload.Workload, cands []scored, res *Result, d
 	remaining := append([]scored{}, cands...)
 
 	// Current weighted per-query costs and a table → query-index map.
-	curCost := make([]float64, len(w.Queries))
-	queriesByTable := map[string][]int{}
-	for i, q := range w.Queries {
+	curCost := parallel.Map(parallel.Workers(a.opts.Parallelism), len(w.Queries), func(i int) float64 {
+		q := w.Queries[i]
 		wt := q.Weight
 		if wt <= 0 {
 			wt = 1
 		}
-		curCost[i] = wt * a.o.Cost(q, cfg)
+		return wt * a.o.Cost(q, cfg)
+	})
+	queriesByTable := map[string][]int{}
+	for i, q := range w.Queries {
 		if q.Info != nil {
 			for _, t := range q.Info.Tables {
 				queriesByTable[t] = append(queriesByTable[t], i)
@@ -312,6 +363,14 @@ func (a *Advisor) enumerate(w *workload.Workload, cands []scored, res *Result, d
 		}
 	}
 
+	// probe is one candidate's evaluation against the current
+	// configuration; skipped candidates (over the storage budget) stay nil
+	// in newCosts and count no exploration.
+	type probe struct {
+		gain     float64
+		newCosts map[int]float64
+	}
+	workers := parallel.Workers(a.opts.Parallelism)
 	for {
 		if a.opts.MaxIndexes > 0 && cfg.Len() >= a.opts.MaxIndexes {
 			break
@@ -319,34 +378,45 @@ func (a *Advisor) enumerate(w *workload.Workload, cands []scored, res *Result, d
 		if expired(deadline) {
 			break // anytime mode: return the configuration built so far
 		}
-		bestIdx := -1
-		bestGain := 0.0
-		var bestCosts map[int]float64
-		for i, cand := range remaining {
+		// Probe every remaining candidate in parallel: each probe re-costs
+		// only the queries on the candidate's table against a private
+		// cfg+candidate copy, reading cfg/curCost/queriesByTable without
+		// mutation. The argmax below reduces serially in candidate order,
+		// so the chosen index matches the serial scan exactly.
+		probes := parallel.Map(workers, len(remaining), func(i int) probe {
+			cand := remaining[i]
 			if a.opts.StorageBudget > 0 {
 				sz := cand.ix.SizeBytes(a.o.Catalog())
 				if used+sz > a.opts.StorageBudget {
-					continue
+					return probe{}
 				}
 			}
-			probe := cfg.With(cand.ix)
-			res.ConfigsExplored++
-			gain := 0.0
-			newCosts := map[int]float64{}
+			p := probe{newCosts: map[int]float64{}}
+			trial := cfg.With(cand.ix)
 			for _, qi := range queriesByTable[lower(cand.ix.Table)] {
 				q := w.Queries[qi]
 				wt := q.Weight
 				if wt <= 0 {
 					wt = 1
 				}
-				c := wt * a.o.Cost(q, probe)
+				c := wt * a.o.Cost(q, trial)
 				if c < curCost[qi] {
-					gain += curCost[qi] - c
-					newCosts[qi] = c
+					p.gain += curCost[qi] - c
+					p.newCosts[qi] = c
 				}
 			}
-			if gain > bestGain+1e-9 {
-				bestGain, bestIdx, bestCosts = gain, i, newCosts
+			return p
+		})
+		bestIdx := -1
+		bestGain := 0.0
+		var bestCosts map[int]float64
+		for i, p := range probes {
+			if p.newCosts == nil {
+				continue
+			}
+			res.ConfigsExplored++
+			if p.gain > bestGain+1e-9 {
+				bestGain, bestIdx, bestCosts = p.gain, i, p.newCosts
 			}
 		}
 		if bestIdx < 0 {
@@ -396,11 +466,22 @@ func (a *Advisor) dexterCandidates(q *workload.Query) []index.Index {
 
 // EvaluateImprovement computes the paper's evaluation metric (Section 8):
 // the unweighted improvement % on workload w when using cfg, along with the
-// before/after costs.
+// before/after costs. Per-query what-if calls fan out across every core.
 func EvaluateImprovement(o *cost.Optimizer, w *workload.Workload, cfg *index.Configuration) (pct, base, final float64) {
-	for _, q := range w.Queries {
-		base += o.Cost(q, nil)
-		final += o.Cost(q, cfg)
+	return EvaluateImprovementN(o, w, cfg, 0)
+}
+
+// EvaluateImprovementN is EvaluateImprovement with an explicit parallelism
+// (0 = GOMAXPROCS, 1 = serial). The before/after sums are reduced in input
+// order, so the result is bit-identical at any parallelism.
+func EvaluateImprovementN(o *cost.Optimizer, w *workload.Workload, cfg *index.Configuration, parallelism int) (pct, base, final float64) {
+	pairs := parallel.Map(parallel.Workers(parallelism), len(w.Queries), func(i int) [2]float64 {
+		q := w.Queries[i]
+		return [2]float64{o.Cost(q, nil), o.Cost(q, cfg)}
+	})
+	for _, p := range pairs {
+		base += p[0]
+		final += p[1]
 	}
 	if base <= 0 {
 		return 0, base, final

@@ -101,9 +101,21 @@ func rolesForQuery(q *workload.Query) map[string]*tableRoles {
 		}
 	}
 
+	// Tie-break equal selectivities by column name: the filters arrive in
+	// map-iteration order and an unstable benefit-only sort would generate
+	// different prefix candidates (and thus different candidate sets) from
+	// run to run.
+	bySel := func(cs []colSel) func(i, j int) bool {
+		return func(i, j int) bool {
+			if cs[i].sel != cs[j].sel {
+				return cs[i].sel < cs[j].sel
+			}
+			return cs[i].col < cs[j].col
+		}
+	}
 	for _, r := range out {
-		sort.Slice(r.eqFilters, func(i, j int) bool { return r.eqFilters[i].sel < r.eqFilters[j].sel })
-		sort.Slice(r.rngFilters, func(i, j int) bool { return r.rngFilters[i].sel < r.rngFilters[j].sel })
+		sort.Slice(r.eqFilters, bySel(r.eqFilters))
+		sort.Slice(r.rngFilters, bySel(r.rngFilters))
 		sort.Strings(r.joins)
 		sort.Strings(r.needCols)
 	}

@@ -46,6 +46,27 @@ func BuildSummary(states []*QueryState) *SummaryState {
 	return ss
 }
 
+// RemoveSelected subtracts a just-selected query's contribution
+// (Utility·Vec at selection time) from the summary — the first half of the
+// incremental maintenance that replaces the per-round BuildSummary rebuild.
+func (ss *SummaryState) RemoveSelected(q *QueryState) {
+	ss.V.AddScaled(q.Vec, -q.Utility)
+	ss.TotalUtility -= q.Utility
+}
+
+// ApplyDelta folds one unselected query's contribution delta (produced by
+// the post-selection update sweep) into the summary. Deltas must be applied
+// in query-index order for bit-identical summaries across runs.
+func (ss *SummaryState) ApplyDelta(d *summaryDelta) {
+	if d == nil {
+		return
+	}
+	for k, w := range d.vec {
+		ss.V[k] += w
+	}
+	ss.TotalUtility += d.util
+}
+
 // BenefitSummary returns qi's benefit against the summary (Algorithm 3):
 // its utility plus S(qi, V′) where V′ excludes qi's own contribution.
 func BenefitSummary(qi *QueryState, ss *SummaryState) float64 {

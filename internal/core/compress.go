@@ -1,8 +1,10 @@
 package core
 
 import (
+	"math"
 	"time"
 
+	"isum/internal/parallel"
 	"isum/internal/workload"
 )
 
@@ -75,33 +77,48 @@ func (c *Compressor) CompressedWorkload(w *workload.Workload, k int) (*workload.
 
 // selectGreedy runs the configured greedy algorithm, appending selections
 // to res.
+//
+// The benefit scan and the post-selection update sweep fan out across
+// c.opts.Parallelism workers: benefits are computed into an index-ordered
+// slice and the argmax (with its epsilon tie-break) runs serially over it,
+// so the selection is identical to the serial path at any worker count.
+// The summary features are maintained incrementally (RemoveSelected +
+// per-query ApplyDelta, applied in index order) instead of rebuilt O(n)
+// every round; Options.RebuildSummary restores the literal rebuild.
 func (c *Compressor) selectGreedy(states []*QueryState, k int, res *Result) {
+	workers := parallel.Workers(c.opts.Parallelism)
+	summary := c.opts.Algorithm != AllPairs
+	incremental := summary && !c.opts.RebuildSummary
+
+	var ss *SummaryState
+	if summary {
+		ss = BuildSummary(states)
+	}
+	ineligible := math.Inf(-1)
 	for len(res.Indices) < k {
-		var best *QueryState
-		bestBenefit := -1.0
+		if summary && c.opts.RebuildSummary {
+			ss = BuildSummary(states)
+		}
+		benefits := parallel.Map(workers, len(states), func(i int) float64 {
+			s := states[i]
+			if s.Selected || s.Vec.AllZero() {
+				return ineligible
+			}
+			if c.opts.Algorithm == AllPairs {
+				return BenefitAllPairs(s, states)
+			}
+			return BenefitSummary(s, ss)
+		})
 
 		// benefitEps breaks ties deterministically: feature vectors are maps,
 		// so summation order (and thus the last few ulps of a benefit) varies
 		// between runs; without a tolerance, exact ties would flip.
 		const benefitEps = 1e-9
-		if c.opts.Algorithm == AllPairs {
-			for _, s := range states {
-				if s.Selected || s.Vec.AllZero() {
-					continue
-				}
-				if b := BenefitAllPairs(s, states); b > bestBenefit+benefitEps {
-					bestBenefit, best = b, s
-				}
-			}
-		} else {
-			ss := BuildSummary(states)
-			for _, s := range states {
-				if s.Selected || s.Vec.AllZero() {
-					continue
-				}
-				if b := BenefitSummary(s, ss); b > bestBenefit+benefitEps {
-					bestBenefit, best = b, s
-				}
+		var best *QueryState
+		bestBenefit := -1.0
+		for i, b := range benefits {
+			if b > bestBenefit+benefitEps {
+				bestBenefit, best = b, states[i]
 			}
 		}
 
@@ -112,15 +129,28 @@ func (c *Compressor) selectGreedy(states []*QueryState, k int, res *Result) {
 			if !resetIfAllZero(states) || allSelected(states) {
 				return
 			}
+			if incremental {
+				ss = BuildSummary(states)
+			}
 			continue
 		}
 
 		best.Selected = true
 		res.Indices = append(res.Indices, best.Index)
 		res.SelectionBenefits = append(res.SelectionBenefits, bestBenefit)
-		for _, s := range states {
-			if !s.Selected {
-				applyUpdate(best, s, c.opts.Update)
+		if incremental {
+			ss.RemoveSelected(best)
+		}
+		deltas := parallel.Map(workers, len(states), func(i int) *summaryDelta {
+			s := states[i]
+			if s.Selected {
+				return nil
+			}
+			return applyUpdateWithDelta(best, s, c.opts.Update, incremental)
+		})
+		if incremental {
+			for _, d := range deltas {
+				ss.ApplyDelta(d)
 			}
 		}
 	}

@@ -88,6 +88,17 @@ type Options struct {
 	// UseTableWeight multiplies feature weights by table size
 	// (ISUM-NoTable disables it; Fig. 10).
 	UseTableWeight bool
+	// Parallelism bounds the worker goroutines used on the hot paths
+	// (feature extraction, benefit scans, post-selection update sweeps).
+	// 0 uses GOMAXPROCS; 1 forces the serial reference path. Selection is
+	// identical at any setting: benefits are computed in parallel but
+	// reduced serially in query order (see DESIGN.md, "Concurrency model").
+	Parallelism int
+	// RebuildSummary forces the summary features to be rebuilt from
+	// scratch every greedy round (the literal Algorithm 3 reading) instead
+	// of being maintained incrementally. Debug/validation knob: the
+	// incremental path is algebraically identical and O(rounds) cheaper.
+	RebuildSummary bool
 }
 
 // DefaultOptions returns ISUM's default configuration: summary features,

@@ -2,6 +2,7 @@ package core
 
 import (
 	"isum/internal/features"
+	"isum/internal/parallel"
 	"isum/internal/workload"
 )
 
@@ -49,30 +50,33 @@ func delta(q *workload.Query, mode UtilityMode) float64 {
 
 // BuildStates computes the initial per-query states for a workload:
 // feature vectors via the configured extractor and normalised utilities
-// U(q) = Δ(q)/ΣΔ (Definition 2).
+// U(q) = Δ(q)/ΣΔ (Definition 2). Feature extraction and Δ computation fan
+// out across opts.Parallelism workers; ΣΔ is reduced serially in query
+// order, so utilities are bit-identical at any parallelism.
 func BuildStates(w *workload.Workload, opts Options) []*QueryState {
 	ex := opts.extractor(w.Catalog)
 	states := make([]*QueryState, len(w.Queries))
-	var totalDelta float64
 	deltas := make([]float64, len(w.Queries))
-	for i, q := range w.Queries {
+	parallel.ForEach(parallel.Workers(opts.Parallelism), len(w.Queries), func(i int) {
+		q := w.Queries[i]
 		deltas[i] = delta(q, opts.Utility)
-		totalDelta += deltas[i]
-	}
-	for i, q := range w.Queries {
-		u := 0.0
-		if totalDelta > 0 {
-			u = deltas[i] / totalDelta
-		}
 		vec := ex.Features(q)
 		states[i] = &QueryState{
-			Index:       i,
-			Query:       q,
-			Vec:         vec.Clone(),
-			Utility:     u,
-			OrigVec:     vec,
-			OrigUtility: u,
+			Index:   i,
+			Query:   q,
+			Vec:     vec.Clone(),
+			OrigVec: vec,
 		}
+	})
+	var totalDelta float64
+	for _, d := range deltas {
+		totalDelta += d
+	}
+	for i, s := range states {
+		if totalDelta > 0 {
+			s.Utility = deltas[i] / totalDelta
+		}
+		s.OrigUtility = s.Utility
 	}
 	return states
 }
@@ -98,6 +102,57 @@ func applyUpdate(sel, q *QueryState, strategy UpdateStrategy) {
 		// Zero the columns covered by the selected query (option 2).
 		q.Vec.ZeroShared(sel.Vec)
 	}
+}
+
+// summaryDelta is the change one applyUpdate call makes to a query's
+// contribution (Utility·Vec) to the workload summary, recorded so the
+// summary can be maintained incrementally instead of rebuilt each round.
+type summaryDelta struct {
+	util float64
+	vec  features.Vector
+}
+
+// applyUpdateWithDelta runs applyUpdate and, when track is set, returns the
+// contribution delta (nil when nothing changed). Safe to call concurrently
+// for distinct q: it reads sel and mutates only q.
+func applyUpdateWithDelta(sel, q *QueryState, strategy UpdateStrategy, track bool) *summaryDelta {
+	if !track {
+		applyUpdate(sel, q, strategy)
+		return nil
+	}
+	if strategy == UpdateNone {
+		return nil
+	}
+	oldUtil := q.Utility
+	// Snapshot the only entries applyUpdate can change: keys of sel.Vec.
+	touched := make(map[string]float64, len(sel.Vec))
+	for k := range sel.Vec {
+		touched[k] = q.Vec[k]
+	}
+	applyUpdate(sel, q, strategy)
+	newUtil := q.Utility
+
+	d := &summaryDelta{util: newUtil - oldUtil, vec: features.Vector{}}
+	for k, oldW := range touched {
+		if dd := newUtil*q.Vec[k] - oldUtil*oldW; dd != 0 {
+			d.vec[k] = dd
+		}
+	}
+	if newUtil != oldUtil {
+		// A utility change rescales every untouched entry too.
+		for k, w := range q.Vec {
+			if _, ok := touched[k]; ok {
+				continue
+			}
+			if dd := (newUtil - oldUtil) * w; dd != 0 {
+				d.vec[k] = dd
+			}
+		}
+	}
+	if d.util == 0 && len(d.vec) == 0 {
+		return nil
+	}
+	return d
 }
 
 // resetIfAllZero restores original features for unselected queries when

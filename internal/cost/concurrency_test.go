@@ -1,12 +1,19 @@
 package cost
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
+	"isum/internal/catalog"
 	"isum/internal/index"
 	"isum/internal/workload"
 )
+
+func mustQueryf(t *testing.T, cat *catalog.Catalog, pat string, args ...any) *workload.Query {
+	t.Helper()
+	return mustQuery(t, cat, fmt.Sprintf(pat, args...))
+}
 
 // TestOptimizerConcurrentCost hammers the what-if cache from many
 // goroutines; run with -race to validate the locking.
@@ -55,5 +62,121 @@ func TestOptimizerConcurrentCost(t *testing.T) {
 	}
 	if o.CostTime() <= 0 {
 		t.Fatal("cost time not recorded")
+	}
+}
+
+// TestOptimizerShardedCacheStress hammers a larger query/configuration
+// cross product than shard count, reads the atomic counters *while* the
+// cache is being hammered (the old mutex design deadlocked value here), and
+// then checks the cache absorbed every repeat: a second identical hammer
+// round must add zero plan computations.
+func TestOptimizerShardedCacheStress(t *testing.T) {
+	cat := testCatalog()
+	o := NewOptimizer(cat)
+
+	var queries []*workload.Query
+	sqls := []string{
+		"SELECT l_comment FROM lineitem WHERE l_orderkey = %d",
+		"SELECT o_totalprice FROM orders WHERE o_custkey = %d",
+		"SELECT c_nationkey FROM customer WHERE c_custkey = %d",
+		"SELECT l_quantity FROM lineitem WHERE l_suppkey = %d",
+	}
+	for _, pat := range sqls {
+		for v := 0; v < 24; v++ {
+			queries = append(queries, mustQueryf(t, cat, pat, v))
+		}
+	}
+	cfgs := []*index.Configuration{
+		nil,
+		index.NewConfiguration(index.New("lineitem", "l_orderkey")),
+		index.NewConfiguration(index.New("lineitem", "l_suppkey", "l_orderkey")),
+		index.NewConfiguration(index.New("orders", "o_custkey")),
+		index.NewConfiguration(index.New("customer", "c_custkey"), index.New("orders", "o_custkey")),
+	}
+
+	hammer := func(rounds int) {
+		var wg sync.WaitGroup
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					q := queries[(g*7+i)%len(queries)]
+					o.Cost(q, cfgs[(g+i)%len(cfgs)])
+				}
+			}(g)
+		}
+		// Concurrent counter reads must not block or race with Cost.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < 100; i++ {
+				if o.Plans() > o.Calls() {
+					// Plans can transiently lag calls but never exceed them.
+					t.Error("plans exceeded calls")
+					return
+				}
+				_ = o.CostTime()
+			}
+		}()
+		wg.Wait()
+		<-done
+	}
+
+	hammer(200)
+	if o.Calls() != 16*200 {
+		t.Fatalf("calls = %d, want %d", o.Calls(), 16*200)
+	}
+	// Everything is cached now: replaying the same access pattern must be
+	// pure cache hits.
+	plansAfterWarm := o.Plans()
+	if plansAfterWarm == 0 {
+		t.Fatal("expected some plan computations during warm-up")
+	}
+	hammer(200)
+	if o.Plans() != plansAfterWarm {
+		t.Fatalf("plans grew from %d to %d on a fully-cached replay", plansAfterWarm, o.Plans())
+	}
+
+	o.ResetCounters()
+	if o.Calls() != 0 || o.Plans() != 0 || o.CostTime() != 0 {
+		t.Fatal("ResetCounters left residue")
+	}
+}
+
+// TestWorkloadCostParallelDeterminism checks the ordered-reduction
+// guarantee: WorkloadCostN returns bit-identical sums at any parallelism,
+// and FillCostsN matches serial filling.
+func TestWorkloadCostParallelDeterminism(t *testing.T) {
+	cat := testCatalog()
+	o := NewOptimizer(cat)
+	w := &workload.Workload{Catalog: cat}
+	for v := 0; v < 40; v++ {
+		q := mustQueryf(t, cat, "SELECT o_totalprice FROM orders WHERE o_custkey = %d", v)
+		q.Weight = 1 + float64(v%5)
+		w.Queries = append(w.Queries, q)
+	}
+	cfg := index.NewConfiguration(index.New("orders", "o_custkey"))
+
+	want := o.WorkloadCostN(w, cfg, 1)
+	if want <= 0 {
+		t.Fatal("non-positive workload cost")
+	}
+	for _, p := range []int{0, 2, 8} {
+		if got := o.WorkloadCostN(w, cfg, p); got != want {
+			t.Fatalf("parallelism %d: workload cost %v != serial %v", p, got, want)
+		}
+	}
+
+	o.FillCostsN(w, 1)
+	serial := make([]float64, len(w.Queries))
+	for i, q := range w.Queries {
+		serial[i] = q.Cost
+	}
+	o.FillCostsN(w, 8)
+	for i, q := range w.Queries {
+		if q.Cost != serial[i] {
+			t.Fatalf("query %d: parallel fill %v != serial %v", i, q.Cost, serial[i])
+		}
 	}
 }

@@ -4,28 +4,50 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"isum/internal/catalog"
 	"isum/internal/index"
+	"isum/internal/parallel"
 	"isum/internal/workload"
 )
+
+// cacheShardCount is the number of what-if cache shards. Shards are picked
+// by a hash of the query text, so concurrent Cost calls contend only when
+// they hit the same shard; 32 keeps contention negligible far past the
+// worker counts the pipeline spawns. Must be a power of two.
+const cacheShardCount = 32
+
+// cacheShard is one lock-striped slice of the what-if cache.
+type cacheShard struct {
+	mu sync.RWMutex
+	// entries is keyed by query text, then by the relevant-configuration
+	// fingerprint, so copies of a Query (e.g. weighted compressed-workload
+	// entries) share cost entries.
+	entries map[string]map[string]float64
+}
 
 // Optimizer estimates query costs against hypothetical index configurations
 // — the "what-if" API of Section 2.1. It caches (query, relevant-config)
 // pairs and counts invocations so the advisor can report optimizer-call
 // statistics (Fig. 2).
+//
+// All methods are safe for concurrent use. The cache is sharded by query
+// text and the counters are atomics, so parallel callers only contend when
+// two queries hash to the same shard. Cost values are pure functions of
+// (query, configuration), so concurrent duplicate misses compute the same
+// value; the only concurrency artefact is that Plans may count such a
+// duplicate computation twice.
 type Optimizer struct {
 	cat *catalog.Catalog
 	par Params
 
-	mu        sync.Mutex
-	calls     int64 // what-if invocations (cache hits included)
-	plans     int64 // actual plan computations (cache misses)
-	costNanos int64 // wall time spent inside Cost (Fig. 2's optimizer share)
-	// cache is keyed by query text, so copies of a Query (e.g. weighted
-	// compressed-workload entries) share cost entries.
-	cache map[string]map[string]float64
+	calls     atomic.Int64 // what-if invocations (cache hits included)
+	plans     atomic.Int64 // actual plan computations (cache misses)
+	costNanos atomic.Int64 // wall time spent inside Cost (Fig. 2's optimizer share)
+
+	shards [cacheShardCount]cacheShard
 }
 
 // NewOptimizer returns a what-if optimizer over the catalog.
@@ -36,11 +58,11 @@ func NewOptimizer(cat *catalog.Catalog) *Optimizer {
 // NewOptimizerWithParams returns an optimizer with custom cost-model
 // constants — the ablation/calibration path.
 func NewOptimizerWithParams(cat *catalog.Catalog, par Params) *Optimizer {
-	return &Optimizer{
-		cat:   cat,
-		par:   par,
-		cache: make(map[string]map[string]float64),
+	o := &Optimizer{cat: cat, par: par}
+	for i := range o.shards {
+		o.shards[i].entries = make(map[string]map[string]float64)
 	}
+	return o
 }
 
 // Params returns the optimizer's cost-model constants.
@@ -49,93 +71,116 @@ func (o *Optimizer) Params() Params { return o.par }
 // Catalog returns the optimizer's catalog.
 func (o *Optimizer) Catalog() *catalog.Catalog { return o.cat }
 
+// shardFor picks the cache shard for a query text (FNV-1a).
+func (o *Optimizer) shardFor(text string) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(text); i++ {
+		h ^= uint64(text[i])
+		h *= prime64
+	}
+	return &o.shards[h&(cacheShardCount-1)]
+}
+
 // Cost returns the estimated cost of q under the given (hypothetical)
 // configuration. A nil configuration means the current design (no secondary
-// indexes).
+// indexes). Safe for concurrent use.
 func (o *Optimizer) Cost(q *workload.Query, cfg *index.Configuration) float64 {
 	start := time.Now()
 	defer func() {
-		o.mu.Lock()
-		o.costNanos += time.Since(start).Nanoseconds()
-		o.mu.Unlock()
+		o.costNanos.Add(time.Since(start).Nanoseconds())
 	}()
 	key := o.relevantFingerprint(q, cfg)
+	o.calls.Add(1)
 
-	o.mu.Lock()
-	o.calls++
-	if perQ, ok := o.cache[q.Text]; ok {
+	sh := o.shardFor(q.Text)
+	sh.mu.RLock()
+	if perQ, ok := sh.entries[q.Text]; ok {
 		if c, ok := perQ[key]; ok {
-			o.mu.Unlock()
+			sh.mu.RUnlock()
 			return c
 		}
 	}
-	o.plans++
-	o.mu.Unlock()
+	sh.mu.RUnlock()
 
+	o.plans.Add(1)
 	c := o.computeCost(q, cfg)
 
-	o.mu.Lock()
-	perQ, ok := o.cache[q.Text]
+	sh.mu.Lock()
+	perQ, ok := sh.entries[q.Text]
 	if !ok {
 		perQ = make(map[string]float64)
-		o.cache[q.Text] = perQ
+		sh.entries[q.Text] = perQ
 	}
 	perQ[key] = c
-	o.mu.Unlock()
+	sh.mu.Unlock()
 	return c
 }
 
 // WorkloadCost returns the weighted cost Σ w(q)·C(q) of the workload under
-// the configuration.
+// the configuration, fanning the per-query what-if calls across every core.
 func (o *Optimizer) WorkloadCost(w *workload.Workload, cfg *index.Configuration) float64 {
-	var total float64
-	for _, q := range w.Queries {
-		wt := q.Weight
-		if wt <= 0 {
-			wt = 1
-		}
-		total += wt * o.Cost(q, cfg)
-	}
-	return total
+	return o.WorkloadCostN(w, cfg, 0)
+}
+
+// WorkloadCostN is WorkloadCost with an explicit parallelism (0 =
+// GOMAXPROCS, 1 = serial). The weighted sum is reduced in input order, so
+// the result is bit-identical at any parallelism.
+func (o *Optimizer) WorkloadCostN(w *workload.Workload, cfg *index.Configuration, parallelism int) float64 {
+	return parallel.MapReduce(parallel.Workers(parallelism), len(w.Queries),
+		func(i int) float64 {
+			q := w.Queries[i]
+			wt := q.Weight
+			if wt <= 0 {
+				wt = 1
+			}
+			return wt * o.Cost(q, cfg)
+		},
+		0.0,
+		func(acc, v float64) float64 { return acc + v })
 }
 
 // FillCosts sets each query's Cost field to its cost under the current
 // physical design (empty configuration) — producing the "input workload
 // with optimizer estimated costs" the paper's problem statement assumes.
+// The what-if calls fan out across every core.
 func (o *Optimizer) FillCosts(w *workload.Workload) {
-	for _, q := range w.Queries {
-		q.Cost = o.Cost(q, nil)
+	o.FillCostsN(w, 0)
+}
+
+// FillCostsN is FillCosts with an explicit parallelism (0 = GOMAXPROCS,
+// 1 = serial). Costs are computed in parallel but assigned serially, so
+// workloads that alias the same *Query stay race-free.
+func (o *Optimizer) FillCostsN(w *workload.Workload, parallelism int) {
+	costs := parallel.Map(parallel.Workers(parallelism), len(w.Queries),
+		func(i int) float64 { return o.Cost(w.Queries[i], nil) })
+	for i, q := range w.Queries {
+		q.Cost = costs[i]
 	}
 }
 
 // Calls returns the number of what-if invocations so far.
-func (o *Optimizer) Calls() int64 {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.calls
-}
+func (o *Optimizer) Calls() int64 { return o.calls.Load() }
 
 // Plans returns the number of cache-miss plan computations so far.
-func (o *Optimizer) Plans() int64 {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.plans
-}
+func (o *Optimizer) Plans() int64 { return o.plans.Load() }
 
 // CostTime returns the cumulative wall time spent inside Cost — the
-// "time on optimizer calls" series of Fig. 2a.
+// "time on optimizer calls" series of Fig. 2a. Under concurrency this is
+// summed per call, so it can exceed wall-clock time.
 func (o *Optimizer) CostTime() time.Duration {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return time.Duration(o.costNanos)
+	return time.Duration(o.costNanos.Load())
 }
 
 // ResetCounters zeroes the call counters and timers (the cache is
 // retained).
 func (o *Optimizer) ResetCounters() {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	o.calls, o.plans, o.costNanos = 0, 0, 0
+	o.calls.Store(0)
+	o.plans.Store(0)
+	o.costNanos.Store(0)
 }
 
 // computeCost plans every block of the query and sums their costs.

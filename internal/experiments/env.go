@@ -28,6 +28,10 @@ type Config struct {
 	// Fast shrinks workload sizes (used by tests and quick runs); the full
 	// sizes are the paper's Table 2 values.
 	Fast bool
+	// Parallelism bounds worker goroutines in the compression and tuning
+	// hot paths (0 = GOMAXPROCS, 1 = serial). Experiment outputs are
+	// identical at any setting; this only trades wall-clock for cores.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -117,6 +121,7 @@ func (e *Env) AdvisorOptions(name string) advisor.Options {
 	opts := advisor.DefaultOptions()
 	opts.MaxIndexes = 30
 	opts.StorageBudget = 3 * e.Generator(name).Cat.TotalSizeBytes()
+	opts.Parallelism = e.Cfg.Parallelism
 	return opts
 }
 

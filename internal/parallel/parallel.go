@@ -1,0 +1,106 @@
+// Package parallel provides the bounded worker-pool primitives behind the
+// pipeline's Parallelism knobs. Every helper takes an explicit worker count
+// (resolve a user-facing knob with Workers) and degrades to a plain serial
+// loop when the count is 1, so `Parallelism: 1` is byte-for-byte the
+// pre-parallel code path with zero goroutine overhead.
+//
+// Determinism contract: the helpers never reduce across workers in
+// completion order. Map writes results into an index-addressed slice and
+// MapReduce folds that slice in index order, so floating-point reductions
+// (weighted sums, argmax with epsilon tie-breaks) are bit-identical at any
+// worker count. Callers keep shared state read-only inside fn, or write
+// only to their own index i.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a parallelism knob: n < 1 means "use every core"
+// (GOMAXPROCS), any other value is taken literally.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach invokes fn(i) for every i in [0, n), using at most workers
+// goroutines. Indices are handed out in contiguous chunks. fn must not
+// touch shared mutable state except at its own index. A panic in any fn is
+// re-raised on the calling goroutine after all workers stop.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	run := func(lo, hi int) {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicked == nil {
+					panicked = r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	}
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go run(lo, hi)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("parallel: worker panicked: %v", panicked))
+	}
+}
+
+// Map returns [fn(0), fn(1), …, fn(n-1)], computing the entries with at
+// most workers goroutines. The result order is always index order,
+// regardless of completion order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// MapReduce computes fn per index in parallel and folds the results
+// serially in index order: fold(…fold(fold(init, fn(0)), fn(1))…, fn(n-1)).
+// Because the fold is serial and ordered, non-associative reductions
+// (floating-point sums, first-wins argmax) give the same answer at any
+// worker count.
+func MapReduce[T, A any](workers, n int, fn func(i int) T, init A, fold func(acc A, v T) A) A {
+	vals := Map(workers, n, fn)
+	acc := init
+	for _, v := range vals {
+		acc = fold(acc, v)
+	}
+	return acc
+}

@@ -1,0 +1,107 @@
+package parallel
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS (%d)", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	for _, n := range []int{1, 2, 7, 64} {
+		if got := Workers(n); got != n {
+			t.Fatalf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 5, 97, 1000} {
+			hits := make([]int32, n)
+			ForEach(workers, n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestMapPreservesIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		out := Map(workers, 500, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapReduceOrderedFold checks the determinism contract: a
+// non-associative fold (string concatenation) must produce the identical
+// result at every worker count.
+func TestMapReduceOrderedFold(t *testing.T) {
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	want := letters
+	for _, workers := range []int{1, 2, 3, 13, 26, 50} {
+		got := MapReduce(workers, len(letters),
+			func(i int) string { return string(letters[i]) },
+			"",
+			func(acc, v string) string { return acc + v })
+		if got != want {
+			t.Fatalf("workers=%d: %q != %q", workers, got, want)
+		}
+	}
+}
+
+// TestMapReduceFloatSumDeterminism: float sums are order-sensitive; the
+// ordered fold must make them identical across worker counts.
+func TestMapReduceFloatSumDeterminism(t *testing.T) {
+	n := 10000
+	vals := make([]float64, n)
+	x := 1.0
+	for i := range vals {
+		x = x*1.0000001 + float64(i%7)*1e-13
+		vals[i] = x
+	}
+	sum := func(workers int) float64 {
+		return MapReduce(workers, n,
+			func(i int) float64 { return vals[i] },
+			0.0,
+			func(acc, v float64) float64 { return acc + v })
+	}
+	want := sum(1)
+	for _, workers := range []int{2, 4, 16} {
+		if got := sum(workers); got != want {
+			t.Fatalf("workers=%d: sum %v != serial %v", workers, got, want)
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	ForEach(4, 100, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}

@@ -10,6 +10,14 @@
 //
 //	workload  →  Compress  →  Tune  →  Evaluate
 //
+// Every stage of the pipeline is parallel by default: feature extraction,
+// greedy benefit scans, advisor candidate selection/enumeration, and
+// workload costing fan their work across GOMAXPROCS workers over a sharded
+// what-if cost cache. The CompressorOptions.Parallelism and
+// AdvisorOptions.Parallelism knobs bound the worker count (0 = GOMAXPROCS,
+// 1 = serial); results are identical at any setting — see DESIGN.md,
+// "Concurrency model".
+//
 // See the examples/ directory for runnable programs and DESIGN.md for the
 // architecture and the paper-experiment index.
 package isum
@@ -135,7 +143,9 @@ func Tune(o *Optimizer, w *Workload, opts AdvisorOptions) *TuningResult {
 }
 
 // Evaluate returns the improvement % of cfg on w — the paper's metric
-// (C(W) − C_I(W)) / C(W) × 100 — with the before/after costs.
+// (C(W) − C_I(W)) / C(W) × 100 — with the before/after costs. The
+// per-query what-if calls fan out across every core; the sums reduce in
+// input order, so the result matches a serial evaluation exactly.
 func Evaluate(o *Optimizer, w *Workload, cfg *Configuration) (pct, before, after float64) {
 	return advisor.EvaluateImprovement(o, w, cfg)
 }

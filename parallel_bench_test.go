@@ -1,0 +1,61 @@
+package isum_test
+
+// Serial-vs-parallel benchmarks over a 1k-query TPC-H workload. These are
+// the perf-trajectory pair tracked in BENCH_parallel.json (written by
+// scripts/ci.sh): on a multi-core runner the parallelism=max variants
+// should beat parallelism=1 by ≥ 1.5×; on a single-core runner they
+// degenerate to the same serial path and show parity.
+//
+// Run just this pair with:
+//
+//	go test -bench '^(BenchmarkCompress|BenchmarkTune)$' -benchmem
+
+import (
+	"runtime"
+	"testing"
+
+	"isum/internal/advisor"
+	"isum/internal/core"
+	"isum/internal/cost"
+)
+
+func benchParallelism(b *testing.B) map[string]int {
+	b.Helper()
+	return map[string]int{
+		"parallelism=1":   1,
+		"parallelism=max": runtime.GOMAXPROCS(0),
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	w, _ := benchWorkload(b, 1000)
+	for name, p := range benchParallelism(b) {
+		opts := core.DefaultOptions()
+		opts.Parallelism = p
+		comp := core.New(opts)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				comp.Compress(w, 30)
+			}
+		})
+	}
+}
+
+func BenchmarkTune(b *testing.B) {
+	w, o := benchWorkload(b, 1000)
+	copts := core.DefaultOptions()
+	cw, _ := core.New(copts).CompressedWorkload(w, 32)
+	for name, p := range benchParallelism(b) {
+		opts := advisor.DefaultOptions()
+		opts.MaxIndexes = 10
+		opts.Parallelism = p
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Fresh optimizer per iteration: every run pays the same
+				// all-miss what-if costs, so the two variants compare
+				// compute, not cache hit rates.
+				advisor.New(cost.NewOptimizer(o.Catalog()), opts).Tune(cw)
+			}
+		})
+	}
+}

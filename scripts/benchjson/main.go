@@ -1,0 +1,133 @@
+// Command benchjson converts `go test -bench` output on stdin to a JSON
+// report on stdout, pairing each benchmark's parallelism=1 and
+// parallelism=max variants into a speedup figure. scripts/ci.sh uses it to
+// write BENCH_parallel.json so the perf trajectory of the parallel
+// pipeline is tracked in-repo.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// report is the whole document.
+type report struct {
+	Goos       string             `json:"goos,omitempty"`
+	Goarch     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Gomaxprocs int                `json:"gomaxprocs"`
+	Benchmarks []result           `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups"`
+	Note       string             `json:"note"`
+}
+
+func main() {
+	rep := report{Gomaxprocs: 1, Speedups: map[string]float64{}}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, procs, ok := parseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, r)
+				if procs > rep.Gomaxprocs {
+					rep.Gomaxprocs = procs
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	// Pair <base>/parallelism=1 with <base>/parallelism=max.
+	serial := map[string]float64{}
+	parallel := map[string]float64{}
+	for _, r := range rep.Benchmarks {
+		base, variant, ok := strings.Cut(r.Name, "/")
+		if !ok {
+			continue
+		}
+		switch variant {
+		case "parallelism=1":
+			serial[base] = r.NsPerOp
+		case "parallelism=max":
+			parallel[base] = r.NsPerOp
+		}
+	}
+	for base, s := range serial {
+		if p, ok := parallel[base]; ok && p > 0 {
+			rep.Speedups[base] = s / p
+		}
+	}
+	if rep.Gomaxprocs <= 1 {
+		rep.Note = "single-core runner: parallelism=max degenerates to the serial path, speedups ~1.0x by construction; the >=1.5x target applies to GOMAXPROCS >= 2"
+	} else {
+		rep.Note = "speedup = ns/op at parallelism=1 divided by ns/op at parallelism=max"
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one "BenchmarkX/sub-N  iters  123 ns/op [456 B/op 7
+// allocs/op]" line; the -N suffix (present when GOMAXPROCS > 1) is
+// stripped and returned.
+func parseLine(line string) (result, int, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return result{}, 0, false
+	}
+	name := fields[0]
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = n
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, 0, false
+	}
+	r := result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	return r, procs, r.NsPerOp > 0
+}

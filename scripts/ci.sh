@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI gate: formatting, vet, build, race-enabled tests, then the
+# serial-vs-parallel benchmark pair recorded to BENCH_parallel.json.
+# The race detector is the correctness gate for the concurrent pipeline.
+#
+# Usage: scripts/ci.sh [--no-bench]
+#   BENCHTIME overrides the benchmark duration (default 3x iterations).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "files need gofmt:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+if [ "${1:-}" = "--no-bench" ]; then
+    echo "CI OK (benchmarks skipped)"
+    exit 0
+fi
+
+echo "== parallel benchmarks =="
+bench_out=$(mktemp)
+trap 'rm -f "$bench_out"' EXIT
+go test -bench '^(BenchmarkCompress|BenchmarkTune)$' -benchmem \
+    -benchtime "${BENCHTIME:-3x}" -run '^$' . | tee "$bench_out"
+go run ./scripts/benchjson <"$bench_out" >BENCH_parallel.json
+echo "wrote BENCH_parallel.json"
+
+echo "CI OK"
