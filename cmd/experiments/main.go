@@ -17,6 +17,8 @@ import (
 	"time"
 
 	"isum/internal/experiments"
+	"isum/internal/parallel"
+	"isum/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +29,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parallelism := flag.Int("parallelism", 0,
 		"worker goroutines for compression and tuning hot paths (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+	var tf telemetry.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -46,7 +50,16 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
-	cfg := experiments.Config{Scale: *sf, Seed: *seed, Fast: *fast, Parallelism: *parallelism}
+	trun, err := tf.Open()
+	if err != nil {
+		fatal(err)
+	}
+	parallel.SetTelemetry(trun.Registry)
+
+	cfg := experiments.Config{
+		Scale: *sf, Seed: *seed, Fast: *fast,
+		Parallelism: *parallelism, Telemetry: trun.Registry,
+	}
 	env := experiments.NewEnv(cfg)
 
 	ids := flag.Args()
@@ -59,6 +72,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if err := trun.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -17,6 +17,8 @@ import (
 	"isum/internal/benchmarks"
 	"isum/internal/core"
 	"isum/internal/cost"
+	"isum/internal/parallel"
+	"isum/internal/telemetry"
 	"isum/internal/workload"
 )
 
@@ -28,7 +30,16 @@ func main() {
 	in := flag.String("in", "", "workload JSON to inspect instead of generating")
 	top := flag.Int("top", 10, "how many queries to detail")
 	showFeatures := flag.Bool("features", false, "print feature vectors for the top queries")
+	var tf telemetry.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
+
+	trun, err := tf.Open()
+	if err != nil {
+		fatal(err)
+	}
+	reg := trun.Registry
+	parallel.SetTelemetry(reg)
 
 	g, err := benchmarks.FromName(*bench, *sf, *seed)
 	if err != nil {
@@ -50,7 +61,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		cost.NewOptimizer(g.Cat).FillCosts(w)
+		cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), reg).FillCosts(w)
 	}
 
 	fmt.Printf("workload: %d queries, %d templates, %d tables referenced, total cost %.0f\n\n",
@@ -86,7 +97,9 @@ func main() {
 	}
 
 	// Per-query benefit diagnostics.
-	states := core.BuildStates(w, core.DefaultOptions())
+	copts := core.DefaultOptions()
+	copts.Telemetry = reg
+	states := core.BuildStates(w, copts)
 	ss := core.BuildSummary(states)
 	type qd struct {
 		idx              int
@@ -130,6 +143,9 @@ func main() {
 			break
 		}
 		fmt.Printf("  %-32s %.4f\n", k, ss.V[k])
+	}
+	if err := trun.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -8,6 +8,10 @@
 // Usage:
 //
 //	isum -benchmark tpch -in tpch.json -k 20 -variant isum-s -out small.json
+//
+// Telemetry: -trace prints the phase tree (build-states, per-round greedy
+// spans) to stderr, -metrics-out writes the JSON metrics+span export, and
+// -pprof-dir captures cpu/heap profiles around the run (DESIGN.md §8).
 package main
 
 import (
@@ -17,6 +21,9 @@ import (
 
 	"isum/internal/benchmarks"
 	"isum/internal/core"
+	"isum/internal/cost"
+	"isum/internal/parallel"
+	"isum/internal/telemetry"
 	"isum/internal/workload"
 )
 
@@ -25,13 +32,23 @@ func main() {
 	sf := flag.Float64("sf", 10, "scale factor")
 	seed := flag.Int64("seed", 1, "seed (for realm catalog)")
 	in := flag.String("in", "", "input workload JSON (default: generate the benchmark workload)")
+	n := flag.Int("n", 473, "generated workload size (ignored with -in)")
 	k := flag.Int("k", 20, "compressed workload size")
 	variant := flag.String("variant", "isum",
 		"isum (rule-based), isum-s (stats-based), notable, allpairs")
 	out := flag.String("out", "", "output file (default stdout)")
 	parallelism := flag.Int("parallelism", 0,
 		"worker goroutines for compression hot paths (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+	var tf telemetry.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
+
+	trun, err := tf.Open()
+	if err != nil {
+		fatal(err)
+	}
+	reg := trun.Registry
+	parallel.SetTelemetry(reg)
 
 	g, err := benchmarks.FromName(*bench, *sf, *seed)
 	if err != nil {
@@ -50,10 +67,17 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		w, err = g.Workload(473, *seed)
+		w, err = g.Workload(*n, *seed)
 		if err != nil {
 			fatal(err)
 		}
+		// Generated workloads carry no costs; fill them with the what-if
+		// optimizer so utilities reflect the paper's input contract (and so
+		// the telemetry export shows the what-if call/cache counts).
+		sp := reg.Start("isum/fill-costs")
+		o := cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), reg)
+		o.FillCostsN(w, *parallelism)
+		sp.End()
 	}
 
 	var opts core.Options
@@ -71,6 +95,7 @@ func main() {
 		fatal(fmt.Errorf("unknown variant %q", *variant))
 	}
 	opts.Parallelism = *parallelism
+	opts.Telemetry = reg
 
 	comp := core.New(opts)
 	cw, res := comp.CompressedWorkload(w, *k)
@@ -91,6 +116,9 @@ func main() {
 	for i, idx := range res.Indices {
 		fmt.Fprintf(os.Stderr, "  #%-4d weight %.4f  benefit %.4f\n",
 			idx, res.Weights[i], res.SelectionBenefits[i])
+	}
+	if err := trun.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	tune -benchmark tpch -in small.json -eval tpch.json -max-indexes 20 -storage-mult 3
+//
+// Telemetry: -trace prints the tuning phase tree (candidate selection,
+// merging, per-round enumeration with what-if call deltas) to stderr,
+// -metrics-out writes the JSON metrics+span export, and -pprof-dir
+// captures cpu/heap profiles around the run (DESIGN.md §8).
 package main
 
 import (
@@ -16,6 +21,8 @@ import (
 	"isum/internal/benchmarks"
 	"isum/internal/catalog"
 	"isum/internal/cost"
+	"isum/internal/parallel"
+	"isum/internal/telemetry"
 	"isum/internal/workload"
 )
 
@@ -33,11 +40,19 @@ func main() {
 	configOut := flag.String("config-out", "", "save the recommended configuration as JSON")
 	parallelism := flag.Int("parallelism", 0,
 		"worker goroutines for what-if calls (0 = GOMAXPROCS, 1 = serial); recommendations are identical at any setting")
+	var tf telemetry.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required"))
 	}
+	trun, err := tf.Open()
+	if err != nil {
+		fatal(err)
+	}
+	reg := trun.Registry
+	parallel.SetTelemetry(reg)
 	g, err := benchmarks.FromName(*bench, *sf, *seed)
 	if err != nil {
 		fatal(err)
@@ -79,11 +94,12 @@ func main() {
 	}
 	opts.MaxIndexes = *maxIndexes
 	opts.Parallelism = *parallelism
+	opts.Telemetry = reg
 	if *storageMult > 0 {
 		opts.StorageBudget = int64(*storageMult * float64(g.Cat.TotalSizeBytes()))
 	}
 
-	o := cost.NewOptimizer(g.Cat)
+	o := cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), reg)
 	res := advisor.New(o, opts).Tune(w)
 
 	fmt.Printf("recommended %d indexes in %v (%d optimizer calls, %d configs explored)\n",
@@ -106,11 +122,16 @@ func main() {
 
 	if *eval != "" {
 		ew := load(*eval)
+		sp := reg.Start("tune/evaluate")
 		pct, base, final := advisor.EvaluateImprovementN(o, ew, res.Config, *parallelism)
+		sp.End()
 		fmt.Printf("improvement on evaluation workload: %.2f%% (cost %.0f -> %.0f)\n", pct, base, final)
 		if *report > 0 {
 			advisor.Report(o, ew, res.Config).Write(os.Stdout, *report)
 		}
+	}
+	if err := trun.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -13,6 +13,8 @@ import (
 
 	"isum/internal/benchmarks"
 	"isum/internal/cost"
+	"isum/internal/parallel"
+	"isum/internal/telemetry"
 )
 
 func main() {
@@ -22,7 +24,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	out := flag.String("out", "", "output file (default stdout)")
 	catalogOut := flag.String("catalog-out", "", "also export the catalog (schema + statistics) as JSON")
+	var tf telemetry.Flags
+	tf.Register(flag.CommandLine)
 	flag.Parse()
+
+	trun, err := tf.Open()
+	if err != nil {
+		fatal(err)
+	}
+	reg := trun.Registry
+	parallel.SetTelemetry(reg)
 
 	g, err := benchmarks.FromName(*bench, *sf, *seed)
 	if err != nil {
@@ -32,11 +43,15 @@ func main() {
 		defaults := map[string]int{"TPC-H": 2200, "TPC-DS": 9100, "DSB": 520, "Real-M": 473}
 		*n = defaults[g.Name]
 	}
+	sp := reg.Start("workloadgen/generate")
 	w, err := g.Workload(*n, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	cost.NewOptimizer(g.Cat).FillCosts(w)
+	sp.End()
+	sp = reg.Start("workloadgen/fill-costs")
+	cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), reg).FillCosts(w)
+	sp.End()
 
 	f := os.Stdout
 	if *out != "" {
@@ -61,6 +76,9 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "%s: %d queries, %d templates, %d tables\n",
 		g.Name, w.Len(), w.NumTemplates(), w.TablesReferenced())
+	if err := trun.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

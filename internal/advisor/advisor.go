@@ -13,6 +13,7 @@ import (
 	"isum/internal/cost"
 	"isum/internal/index"
 	"isum/internal/parallel"
+	"isum/internal/telemetry"
 	"isum/internal/workload"
 )
 
@@ -66,6 +67,13 @@ type Options struct {
 	// results are merged and weighted sums reduced in input order (see
 	// DESIGN.md, "Concurrency model").
 	Parallelism int
+	// Telemetry receives the advisor's metrics and phase spans (candidate
+	// selection, merging, per-round enumeration — see DESIGN.md §8). nil,
+	// the default, disables instrumentation; recommendations are identical
+	// either way. Pass the optimizer's registry (or construct the
+	// optimizer with NewOptimizerWithTelemetry on a shared one) to see
+	// what-if call deltas attributed to each tuning phase.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultOptions returns the standard DTA-style configuration.
@@ -137,6 +145,18 @@ func New(o *cost.Optimizer, opts Options) *Advisor {
 // weighted improvement, which is how a compressed workload steers tuning.
 func (a *Advisor) Tune(w *workload.Workload) *Result {
 	start := time.Now()
+	reg := a.opts.Telemetry
+	root := reg.Start("advisor/tune")
+	defer root.End()
+	if reg != nil {
+		root.SetAttr("queries", len(w.Queries))
+		if a.opts.Mode == Dexter {
+			root.SetAttr("mode", "dexter")
+		} else {
+			root.SetAttr("mode", "dta")
+		}
+	}
+
 	deadline := time.Time{}
 	if a.opts.TimeBudget > 0 {
 		deadline = start.Add(a.opts.TimeBudget)
@@ -144,11 +164,20 @@ func (a *Advisor) Tune(w *workload.Workload) *Result {
 	callsBefore := a.o.Calls()
 	res := &Result{InitialCost: a.o.WorkloadCostN(w, nil, a.opts.Parallelism)}
 
+	sc := reg.Start("advisor/candidates")
 	candidates := a.selectCandidates(w, res, deadline)
+	sc.SetAttr("pooled", len(candidates))
+	sc.End()
 	if a.opts.EnableMerging {
+		sm := reg.Start("advisor/merge")
 		candidates = a.addMerged(candidates)
+		sm.SetAttr("with-merged", len(candidates))
+		sm.End()
 	}
+	se := reg.Start("advisor/enumerate")
 	cfg := a.enumerate(w, candidates, res, deadline)
+	se.SetAttr("indexes", cfg.Len())
+	se.End()
 
 	res.Config = cfg
 	res.FinalCost = a.o.WorkloadCostN(w, cfg, a.opts.Parallelism)
@@ -181,6 +210,9 @@ type queryCandidates struct {
 // deadline — in-flight queries finish, so the anytime result is a superset
 // of the serial prefix.
 func (a *Advisor) selectCandidates(w *workload.Workload, res *Result, deadline time.Time) []scored {
+	// probed is bumped from worker closures — counters are atomics, so
+	// this is the one advisor metric safely updated off the span path.
+	probed := a.opts.Telemetry.Counter("advisor/candidates/probed")
 	perQuery := parallel.Map(parallel.Workers(a.opts.Parallelism), len(w.Queries),
 		func(i int) *queryCandidates {
 			if expired(deadline) {
@@ -199,6 +231,7 @@ func (a *Advisor) selectCandidates(w *workload.Workload, res *Result, deadline t
 			for _, ix := range a.syntacticCandidatesForMode(q) {
 				c := a.o.Cost(q, index.NewConfiguration(ix))
 				qc.explored++
+				probed.Inc()
 				gain := base - c
 				if gain <= 0 || gain < a.opts.MinImprovement*base {
 					continue
@@ -371,6 +404,8 @@ func (a *Advisor) enumerate(w *workload.Workload, cands []scored, res *Result, d
 		newCosts map[int]float64
 	}
 	workers := parallel.Workers(a.opts.Parallelism)
+	reg := a.opts.Telemetry
+	roundsCtr := reg.Counter("advisor/enumerate/rounds")
 	for {
 		if a.opts.MaxIndexes > 0 && cfg.Len() >= a.opts.MaxIndexes {
 			break
@@ -378,6 +413,8 @@ func (a *Advisor) enumerate(w *workload.Workload, cands []scored, res *Result, d
 		if expired(deadline) {
 			break // anytime mode: return the configuration built so far
 		}
+		rsp := reg.Start("advisor/enumerate/round")
+		roundsCtr.Inc()
 		// Probe every remaining candidate in parallel: each probe re-costs
 		// only the queries on the candidate's table against a private
 		// cfg+candidate copy, reading cfg/curCost/queriesByTable without
@@ -420,6 +457,8 @@ func (a *Advisor) enumerate(w *workload.Workload, cands []scored, res *Result, d
 			}
 		}
 		if bestIdx < 0 {
+			rsp.SetAttr("outcome", "no-gain")
+			rsp.End()
 			break
 		}
 		chosen := remaining[bestIdx]
@@ -429,6 +468,12 @@ func (a *Advisor) enumerate(w *workload.Workload, cands []scored, res *Result, d
 			curCost[qi] = c
 		}
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		if reg != nil {
+			rsp.SetAttr("chosen", chosen.ix.ID())
+			rsp.SetAttr("gain", bestGain)
+			rsp.SetAttr("probed", len(probes))
+		}
+		rsp.End()
 	}
 	return cfg
 }

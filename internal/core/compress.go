@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"isum/internal/parallel"
+	"isum/internal/telemetry"
 	"isum/internal/workload"
 )
 
@@ -51,6 +52,11 @@ func (c *Compressor) Name() string {
 // n every query is selected with weight 1/n.
 func (c *Compressor) Compress(w *workload.Workload, k int) *Result {
 	start := time.Now()
+	reg := c.opts.Telemetry
+	root := reg.Start("core/compress")
+	defer root.End()
+	root.SetAttr("variant", c.Name())
+
 	res := &Result{}
 	n := w.Len()
 	if n == 0 || k <= 0 {
@@ -60,10 +66,19 @@ func (c *Compressor) Compress(w *workload.Workload, k int) *Result {
 	if k > n {
 		k = n
 	}
+	if reg != nil {
+		root.SetAttr("n", n)
+		root.SetAttr("k", k)
+	}
 
 	states := BuildStates(w, c.opts)
+	sg := reg.Start("core/select-greedy")
 	c.selectGreedy(states, k, res)
+	sg.SetAttr("selected", len(res.Indices))
+	sg.End()
+	sw := reg.Start("core/weigh")
 	res.Weights = c.weigh(w, states, res)
+	sw.End()
 	res.Elapsed = time.Since(start)
 	return res
 }
@@ -90,14 +105,33 @@ func (c *Compressor) selectGreedy(states []*QueryState, k int, res *Result) {
 	summary := c.opts.Algorithm != AllPairs
 	incremental := summary && !c.opts.RebuildSummary
 
+	// Telemetry handles (all nil-safe; resolved once, not per round). The
+	// disabled path costs a pointer check per round and never calls
+	// time.Now.
+	reg := c.opts.Telemetry
+	var argmaxNanos, updateNanos *telemetry.Histogram
+	var rounds, resets *telemetry.Counter
+	if reg != nil {
+		argmaxNanos = reg.Histogram("core/greedy/argmax_nanos", telemetry.DurationBuckets)
+		updateNanos = reg.Histogram("core/greedy/update_nanos", telemetry.DurationBuckets)
+		rounds = reg.Counter("core/greedy/rounds")
+		resets = reg.Counter("core/greedy/feature_resets")
+	}
+
 	var ss *SummaryState
 	if summary {
 		ss = BuildSummary(states)
 	}
 	ineligible := math.Inf(-1)
 	for len(res.Indices) < k {
+		rsp := reg.Start("core/greedy/round")
+		rounds.Inc()
 		if summary && c.opts.RebuildSummary {
 			ss = BuildSummary(states)
+		}
+		var tArgmax time.Time
+		if reg != nil {
+			tArgmax = time.Now()
 		}
 		benefits := parallel.Map(workers, len(states), func(i int) float64 {
 			s := states[i]
@@ -121,23 +155,39 @@ func (c *Compressor) selectGreedy(states []*QueryState, k int, res *Result) {
 				bestBenefit, best = b, states[i]
 			}
 		}
+		if reg != nil {
+			argmaxNanos.Observe(float64(time.Since(tArgmax).Nanoseconds()))
+		}
 
 		if best == nil {
 			// Every remaining query has zero-weight features: reset to the
 			// original features (Algorithm 2, line 12) and retry; if reset
 			// does nothing we are out of selectable queries.
 			if !resetIfAllZero(states) || allSelected(states) {
+				rsp.SetAttr("outcome", "exhausted")
+				rsp.End()
 				return
 			}
+			resets.Inc()
 			if incremental {
 				ss = BuildSummary(states)
 			}
+			rsp.SetAttr("outcome", "feature-reset")
+			rsp.End()
 			continue
 		}
 
 		best.Selected = true
 		res.Indices = append(res.Indices, best.Index)
 		res.SelectionBenefits = append(res.SelectionBenefits, bestBenefit)
+		if reg != nil {
+			rsp.SetAttr("selected", best.Index)
+			rsp.SetAttr("benefit", bestBenefit)
+		}
+		var tUpdate time.Time
+		if reg != nil {
+			tUpdate = time.Now()
+		}
 		if incremental {
 			ss.RemoveSelected(best)
 		}
@@ -153,6 +203,10 @@ func (c *Compressor) selectGreedy(states []*QueryState, k int, res *Result) {
 				ss.ApplyDelta(d)
 			}
 		}
+		if reg != nil {
+			updateNanos.Observe(float64(time.Since(tUpdate).Nanoseconds()))
+		}
+		rsp.End()
 	}
 }
 

@@ -8,6 +8,7 @@ package core
 import (
 	"isum/internal/catalog"
 	"isum/internal/features"
+	"isum/internal/telemetry"
 )
 
 // Algorithm selects the greedy driver.
@@ -99,6 +100,12 @@ type Options struct {
 	// of being maintained incrementally. Debug/validation knob: the
 	// incremental path is algebraically identical and O(rounds) cheaper.
 	RebuildSummary bool
+	// Telemetry receives the compressor's metrics and phase spans
+	// (core/build-states, per-round core/greedy spans with argmax and
+	// update timings — see DESIGN.md §8). nil, the default, disables
+	// instrumentation: the no-op path is a pointer check and allocates
+	// nothing, and compression output is identical either way.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultOptions returns ISUM's default configuration: summary features,

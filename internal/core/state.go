@@ -54,6 +54,10 @@ func delta(q *workload.Query, mode UtilityMode) float64 {
 // out across opts.Parallelism workers; ΣΔ is reduced serially in query
 // order, so utilities are bit-identical at any parallelism.
 func BuildStates(w *workload.Workload, opts Options) []*QueryState {
+	sp := opts.Telemetry.Start("core/build-states")
+	defer sp.End()
+	sp.SetAttr("n", len(w.Queries))
+
 	ex := opts.extractor(w.Catalog)
 	states := make([]*QueryState, len(w.Queries))
 	deltas := make([]float64, len(w.Queries))

@@ -1,15 +1,16 @@
 package cost
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"isum/internal/catalog"
 	"isum/internal/index"
 	"isum/internal/parallel"
+	"isum/internal/telemetry"
 	"isum/internal/workload"
 )
 
@@ -26,6 +27,10 @@ type cacheShard struct {
 	// fingerprint, so copies of a Query (e.g. weighted compressed-workload
 	// entries) share cost entries.
 	entries map[string]map[string]float64
+	// hits/misses are this shard's cache counters, registered in the
+	// optimizer's telemetry registry as cost/cache/shardNN/{hits,misses}.
+	hits   *telemetry.Counter
+	misses *telemetry.Counter
 }
 
 // Optimizer estimates query costs against hypothetical index configurations
@@ -42,10 +47,11 @@ type cacheShard struct {
 type Optimizer struct {
 	cat *catalog.Catalog
 	par Params
+	reg *telemetry.Registry
 
-	calls     atomic.Int64 // what-if invocations (cache hits included)
-	plans     atomic.Int64 // actual plan computations (cache misses)
-	costNanos atomic.Int64 // wall time spent inside Cost (Fig. 2's optimizer share)
+	calls     *telemetry.Counter // cost/whatif/calls: invocations (hits included)
+	plans     *telemetry.Counter // cost/whatif/plans: plan computations (misses)
+	costNanos *telemetry.Counter // cost/whatif/cost_nanos (Fig. 2's optimizer share)
 
 	shards [cacheShardCount]cacheShard
 }
@@ -58,12 +64,41 @@ func NewOptimizer(cat *catalog.Catalog) *Optimizer {
 // NewOptimizerWithParams returns an optimizer with custom cost-model
 // constants — the ablation/calibration path.
 func NewOptimizerWithParams(cat *catalog.Catalog, par Params) *Optimizer {
-	o := &Optimizer{cat: cat, par: par}
+	return NewOptimizerWithTelemetry(cat, par, nil)
+}
+
+// NewOptimizerWithTelemetry registers the optimizer's metrics — what-if
+// call/plan counters, cumulative cost time, per-shard cache hits/misses —
+// in reg, so a pipeline-wide registry attributes what-if work to phases.
+// A nil reg gives the optimizer a private registry: the counters behind
+// Calls/Plans/CostTime are always live, at the cost of one atomic add
+// each, exactly as the pre-telemetry fields were.
+//
+// Optimizers sharing a registry share these metrics; when per-optimizer
+// attribution matters, give each its own registry.
+func NewOptimizerWithTelemetry(cat *catalog.Catalog, par Params, reg *telemetry.Registry) *Optimizer {
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	o := &Optimizer{
+		cat:       cat,
+		par:       par,
+		reg:       reg,
+		calls:     reg.Counter("cost/whatif/calls"),
+		plans:     reg.Counter("cost/whatif/plans"),
+		costNanos: reg.Counter("cost/whatif/cost_nanos"),
+	}
 	for i := range o.shards {
 		o.shards[i].entries = make(map[string]map[string]float64)
+		o.shards[i].hits = reg.Counter(fmt.Sprintf("cost/cache/shard%02d/hits", i))
+		o.shards[i].misses = reg.Counter(fmt.Sprintf("cost/cache/shard%02d/misses", i))
 	}
 	return o
 }
+
+// Telemetry returns the registry holding the optimizer's metrics (never
+// nil; private unless one was supplied at construction).
+func (o *Optimizer) Telemetry() *telemetry.Registry { return o.reg }
 
 // Params returns the optimizer's cost-model constants.
 func (o *Optimizer) Params() Params { return o.par }
@@ -101,11 +136,13 @@ func (o *Optimizer) Cost(q *workload.Query, cfg *index.Configuration) float64 {
 	if perQ, ok := sh.entries[q.Text]; ok {
 		if c, ok := perQ[key]; ok {
 			sh.mu.RUnlock()
+			sh.hits.Inc()
 			return c
 		}
 	}
 	sh.mu.RUnlock()
 
+	sh.misses.Inc()
 	o.plans.Add(1)
 	c := o.computeCost(q, cfg)
 
@@ -163,24 +200,41 @@ func (o *Optimizer) FillCostsN(w *workload.Workload, parallelism int) {
 }
 
 // Calls returns the number of what-if invocations so far.
-func (o *Optimizer) Calls() int64 { return o.calls.Load() }
+func (o *Optimizer) Calls() int64 { return o.calls.Value() }
 
 // Plans returns the number of cache-miss plan computations so far.
-func (o *Optimizer) Plans() int64 { return o.plans.Load() }
+func (o *Optimizer) Plans() int64 { return o.plans.Value() }
 
 // CostTime returns the cumulative wall time spent inside Cost — the
 // "time on optimizer calls" series of Fig. 2a. Under concurrency this is
 // summed per call, so it can exceed wall-clock time.
 func (o *Optimizer) CostTime() time.Duration {
-	return time.Duration(o.costNanos.Load())
+	return time.Duration(o.costNanos.Value())
 }
 
-// ResetCounters zeroes the call counters and timers (the cache is
-// retained).
+// CacheStats sums the per-shard cache counters: hits are calls answered
+// from the what-if cache, misses are plan computations.
+func (o *Optimizer) CacheStats() (hits, misses int64) {
+	for i := range o.shards {
+		hits += o.shards[i].hits.Value()
+		misses += o.shards[i].misses.Value()
+	}
+	return hits, misses
+}
+
+// ResetCounters zeroes the call counters, timers, and per-shard cache
+// counters (the cache itself is retained) — the multi-run experiment
+// hook, so harness invocations report per-run rather than cumulative
+// what-if statistics. When the optimizer shares a registry, only its own
+// metrics are reset; use Registry.Reset to clear everything.
 func (o *Optimizer) ResetCounters() {
-	o.calls.Store(0)
-	o.plans.Store(0)
-	o.costNanos.Store(0)
+	o.calls.Reset()
+	o.plans.Reset()
+	o.costNanos.Reset()
+	for i := range o.shards {
+		o.shards[i].hits.Reset()
+		o.shards[i].misses.Reset()
+	}
 }
 
 // computeCost plans every block of the query and sums their costs.

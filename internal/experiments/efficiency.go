@@ -9,9 +9,11 @@ import (
 	"isum/internal/cost"
 )
 
-// freshOptimizer returns a new optimizer over a generator's catalog.
-func freshOptimizer(g *benchmarks.Generator) *cost.Optimizer {
-	return cost.NewOptimizer(g.Cat)
+// freshOptimizer returns a new optimizer over a generator's catalog,
+// registered against the environment's telemetry (if any) so per-figure
+// breakdowns attribute its what-if calls.
+func (e *Env) freshOptimizer(g *benchmarks.Generator) *cost.Optimizer {
+	return cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), e.Cfg.Telemetry)
 }
 
 // Fig11 reproduces Figure 11: improvement (a, b) and compression time
@@ -46,7 +48,7 @@ func Fig11(env *Env) []*Table {
 			if err != nil {
 				panic(err)
 			}
-			o := freshOptimizer(g)
+			o := env.freshOptimizer(g)
 			o.FillCosts(w)
 			k := halfSqrt(n)
 			aopts := env.AdvisorOptions(name)

@@ -15,6 +15,7 @@ import (
 	"isum/internal/core"
 	"isum/internal/cost"
 	"isum/internal/index"
+	"isum/internal/telemetry"
 	"isum/internal/workload"
 )
 
@@ -32,6 +33,13 @@ type Config struct {
 	// hot paths (0 = GOMAXPROCS, 1 = serial). Experiment outputs are
 	// identical at any setting; this only trades wall-clock for cores.
 	Parallelism int
+	// Telemetry, when non-nil, collects pipeline metrics and phase spans
+	// across every experiment: optimizers are constructed against it and
+	// Run appends a per-figure phase breakdown (elapsed time plus counter
+	// deltas — what-if calls, cache hits/misses, greedy rounds) next to
+	// each figure's tables. Figure results themselves are identical with
+	// or without it.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -106,7 +114,7 @@ func (e *Env) Workload(name string) (*workload.Workload, *cost.Optimizer) {
 	if err != nil {
 		panic(fmt.Sprintf("experiments: building %s workload: %v", name, err))
 	}
-	o := cost.NewOptimizer(g.Cat)
+	o := cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), e.Cfg.Telemetry)
 	o.FillCosts(w)
 	e.wls[name] = w
 	e.opts[name] = o
@@ -122,6 +130,7 @@ func (e *Env) AdvisorOptions(name string) advisor.Options {
 	opts.MaxIndexes = 30
 	opts.StorageBudget = 3 * e.Generator(name).Cat.TotalSizeBytes()
 	opts.Parallelism = e.Cfg.Parallelism
+	opts.Telemetry = e.Cfg.Telemetry
 	return opts
 }
 

@@ -82,7 +82,7 @@ func ExtraIncremental(env *Env) []*Table {
 	if err != nil {
 		panic(err)
 	}
-	o := freshOptimizer(g)
+	o := env.freshOptimizer(g)
 	o.FillCosts(w)
 	aopts := env.AdvisorOptions(name)
 	k := halfSqrt(n)

@@ -4,6 +4,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
+	"time"
+
+	"isum/internal/telemetry"
 )
 
 // Runner produces the tables for one paper figure/table.
@@ -47,18 +51,62 @@ func Names() []string {
 	return names
 }
 
-// Run executes one experiment by id and writes its tables to w.
+// Run executes one experiment by id and writes its tables to w. With
+// Config.Telemetry set, the run is wrapped in an experiments/<id> span and
+// a per-figure phase breakdown — elapsed time plus the counter deltas the
+// figure caused (what-if calls, cache hits/misses, greedy rounds) — is
+// written right after the figure's tables.
 func Run(env *Env, id string, w io.Writer) error {
 	r, ok := Registry()[id]
 	if !ok {
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, Names())
 	}
-	for _, t := range r(env) {
+	sp := env.Cfg.Telemetry.Start("experiments/" + id)
+	tables := r(env)
+	sp.End()
+	for _, t := range tables {
 		if err := t.Write(w); err != nil {
 			return err
 		}
 	}
+	if env.Cfg.Telemetry != nil {
+		if err := telemetryBreakdown(id, sp).Write(w); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// telemetryBreakdown renders one figure's span into the phase-breakdown
+// table written next to its results.
+func telemetryBreakdown(id string, sp *telemetry.Span) *Table {
+	t := &Table{
+		Title:   "telemetry " + id,
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("elapsed", sp.Duration().Round(time.Microsecond).String())
+	// Collapse the per-shard cache counters into totals — 64 shard rows
+	// would drown the breakdown; the full split stays in the JSON export.
+	rollup := map[string]int64{}
+	for name, d := range sp.CounterDeltas() {
+		if strings.HasPrefix(name, "cost/cache/shard") {
+			if strings.HasSuffix(name, "/hits") {
+				name = "cost/cache/hits"
+			} else {
+				name = "cost/cache/misses"
+			}
+		}
+		rollup[name] += d
+	}
+	names := make([]string, 0, len(rollup))
+	for name := range rollup {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t.AddRow(name, rollup[name])
+	}
+	return t
 }
 
 // RunAll executes every experiment in name order.

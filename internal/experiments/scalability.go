@@ -29,7 +29,7 @@ func Fig2(env *Env) []*Table {
 		if err != nil {
 			panic(err)
 		}
-		o := freshOptimizer(g)
+		o := env.freshOptimizer(g)
 		o.FillCosts(w)
 		o.ResetCounters()
 		aopts := env.AdvisorOptions("TPC-DS")
@@ -56,7 +56,7 @@ func Fig3(env *Env) []*Table {
 	if err != nil {
 		panic(err)
 	}
-	o := freshOptimizer(g)
+	o := env.freshOptimizer(g)
 	o.FillCosts(w)
 	aopts := env.AdvisorOptions("TPC-DS")
 

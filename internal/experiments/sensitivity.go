@@ -29,7 +29,7 @@ func Fig12(env *Env) []*Table {
 		if err != nil {
 			panic(err)
 		}
-		o := freshOptimizer(g)
+		o := env.freshOptimizer(g)
 		o.FillCosts(w)
 		k := halfSqrt(w.Len())
 		row := []any{inst}
@@ -49,7 +49,7 @@ func Fig12(env *Env) []*Table {
 		if err != nil {
 			panic(err)
 		}
-		o := freshOptimizer(g)
+		o := env.freshOptimizer(g)
 		o.FillCosts(w)
 		t := &Table{
 			Title:   fmt.Sprintf("Fig 12b-d (DSB %s): improvement %% vs compressed size", class),

@@ -16,7 +16,38 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"isum/internal/telemetry"
 )
+
+// poolMetrics are the package's registered telemetry handles; nil when
+// telemetry is disabled (the default), so the hot paths pay one atomic
+// pointer load.
+type poolMetrics struct {
+	tasks     *telemetry.Counter   // parallel/pool/tasks: fn invocations
+	batches   *telemetry.Counter   // parallel/pool/batches: ForEach/Map calls
+	queueWait *telemetry.Histogram // parallel/pool/queue_wait_nanos: spawn → first task
+}
+
+var pool atomic.Pointer[poolMetrics]
+
+// SetTelemetry registers the worker pool's metrics — tasks executed,
+// batches dispatched, and a spawn-to-start queue-wait histogram — in reg.
+// Pass nil to disable (the default). The setting is process-wide because
+// the pool helpers are free functions; CLIs call it once at startup.
+func SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		pool.Store(nil)
+		return
+	}
+	pool.Store(&poolMetrics{
+		tasks:     reg.Counter("parallel/pool/tasks"),
+		batches:   reg.Counter("parallel/pool/batches"),
+		queueWait: reg.Histogram("parallel/pool/queue_wait_nanos", telemetry.DurationBuckets),
+	})
+}
 
 // Workers resolves a parallelism knob: n < 1 means "use every core"
 // (GOMAXPROCS), any other value is taken literally.
@@ -35,6 +66,11 @@ func ForEach(workers, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	m := pool.Load()
+	if m != nil {
+		m.tasks.Add(int64(n))
+		m.batches.Inc()
+	}
 	if workers > n {
 		workers = n
 	}
@@ -50,6 +86,10 @@ func ForEach(workers, n int, fn func(i int)) {
 		panicMu  sync.Mutex
 		panicked any
 	)
+	var spawned time.Time
+	if m != nil {
+		spawned = time.Now()
+	}
 	run := func(lo, hi int) {
 		defer wg.Done()
 		defer func() {
@@ -61,6 +101,9 @@ func ForEach(workers, n int, fn func(i int)) {
 				panicMu.Unlock()
 			}
 		}()
+		if m != nil {
+			m.queueWait.Observe(float64(time.Since(spawned).Nanoseconds()))
+		}
 		for i := lo; i < hi; i++ {
 			fn(i)
 		}

@@ -1,0 +1,46 @@
+package parallel
+
+import (
+	"testing"
+
+	"isum/internal/telemetry"
+)
+
+// TestSetTelemetry pins the pool metrics: exact task counts at serial and
+// parallel worker counts, batch counts, and one queue-wait observation per
+// spawned worker (none on the serial path).
+func TestSetTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	SetTelemetry(reg)
+	defer SetTelemetry(nil)
+
+	ForEach(1, 100, func(int) {}) // serial path
+	ForEach(4, 100, func(int) {}) // pooled path
+	Map(4, 50, func(i int) int { return i })
+
+	if got := reg.Counter("parallel/pool/tasks").Value(); got != 250 {
+		t.Errorf("tasks = %d, want 250", got)
+	}
+	if got := reg.Counter("parallel/pool/batches").Value(); got != 3 {
+		t.Errorf("batches = %d, want 3", got)
+	}
+	// Two pooled batches × 4 workers observe queue wait; the serial batch
+	// spawns no workers.
+	waits := reg.Histogram("parallel/pool/queue_wait_nanos", nil).Count()
+	if waits != 8 {
+		t.Errorf("queue-wait observations = %d, want 8", waits)
+	}
+}
+
+// TestTelemetryDisabledByDefault pins that without SetTelemetry the pool
+// records nothing and a later registry sees no phantom counts.
+func TestTelemetryDisabledByDefault(t *testing.T) {
+	SetTelemetry(nil)
+	ForEach(4, 100, func(int) {})
+	reg := telemetry.New()
+	SetTelemetry(reg)
+	defer SetTelemetry(nil)
+	if got := reg.Counter("parallel/pool/tasks").Value(); got != 0 {
+		t.Errorf("tasks = %d, want 0 before any instrumented batch", got)
+	}
+}

@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts a CPU profile writing to dir/cpu.pprof (creating
+// dir) and returns a stop function that ends the CPU profile and writes a
+// post-GC heap profile to dir/heap.pprof. The CLIs call it around their
+// compress/tune phases (-pprof-dir). An empty dir is a no-op: the returned
+// stop function does nothing.
+func StartProfiles(dir string) (stop func() error, err error) {
+	if dir == "" {
+		return func() error { return nil }, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
+			return err
+		}
+		heap, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			return err
+		}
+		defer heap.Close()
+		runtime.GC() // settle allocations so the heap profile reflects live data
+		return pprof.WriteHeapProfile(heap)
+	}, nil
+}

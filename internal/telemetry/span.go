@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// Attr is one span attribute. Values are stringified at Set time so the
+// exporters are deterministic and allocation stays on the enabled path.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one timed pipeline phase. Spans nest implicitly: Start on a
+// registry parents the new span under the most recently started, not yet
+// ended span — the ctx-less equivalent of context-carried tracing, valid
+// because phases are delimited from the orchestration goroutine only
+// (workers bump metrics, they never open spans). All methods are nil-safe.
+type Span struct {
+	reg    *Registry
+	parent *Span
+	name   string
+	start  time.Time
+	dur    time.Duration
+	ended  bool
+
+	attrs    []Attr
+	children []*Span
+
+	// startCounters snapshots every registry counter at Start; End folds it
+	// into deltas — the per-span counter attribution (e.g. what-if calls
+	// issued inside one enumeration round).
+	startCounters map[string]int64
+	deltas        map[string]int64
+}
+
+// Start begins a new span under the currently active span (or as a root).
+// Returns nil on a nil registry, so the disabled path costs one check.
+func (r *Registry) Start(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	sp := &Span{reg: r, name: name, startCounters: r.counterValues()}
+	r.spanMu.Lock()
+	sp.parent = r.active
+	if sp.parent != nil {
+		sp.parent.children = append(sp.parent.children, sp)
+	} else {
+		r.roots = append(r.roots, sp)
+	}
+	r.active = sp
+	r.spanMu.Unlock()
+	sp.start = time.Now()
+	return sp
+}
+
+// SetAttr records a key/value attribute on the span.
+func (sp *Span) SetAttr(key string, value any) {
+	if sp == nil {
+		return
+	}
+	var s string
+	switch v := value.(type) {
+	case string:
+		s = v
+	case float64:
+		s = fmt.Sprintf("%.6g", v)
+	default:
+		s = fmt.Sprint(v)
+	}
+	sp.attrs = append(sp.attrs, Attr{Key: key, Value: s})
+}
+
+// End closes the span, fixing its duration and computing the counter
+// deltas accumulated while it was open. Ending an already-ended or nil
+// span is a no-op.
+func (sp *Span) End() {
+	if sp == nil || sp.ended {
+		return
+	}
+	sp.dur = time.Since(sp.start)
+	sp.ended = true
+	end := sp.reg.counterValues()
+	for name, v := range end {
+		if d := v - sp.startCounters[name]; d != 0 {
+			if sp.deltas == nil {
+				sp.deltas = make(map[string]int64)
+			}
+			sp.deltas[name] = d
+		}
+	}
+	sp.startCounters = nil
+	sp.reg.spanMu.Lock()
+	if sp.reg.active == sp {
+		sp.reg.active = sp.parent
+	}
+	sp.reg.spanMu.Unlock()
+}
+
+// Name returns the span's name ("" for nil).
+func (sp *Span) Name() string {
+	if sp == nil {
+		return ""
+	}
+	return sp.name
+}
+
+// Duration returns the span's duration (0 until End, and for nil).
+func (sp *Span) Duration() time.Duration {
+	if sp == nil {
+		return 0
+	}
+	return sp.dur
+}
+
+// Attrs returns the span's attributes in Set order.
+func (sp *Span) Attrs() []Attr {
+	if sp == nil {
+		return nil
+	}
+	return sp.attrs
+}
+
+// Children returns the nested spans in start order.
+func (sp *Span) Children() []*Span {
+	if sp == nil {
+		return nil
+	}
+	return sp.children
+}
+
+// CounterDeltas returns the non-zero counter changes observed between
+// Start and End (nil when none, or before End, or for a nil span).
+func (sp *Span) CounterDeltas() map[string]int64 {
+	if sp == nil {
+		return nil
+	}
+	return sp.deltas
+}
+
+// Spans returns the root spans recorded so far, in start order.
+func (r *Registry) Spans() []*Span {
+	if r == nil {
+		return nil
+	}
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	return append([]*Span{}, r.roots...)
+}

@@ -31,6 +31,7 @@ import (
 	"isum/internal/core"
 	"isum/internal/cost"
 	"isum/internal/index"
+	"isum/internal/telemetry"
 	"isum/internal/workload"
 )
 
@@ -76,6 +77,13 @@ type (
 	Plan = cost.Plan
 	// WorkloadReport is the DTA-style per-query improvement drill-down.
 	WorkloadReport = advisor.WorkloadReport
+	// Telemetry is the metrics registry + phase tracer threaded through the
+	// pipeline (CompressorOptions.Telemetry, AdvisorOptions.Telemetry,
+	// NewOptimizerWithTelemetry). A nil *Telemetry disables instrumentation
+	// at zero cost — see DESIGN.md §8.
+	Telemetry = telemetry.Registry
+	// TelemetrySpan is one timed phase in the trace tree.
+	TelemetrySpan = telemetry.Span
 )
 
 // NewCatalog returns an empty catalog.
@@ -114,6 +122,19 @@ func LoadConfiguration(r io.Reader) (*Configuration, error) {
 
 // NewOptimizer returns a what-if optimizer over a catalog.
 func NewOptimizer(cat *Catalog) *Optimizer { return cost.NewOptimizer(cat) }
+
+// NewTelemetry returns an empty telemetry registry. Pass it to
+// NewOptimizerWithTelemetry and the Telemetry fields of
+// CompressorOptions/AdvisorOptions, then export with its WriteJSON,
+// WriteText, or WriteTrace methods.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// NewOptimizerWithTelemetry returns a what-if optimizer whose call, plan,
+// and per-shard cache counters register in reg (nil reg behaves like
+// NewOptimizer).
+func NewOptimizerWithTelemetry(cat *Catalog, reg *Telemetry) *Optimizer {
+	return cost.NewOptimizerWithTelemetry(cat, cost.DefaultParams(), reg)
+}
 
 // DefaultOptions returns ISUM's default configuration (rule-based weights,
 // summary-features algorithm).

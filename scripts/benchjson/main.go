@@ -3,12 +3,19 @@
 // parallelism=max variants into a speedup figure. scripts/ci.sh uses it to
 // write BENCH_parallel.json so the perf trajectory of the parallel
 // pipeline is tracked in-repo.
+//
+// Benchmark lines that fail to parse are reported on stderr instead of
+// being dropped silently, and an input containing zero parseable
+// benchmarks is an error — a CI bench step that produced nothing must
+// fail, not write an empty report.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -35,8 +42,19 @@ type report struct {
 }
 
 func main() {
+	if err := run(os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// run converts bench output on in to the JSON report on out, warning on
+// warn about Benchmark lines it could not parse. It returns an error when
+// reading or encoding fails, or when no benchmark parsed at all.
+func run(in io.Reader, out, warn io.Writer) error {
 	rep := report{Gomaxprocs: 1, Speedups: map[string]float64{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
@@ -47,17 +65,22 @@ func main() {
 		case strings.HasPrefix(line, "cpu:"):
 			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
-			if r, procs, ok := parseLine(line); ok {
-				rep.Benchmarks = append(rep.Benchmarks, r)
-				if procs > rep.Gomaxprocs {
-					rep.Gomaxprocs = procs
-				}
+			r, procs, ok := parseLine(line)
+			if !ok {
+				fmt.Fprintf(warn, "benchjson: skipping unparsed benchmark line: %q\n", line)
+				continue
+			}
+			rep.Benchmarks = append(rep.Benchmarks, r)
+			if procs > rep.Gomaxprocs {
+				rep.Gomaxprocs = procs
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return errors.New("no benchmark lines parsed; refusing to write an empty report")
 	}
 
 	// Pair <base>/parallelism=1 with <base>/parallelism=max.
@@ -86,12 +109,9 @@ func main() {
 		rep.Note = "speedup = ns/op at parallelism=1 divided by ns/op at parallelism=max"
 	}
 
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return enc.Encode(rep)
 }
 
 // parseLine parses one "BenchmarkX/sub-N  iters  123 ns/op [456 B/op 7

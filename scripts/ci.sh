@@ -25,6 +25,21 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+# The registry is hammered from the worker pool in production; run its
+# concurrency test explicitly so a future -race exclusion of ./... can't
+# silently drop it.
+echo "== telemetry race test =="
+go test -race -run 'TestRegistryUnderForEach' ./internal/telemetry
+
+echo "== telemetry smoke run =="
+metrics_out=$(mktemp)
+trap 'rm -f "$metrics_out"' EXIT
+go run ./cmd/isum -benchmark tpch -n 60 -k 8 -trace -metrics-out "$metrics_out" >/dev/null
+go run ./scripts/metricscheck \
+    -require cost/whatif/calls \
+    -require core/greedy/rounds \
+    "$metrics_out"
+
 if [ "${1:-}" = "--no-bench" ]; then
     echo "CI OK (benchmarks skipped)"
     exit 0
@@ -32,7 +47,7 @@ fi
 
 echo "== parallel benchmarks =="
 bench_out=$(mktemp)
-trap 'rm -f "$bench_out"' EXIT
+trap 'rm -f "$bench_out" "$metrics_out"' EXIT
 go test -bench '^(BenchmarkCompress|BenchmarkTune)$' -benchmem \
     -benchtime "${BENCHTIME:-3x}" -run '^$' . | tee "$bench_out"
 go run ./scripts/benchjson <"$bench_out" >BENCH_parallel.json

@@ -1,0 +1,94 @@
+// Command metricscheck validates a telemetry JSON export (the
+// -metrics-out file written by the cmd binaries; schema in
+// internal/telemetry/export.go). scripts/ci.sh uses it to fail the smoke
+// run when the export is empty or malformed.
+//
+// Usage:
+//
+//	metricscheck [-require counter/name]... metrics.json
+//
+// It checks that the file is valid JSON with version 1, that at least one
+// counter and one span were recorded, and that every -require'd counter
+// exists with a positive value.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// export mirrors the subset of internal/telemetry's JSON schema the
+// checks need.
+type export struct {
+	Version  int       `json:"version"`
+	Counters []counter `json:"counters"`
+	Spans    []span    `json:"spans"`
+}
+
+type counter struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+type span struct {
+	Name          string `json:"name"`
+	DurationNanos int64  `json:"duration_nanos"`
+	Children      []span `json:"children"`
+}
+
+// multiFlag collects repeated -require values.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return fmt.Sprint(*m) }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func main() {
+	var require multiFlag
+	flag.Var(&require, "require", "counter that must exist with a positive value (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-require counter]... metrics.json")
+		os.Exit(2)
+	}
+	if err := check(flag.Arg(0), require); err != nil {
+		fmt.Fprintln(os.Stderr, "metricscheck:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("metricscheck: %s OK\n", flag.Arg(0))
+}
+
+func check(path string, require []string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var ex export
+	if err := json.Unmarshal(data, &ex); err != nil {
+		return fmt.Errorf("%s: malformed export: %w", path, err)
+	}
+	if ex.Version != 1 {
+		return fmt.Errorf("%s: version %d, want 1", path, ex.Version)
+	}
+	if len(ex.Counters) == 0 {
+		return fmt.Errorf("%s: empty export: no counters recorded", path)
+	}
+	if len(ex.Spans) == 0 {
+		return fmt.Errorf("%s: empty export: no spans recorded", path)
+	}
+	values := map[string]int64{}
+	for _, c := range ex.Counters {
+		values[c.Name] = c.Value
+	}
+	for _, name := range require {
+		v, ok := values[name]
+		if !ok {
+			return fmt.Errorf("%s: required counter %q missing", path, name)
+		}
+		if v <= 0 {
+			return fmt.Errorf("%s: required counter %q is %d, want > 0", path, name, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const validExport = `{
+  "version": 1,
+  "counters": [{"name": "cost/whatif/calls", "value": 42}],
+  "gauges": [],
+  "histograms": [],
+  "spans": [{"name": "core/compress", "duration_nanos": 1000, "children": []}]
+}`
+
+func TestCheckValid(t *testing.T) {
+	path := write(t, validExport)
+	if err := check(path, []string{"cost/whatif/calls"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRejects(t *testing.T) {
+	cases := []struct {
+		name, body string
+		require    []string
+		want       string
+	}{
+		{"malformed", "{not json", nil, "malformed"},
+		{"wrong version", `{"version": 2, "counters": [{"name": "x", "value": 1}], "spans": [{"name": "s"}]}`, nil, "version"},
+		{"no counters", `{"version": 1, "counters": [], "spans": [{"name": "s"}]}`, nil, "no counters"},
+		{"no spans", `{"version": 1, "counters": [{"name": "x", "value": 1}], "spans": []}`, nil, "no spans"},
+		{"missing required", validExport, []string{"core/greedy/rounds"}, "missing"},
+		{"zero required", `{"version": 1, "counters": [{"name": "x", "value": 0}], "spans": [{"name": "s"}]}`, []string{"x"}, "want > 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := check(write(t, tc.body), tc.require)
+			if err == nil {
+				t.Fatal("check accepted bad export")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
