@@ -7,6 +7,9 @@
 //
 // With no experiment ids, every registered experiment runs (see
 // DESIGN.md §3 for the id → paper figure/table mapping).
+//
+// Exit codes: 0 all experiments completed, 1 a real failure occurred,
+// 3 the -timeout deadline cut the run short.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"time"
 
 	"isum/internal/experiments"
+	"isum/internal/faults"
 	"isum/internal/parallel"
 	"isum/internal/telemetry"
 )
@@ -31,6 +35,8 @@ func main() {
 		"worker goroutines for compression and tuning hot paths (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
+	var ff faults.Flags
+	ff.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -56,9 +62,16 @@ func main() {
 	}
 	parallel.SetTelemetry(trun.Registry)
 
+	ctx, cancel := ff.Context()
+	defer cancel()
+	inj, err := ff.BuildInjector(trun.Registry)
+	if err != nil {
+		fatal(err)
+	}
 	cfg := experiments.Config{
 		Scale: *sf, Seed: *seed, Fast: *fast,
 		Parallelism: *parallelism, Telemetry: trun.Registry,
+		Ctx: ctx, Retry: ff.Policy(), Injector: inj,
 	}
 	env := experiments.NewEnv(cfg)
 
@@ -69,6 +82,13 @@ func main() {
 	for _, id := range ids {
 		start := time.Now()
 		if err := experiments.Run(env, id, w); err != nil {
+			if faults.IsCancellation(err) {
+				fmt.Fprintf(os.Stderr, "experiments: %s: deadline reached, stopping (partial output above)\n", id)
+				if cerr := trun.Close(); cerr != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", cerr)
+				}
+				os.Exit(faults.ExitPartial)
+			}
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
@@ -80,5 +100,5 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
+	os.Exit(faults.ExitFailed)
 }

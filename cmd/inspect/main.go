@@ -17,6 +17,7 @@ import (
 	"isum/internal/benchmarks"
 	"isum/internal/core"
 	"isum/internal/cost"
+	"isum/internal/faults"
 	"isum/internal/parallel"
 	"isum/internal/telemetry"
 	"isum/internal/workload"
@@ -32,6 +33,8 @@ func main() {
 	showFeatures := flag.Bool("features", false, "print feature vectors for the top queries")
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
+	var ff faults.Flags
+	ff.Register(flag.CommandLine)
 	flag.Parse()
 
 	trun, err := tf.Open()
@@ -40,6 +43,8 @@ func main() {
 	}
 	reg := trun.Registry
 	parallel.SetTelemetry(reg)
+	ctx, cancel := ff.Context()
+	defer cancel()
 
 	g, err := benchmarks.FromName(*bench, *sf, *seed)
 	if err != nil {
@@ -61,7 +66,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), reg).FillCosts(w)
+		o := cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), reg)
+		if err := ff.Apply(o); err != nil {
+			fatal(err)
+		}
+		if err := o.FillCostsCtx(ctx, w, 0); err != nil {
+			if !faults.IsCancellation(err) {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr, "inspect: deadline reached while filling costs")
+		}
 	}
 
 	fmt.Printf("workload: %d queries, %d templates, %d tables referenced, total cost %.0f\n\n",
@@ -99,7 +113,17 @@ func main() {
 	// Per-query benefit diagnostics.
 	copts := core.DefaultOptions()
 	copts.Telemetry = reg
-	states := core.BuildStates(w, copts)
+	states, err := core.BuildStatesContext(ctx, w, copts)
+	if err != nil {
+		if !faults.IsCancellation(err) {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "inspect: deadline reached; stopping after the template overview")
+		if err := trun.Close(); err != nil {
+			fatal(err)
+		}
+		os.Exit(faults.ExitPartial)
+	}
 	ss := core.BuildSummary(states)
 	type qd struct {
 		idx              int
@@ -151,5 +175,5 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "inspect:", err)
-	os.Exit(1)
+	os.Exit(faults.ExitFailed)
 }

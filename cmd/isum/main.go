@@ -22,6 +22,7 @@ import (
 	"isum/internal/benchmarks"
 	"isum/internal/core"
 	"isum/internal/cost"
+	"isum/internal/faults"
 	"isum/internal/parallel"
 	"isum/internal/telemetry"
 	"isum/internal/workload"
@@ -41,6 +42,8 @@ func main() {
 		"worker goroutines for compression hot paths (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
+	var ff faults.Flags
+	ff.Register(flag.CommandLine)
 	flag.Parse()
 
 	trun, err := tf.Open()
@@ -49,6 +52,8 @@ func main() {
 	}
 	reg := trun.Registry
 	parallel.SetTelemetry(reg)
+	ctx, cancel := ff.Context()
+	defer cancel()
 
 	g, err := benchmarks.FromName(*bench, *sf, *seed)
 	if err != nil {
@@ -76,8 +81,20 @@ func main() {
 		// the telemetry export shows the what-if call/cache counts).
 		sp := reg.Start("isum/fill-costs")
 		o := cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), reg)
-		o.FillCostsN(w, *parallelism)
+		if err := ff.Apply(o); err != nil {
+			fatal(err)
+		}
+		err = o.FillCostsCtx(ctx, w, *parallelism)
 		sp.End()
+		if err != nil {
+			if !faults.IsCancellation(err) {
+				fatal(err)
+			}
+			// Deadline hit while filling costs: fall through — compression
+			// under the expired context returns an empty best-so-far result
+			// and the binary exits with the partial code.
+			fmt.Fprintln(os.Stderr, "isum: deadline reached while filling costs")
+		}
 	}
 
 	var opts core.Options
@@ -98,7 +115,10 @@ func main() {
 	opts.Telemetry = reg
 
 	comp := core.New(opts)
-	cw, res := comp.CompressedWorkload(w, *k)
+	cw, res, err := comp.CompressedWorkloadContext(ctx, w, *k)
+	if err != nil {
+		fatal(err)
+	}
 
 	f := os.Stdout
 	if *out != "" {
@@ -120,9 +140,13 @@ func main() {
 	if err := trun.Close(); err != nil {
 		fatal(err)
 	}
+	if res.Partial {
+		fmt.Fprintf(os.Stderr, "isum: deadline reached after %d greedy rounds; output is the best-so-far selection\n", res.Rounds)
+		os.Exit(faults.ExitPartial)
+	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "isum:", err)
-	os.Exit(1)
+	os.Exit(faults.ExitFailed)
 }

@@ -21,6 +21,7 @@ import (
 	"isum/internal/benchmarks"
 	"isum/internal/catalog"
 	"isum/internal/cost"
+	"isum/internal/faults"
 	"isum/internal/parallel"
 	"isum/internal/telemetry"
 	"isum/internal/workload"
@@ -42,6 +43,8 @@ func main() {
 		"worker goroutines for what-if calls (0 = GOMAXPROCS, 1 = serial); recommendations are identical at any setting")
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
+	var ff faults.Flags
+	ff.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *in == "" {
@@ -53,6 +56,8 @@ func main() {
 	}
 	reg := trun.Registry
 	parallel.SetTelemetry(reg)
+	ctx, cancel := ff.Context()
+	defer cancel()
 	g, err := benchmarks.FromName(*bench, *sf, *seed)
 	if err != nil {
 		fatal(err)
@@ -100,7 +105,17 @@ func main() {
 	}
 
 	o := cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), reg)
-	res := advisor.New(o, opts).Tune(w)
+	if err := ff.Apply(o); err != nil {
+		fatal(err)
+	}
+	res, err := advisor.New(o, opts).TuneContext(ctx, w)
+	if err != nil {
+		fatal(err)
+	}
+	partial := res.Partial
+	if partial {
+		fmt.Fprintf(os.Stderr, "tune: deadline reached after %d enumeration rounds; recommendation is the best-so-far configuration\n", res.Rounds)
+	}
 
 	fmt.Printf("recommended %d indexes in %v (%d optimizer calls, %d configs explored)\n",
 		res.Config.Len(), res.Elapsed.Round(1000), res.OptimizerCalls, res.ConfigsExplored)
@@ -123,19 +138,30 @@ func main() {
 	if *eval != "" {
 		ew := load(*eval)
 		sp := reg.Start("tune/evaluate")
-		pct, base, final := advisor.EvaluateImprovementN(o, ew, res.Config, *parallelism)
+		pct, base, final, err := advisor.EvaluateImprovementContext(ctx, o, ew, res.Config, *parallelism)
 		sp.End()
-		fmt.Printf("improvement on evaluation workload: %.2f%% (cost %.0f -> %.0f)\n", pct, base, final)
-		if *report > 0 {
-			advisor.Report(o, ew, res.Config).Write(os.Stdout, *report)
+		switch {
+		case err == nil:
+			fmt.Printf("improvement on evaluation workload: %.2f%% (cost %.0f -> %.0f)\n", pct, base, final)
+			if *report > 0 {
+				advisor.Report(o, ew, res.Config).Write(os.Stdout, *report)
+			}
+		case faults.IsCancellation(err):
+			partial = true
+			fmt.Fprintln(os.Stderr, "tune: deadline reached before the evaluation workload could be costed")
+		default:
+			fatal(err)
 		}
 	}
 	if err := trun.Close(); err != nil {
 		fatal(err)
 	}
+	if partial {
+		os.Exit(faults.ExitPartial)
+	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "tune:", err)
-	os.Exit(1)
+	os.Exit(faults.ExitFailed)
 }

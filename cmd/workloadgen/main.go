@@ -13,6 +13,7 @@ import (
 
 	"isum/internal/benchmarks"
 	"isum/internal/cost"
+	"isum/internal/faults"
 	"isum/internal/parallel"
 	"isum/internal/telemetry"
 )
@@ -26,6 +27,8 @@ func main() {
 	catalogOut := flag.String("catalog-out", "", "also export the catalog (schema + statistics) as JSON")
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
+	var ff faults.Flags
+	ff.Register(flag.CommandLine)
 	flag.Parse()
 
 	trun, err := tf.Open()
@@ -34,6 +37,8 @@ func main() {
 	}
 	reg := trun.Registry
 	parallel.SetTelemetry(reg)
+	ctx, cancel := ff.Context()
+	defer cancel()
 
 	g, err := benchmarks.FromName(*bench, *sf, *seed)
 	if err != nil {
@@ -50,8 +55,22 @@ func main() {
 	}
 	sp.End()
 	sp = reg.Start("workloadgen/fill-costs")
-	cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), reg).FillCosts(w)
+	o := cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), reg)
+	if err := ff.Apply(o); err != nil {
+		fatal(err)
+	}
+	fillErr := o.FillCostsCtx(ctx, w, 0)
 	sp.End()
+	partial := false
+	if fillErr != nil {
+		if !faults.IsCancellation(fillErr) {
+			fatal(fillErr)
+		}
+		// Deadline hit: still emit the generated queries (costs stay zero so
+		// downstream tools can re-fill them) and exit with the partial code.
+		partial = true
+		fmt.Fprintln(os.Stderr, "workloadgen: deadline reached while filling costs; emitting zero-cost log")
+	}
 
 	f := os.Stdout
 	if *out != "" {
@@ -79,9 +98,12 @@ func main() {
 	if err := trun.Close(); err != nil {
 		fatal(err)
 	}
+	if partial {
+		os.Exit(faults.ExitPartial)
+	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "workloadgen:", err)
-	os.Exit(1)
+	os.Exit(faults.ExitFailed)
 }

@@ -7,6 +7,8 @@
 package advisor
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"time"
 
@@ -109,6 +111,16 @@ type Result struct {
 	OptimizerCalls  int64
 	ConfigsExplored int64
 	Elapsed         time.Duration
+
+	// Partial marks an anytime result: the TimeBudget (or the caller's
+	// context) expired mid-run and Config holds the best configuration
+	// found so far — every index in it was a completed greedy choice, and
+	// Initial/FinalCost are real workload costs. False means the run
+	// finished.
+	Partial bool
+	// Rounds is the number of enumeration rounds that completed with an
+	// index added to the configuration.
+	Rounds int
 }
 
 // ImprovementPercent is the tuner-reported improvement on its input.
@@ -144,6 +156,23 @@ func New(o *cost.Optimizer, opts Options) *Advisor {
 // configuration. Query weights are honoured: the enumeration maximises the
 // weighted improvement, which is how a compressed workload steers tuning.
 func (a *Advisor) Tune(w *workload.Workload) *Result {
+	res, err := a.TuneContext(context.Background(), w)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// TuneContext is Tune with the anytime contract (DESIGN.md §9): when ctx
+// is cancelled or its deadline expires — Options.TimeBudget is folded into
+// ctx as a deadline — candidate selection keeps the queries already
+// processed and enumeration stops at its next round boundary, returning
+// the configuration built so far as a valid Result with Partial set. The
+// Initial/FinalCost of a Partial result are computed on a detached
+// context, so they are always real workload costs. The error is reserved
+// for real failures (a contained worker panic, or an injected what-if
+// failure that survived the retry policy); cancellation is not an error.
+func (a *Advisor) TuneContext(ctx context.Context, w *workload.Workload) (*Result, error) {
 	start := time.Now()
 	reg := a.opts.Telemetry
 	root := reg.Start("advisor/tune")
@@ -157,17 +186,26 @@ func (a *Advisor) Tune(w *workload.Workload) *Result {
 		}
 	}
 
-	deadline := time.Time{}
 	if a.opts.TimeBudget > 0 {
-		deadline = start.Add(a.opts.TimeBudget)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, start.Add(a.opts.TimeBudget))
+		defer cancel()
 	}
 	callsBefore := a.o.Calls()
-	res := &Result{InitialCost: a.o.WorkloadCostN(w, nil, a.opts.Parallelism)}
+	res := &Result{}
+	initial, err := a.costDetachedOnCancel(ctx, res, w, nil)
+	if err != nil {
+		return nil, err
+	}
+	res.InitialCost = initial
 
 	sc := reg.Start("advisor/candidates")
-	candidates := a.selectCandidates(w, res, deadline)
+	candidates, err := a.selectCandidates(ctx, w, res)
 	sc.SetAttr("pooled", len(candidates))
 	sc.End()
+	if err != nil {
+		return nil, err
+	}
 	if a.opts.EnableMerging {
 		sm := reg.Start("advisor/merge")
 		candidates = a.addMerged(candidates)
@@ -175,15 +213,48 @@ func (a *Advisor) Tune(w *workload.Workload) *Result {
 		sm.End()
 	}
 	se := reg.Start("advisor/enumerate")
-	cfg := a.enumerate(w, candidates, res, deadline)
+	cfg, err := a.enumerate(ctx, w, candidates, res)
+	if err != nil {
+		se.End()
+		return nil, err
+	}
 	se.SetAttr("indexes", cfg.Len())
 	se.End()
 
 	res.Config = cfg
-	res.FinalCost = a.o.WorkloadCostN(w, cfg, a.opts.Parallelism)
+	final, err := a.costDetachedOnCancel(ctx, res, w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.FinalCost = final
 	res.OptimizerCalls = a.o.Calls() - callsBefore
 	res.Elapsed = time.Since(start)
-	return res
+	return res, nil
+}
+
+// costDetachedOnCancel computes the weighted workload cost under ctx;
+// when ctx is (or becomes) cancelled it marks res Partial and recomputes
+// on a detached context, so anytime results always carry real costs.
+func (a *Advisor) costDetachedOnCancel(ctx context.Context, res *Result, w *workload.Workload, cfg *index.Configuration) (float64, error) {
+	if res.Partial || ctx.Err() != nil {
+		res.Partial = true
+		ctx = context.Background()
+	}
+	c, err := a.o.WorkloadCostCtx(ctx, w, cfg, a.opts.Parallelism)
+	if err == nil {
+		return c, nil
+	}
+	if !isCancel(err) {
+		return 0, err
+	}
+	res.Partial = true
+	return a.o.WorkloadCostCtx(context.Background(), w, cfg, a.opts.Parallelism)
+}
+
+// isCancel reports whether err stems from context cancellation or deadline
+// expiry — the anytime outcomes, as opposed to real failures.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // scored pairs a candidate index with its standalone benefit.
@@ -193,10 +264,12 @@ type scored struct {
 }
 
 // queryCandidates is one query's contribution to candidate selection: its
-// winning candidates and how many configurations it probed.
+// winning candidates, how many configurations it probed, and the first
+// real what-if failure it hit (nil otherwise).
 type queryCandidates struct {
 	local    []scored
 	explored int64
+	err      error
 }
 
 // selectCandidates runs per-query candidate selection: each query's
@@ -205,21 +278,26 @@ type queryCandidates struct {
 //
 // Queries fan out across Options.Parallelism workers; per-query results
 // are merged serially in input order, so the pooled benefits (ordered
-// float sums) and the final ranking match the serial path exactly. Under a
-// TimeBudget, workers skip queries whose processing would start past the
-// deadline — in-flight queries finish, so the anytime result is a superset
-// of the serial prefix.
-func (a *Advisor) selectCandidates(w *workload.Workload, res *Result, deadline time.Time) []scored {
+// float sums) and the final ranking match the serial path exactly. When
+// ctx is cancelled (the TimeBudget deadline), workers stop picking up
+// queries and a query interrupted mid-probe is dropped whole, so the
+// anytime pool holds only fully-processed queries and res is marked
+// Partial. A real what-if failure (retries exhausted) or a contained
+// panic aborts selection with the error.
+func (a *Advisor) selectCandidates(ctx context.Context, w *workload.Workload, res *Result) ([]scored, error) {
 	// probed is bumped from worker closures — counters are atomics, so
 	// this is the one advisor metric safely updated off the span path.
 	probed := a.opts.Telemetry.Counter("advisor/candidates/probed")
-	perQuery := parallel.Map(parallel.Workers(a.opts.Parallelism), len(w.Queries),
+	perQuery, mapErr := parallel.Map(ctx, parallel.Workers(a.opts.Parallelism), len(w.Queries),
 		func(i int) *queryCandidates {
-			if expired(deadline) {
-				return nil // anytime mode: keep what we have
-			}
 			q := w.Queries[i]
-			base := a.o.Cost(q, nil)
+			base, err := a.o.CostContext(ctx, q, nil)
+			if err != nil {
+				if isCancel(err) {
+					return nil // anytime mode: keep what we have
+				}
+				return &queryCandidates{err: err}
+			}
 			if base <= 0 {
 				return nil
 			}
@@ -229,7 +307,13 @@ func (a *Advisor) selectCandidates(w *workload.Workload, res *Result, deadline t
 			}
 			qc := &queryCandidates{}
 			for _, ix := range a.syntacticCandidatesForMode(q) {
-				c := a.o.Cost(q, index.NewConfiguration(ix))
+				c, err := a.o.CostContext(ctx, q, index.NewConfiguration(ix))
+				if err != nil {
+					if isCancel(err) {
+						return nil // drop the half-probed query
+					}
+					return &queryCandidates{err: err}
+				}
 				qc.explored++
 				probed.Inc()
 				gain := base - c
@@ -252,11 +336,20 @@ func (a *Advisor) selectCandidates(w *workload.Workload, res *Result, deadline t
 			}
 			return qc
 		})
+	if mapErr != nil {
+		if !isCancel(mapErr) {
+			return nil, mapErr
+		}
+		res.Partial = true
+	}
 
 	pool := map[string]*scored{}
 	for _, qc := range perQuery {
 		if qc == nil {
 			continue
+		}
+		if qc.err != nil {
+			return nil, qc.err
 		}
 		res.ConfigsExplored += qc.explored
 		for _, s := range qc.local {
@@ -279,7 +372,7 @@ func (a *Advisor) selectCandidates(w *workload.Workload, res *Result, deadline t
 		}
 		return out[i].ix.ID() < out[j].ix.ID()
 	})
-	return out
+	return out, nil
 }
 
 func (a *Advisor) syntacticCandidatesForMode(q *workload.Query) []index.Index {
@@ -368,25 +461,53 @@ func mergeIndexes(A, B index.Index, maxKeys, maxIncludes int) *index.Index {
 
 // enumerate greedily builds the configuration: at each step the candidate
 // with the largest weighted workload improvement is added, until the
-// count/storage constraints bind or no candidate improves the workload.
+// count/storage constraints bind, no candidate improves the workload, or
+// ctx is cancelled (the anytime path: res is marked Partial and the
+// configuration built so far is returned — a round interrupted mid-probe
+// is discarded whole, so every index in the result was a completed greedy
+// choice). A real what-if failure or contained panic returns the error.
 //
 // Probing a candidate only re-costs the queries that reference the
 // candidate's table — indexes cannot change other queries' plans — which is
 // the same table-pruning commercial advisors use to bound what-if calls.
-func (a *Advisor) enumerate(w *workload.Workload, cands []scored, res *Result, deadline time.Time) *index.Configuration {
+func (a *Advisor) enumerate(ctx context.Context, w *workload.Workload, cands []scored, res *Result) (*index.Configuration, error) {
 	cfg := index.NewConfiguration()
 	var used int64
 	remaining := append([]scored{}, cands...)
+	workers := parallel.Workers(a.opts.Parallelism)
 
 	// Current weighted per-query costs and a table → query-index map.
-	curCost := parallel.Map(parallel.Workers(a.opts.Parallelism), len(w.Queries), func(i int) float64 {
+	type qcost struct {
+		v   float64
+		err error
+	}
+	baseCosts, mapErr := parallel.Map(ctx, workers, len(w.Queries), func(i int) qcost {
 		q := w.Queries[i]
 		wt := q.Weight
 		if wt <= 0 {
 			wt = 1
 		}
-		return wt * a.o.Cost(q, cfg)
+		c, err := a.o.CostContext(ctx, q, cfg)
+		return qcost{wt * c, err}
 	})
+	if mapErr != nil {
+		if isCancel(mapErr) {
+			res.Partial = true
+			return cfg, nil
+		}
+		return nil, mapErr
+	}
+	curCost := make([]float64, len(baseCosts))
+	for i, r := range baseCosts {
+		if r.err != nil {
+			if isCancel(r.err) {
+				res.Partial = true
+				return cfg, nil
+			}
+			return nil, r.err
+		}
+		curCost[i] = r.v
+	}
 	queriesByTable := map[string][]int{}
 	for i, q := range w.Queries {
 		if q.Info != nil {
@@ -402,15 +523,16 @@ func (a *Advisor) enumerate(w *workload.Workload, cands []scored, res *Result, d
 	type probe struct {
 		gain     float64
 		newCosts map[int]float64
+		err      error
 	}
-	workers := parallel.Workers(a.opts.Parallelism)
 	reg := a.opts.Telemetry
 	roundsCtr := reg.Counter("advisor/enumerate/rounds")
 	for {
 		if a.opts.MaxIndexes > 0 && cfg.Len() >= a.opts.MaxIndexes {
 			break
 		}
-		if expired(deadline) {
+		if ctx.Err() != nil {
+			res.Partial = true
 			break // anytime mode: return the configuration built so far
 		}
 		rsp := reg.Start("advisor/enumerate/round")
@@ -420,7 +542,7 @@ func (a *Advisor) enumerate(w *workload.Workload, cands []scored, res *Result, d
 		// cfg+candidate copy, reading cfg/curCost/queriesByTable without
 		// mutation. The argmax below reduces serially in candidate order,
 		// so the chosen index matches the serial scan exactly.
-		probes := parallel.Map(workers, len(remaining), func(i int) probe {
+		probes, mapErr := parallel.Map(ctx, workers, len(remaining), func(i int) probe {
 			cand := remaining[i]
 			if a.opts.StorageBudget > 0 {
 				sz := cand.ix.SizeBytes(a.o.Catalog())
@@ -436,7 +558,11 @@ func (a *Advisor) enumerate(w *workload.Workload, cands []scored, res *Result, d
 				if wt <= 0 {
 					wt = 1
 				}
-				c := wt * a.o.Cost(q, trial)
+				c, err := a.o.CostContext(ctx, q, trial)
+				if err != nil {
+					return probe{err: err}
+				}
+				c *= wt
 				if c < curCost[qi] {
 					p.gain += curCost[qi] - c
 					p.newCosts[qi] = c
@@ -444,6 +570,22 @@ func (a *Advisor) enumerate(w *workload.Workload, cands []scored, res *Result, d
 			}
 			return p
 		})
+		if mapErr != nil && !isCancel(mapErr) {
+			rsp.End()
+			return nil, mapErr
+		}
+		for _, p := range probes {
+			if p.err != nil && !isCancel(p.err) {
+				rsp.End()
+				return nil, p.err
+			}
+		}
+		if mapErr != nil {
+			res.Partial = true
+			rsp.SetAttr("outcome", "cancelled")
+			rsp.End()
+			break // discard the interrupted round's partial probes
+		}
 		bestIdx := -1
 		bestGain := 0.0
 		var bestCosts map[int]float64
@@ -468,6 +610,7 @@ func (a *Advisor) enumerate(w *workload.Workload, cands []scored, res *Result, d
 			curCost[qi] = c
 		}
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		res.Rounds++
 		if reg != nil {
 			rsp.SetAttr("chosen", chosen.ix.ID())
 			rsp.SetAttr("gain", bestGain)
@@ -475,7 +618,7 @@ func (a *Advisor) enumerate(w *workload.Workload, cands []scored, res *Result, d
 		}
 		rsp.End()
 	}
-	return cfg
+	return cfg, nil
 }
 
 // dexterCandidates builds the simplified DEXTER candidate set: single
@@ -520,23 +663,44 @@ func EvaluateImprovement(o *cost.Optimizer, w *workload.Workload, cfg *index.Con
 // (0 = GOMAXPROCS, 1 = serial). The before/after sums are reduced in input
 // order, so the result is bit-identical at any parallelism.
 func EvaluateImprovementN(o *cost.Optimizer, w *workload.Workload, cfg *index.Configuration, parallelism int) (pct, base, final float64) {
-	pairs := parallel.Map(parallel.Workers(parallelism), len(w.Queries), func(i int) [2]float64 {
-		q := w.Queries[i]
-		return [2]float64{o.Cost(q, nil), o.Cost(q, cfg)}
-	})
-	for _, p := range pairs {
-		base += p[0]
-		final += p[1]
+	pct, base, final, err := EvaluateImprovementContext(context.Background(), o, w, cfg, parallelism)
+	if err != nil {
+		panic(err)
 	}
-	if base <= 0 {
-		return 0, base, final
-	}
-	return (base - final) / base * 100, base, final
+	return pct, base, final
 }
 
-// expired reports whether the anytime deadline (if any) has passed.
-func expired(deadline time.Time) bool {
-	return !deadline.IsZero() && time.Now().After(deadline)
+// EvaluateImprovementContext is EvaluateImprovementN with cancellation and
+// failure reporting: an interrupted or failed evaluation returns the error
+// (there is no meaningful partial improvement metric).
+func EvaluateImprovementContext(ctx context.Context, o *cost.Optimizer, w *workload.Workload, cfg *index.Configuration, parallelism int) (pct, base, final float64, err error) {
+	type pair struct {
+		base, final float64
+		err         error
+	}
+	pairs, err := parallel.Map(ctx, parallel.Workers(parallelism), len(w.Queries), func(i int) pair {
+		q := w.Queries[i]
+		b, err := o.CostContext(ctx, q, nil)
+		if err != nil {
+			return pair{err: err}
+		}
+		f, err := o.CostContext(ctx, q, cfg)
+		return pair{base: b, final: f, err: err}
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for _, p := range pairs {
+		if p.err != nil {
+			return 0, 0, 0, p.err
+		}
+		base += p.base
+		final += p.final
+	}
+	if base <= 0 {
+		return 0, base, final, nil
+	}
+	return (base - final) / base * 100, base, final, nil
 }
 
 func lower(s string) string {

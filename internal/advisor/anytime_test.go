@@ -1,0 +1,169 @@
+package advisor
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"isum/internal/cost"
+	"isum/internal/faults"
+)
+
+// countdownCtx reports cancellation after a fixed number of Err checks —
+// deterministic mid-run cancellation without wall-clock timing. Once the
+// budget is spent it stays cancelled (monotone, like a real context).
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+	done      chan struct{}
+	once      sync.Once
+}
+
+func newCountdownCtx(budget int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background(), done: make(chan struct{})}
+	c.remaining.Store(budget)
+	return c
+}
+
+func (c *countdownCtx) expire() { c.once.Do(func() { close(c.done) }) }
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		c.expire()
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countdownCtx) Done() <-chan struct{} {
+	if c.remaining.Load() < 0 {
+		c.expire()
+	}
+	return c.done
+}
+
+func serialOptions() Options {
+	opts := DefaultOptions()
+	opts.Parallelism = 1
+	return opts
+}
+
+func TestTuneContextAlreadyCancelled(t *testing.T) {
+	cat := testCatalog()
+	w := testWorkload(t, cat)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	res, err := New(cost.NewOptimizer(cat), serialOptions()).TuneContext(ctx, w)
+	if err != nil {
+		t.Fatalf("cancellation must not be an error: %v", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatalf("want Partial result, got %+v", res)
+	}
+	if res.Config == nil {
+		t.Fatal("partial result must carry a (possibly empty) configuration")
+	}
+	// Initial/FinalCost are recomputed on a detached context so even a
+	// fully cancelled run reports real workload costs.
+	if res.InitialCost <= 0 || res.FinalCost <= 0 {
+		t.Fatalf("partial costs not recomputed: initial=%v final=%v", res.InitialCost, res.FinalCost)
+	}
+}
+
+// TestTuneContextAnytime sweeps cancellation budgets across the tuning run:
+// every cut must yield a valid best-so-far result, never an error.
+func TestTuneContextAnytime(t *testing.T) {
+	cat := testCatalog()
+	w := testWorkload(t, cat)
+
+	full, err := New(cost.NewOptimizer(cat), serialOptions()).TuneContext(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Partial {
+		t.Fatal("background tune must not be partial")
+	}
+
+	sawMidRun := false
+	for budget := int64(0); budget <= 200; budget++ {
+		res, err := New(cost.NewOptimizer(cat), serialOptions()).TuneContext(newCountdownCtx(budget), w)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if res == nil || res.Config == nil {
+			t.Fatalf("budget %d: missing result or config", budget)
+		}
+		if res.InitialCost <= 0 {
+			t.Fatalf("budget %d: initial cost %v", budget, res.InitialCost)
+		}
+		if res.FinalCost > res.InitialCost {
+			t.Fatalf("budget %d: final cost %v above initial %v — best-so-far config made things worse", budget, res.FinalCost, res.InitialCost)
+		}
+		if !res.Partial {
+			if res.Config.Len() != full.Config.Len() {
+				t.Fatalf("budget %d: non-partial run found %d indexes, full run %d", budget, res.Config.Len(), full.Config.Len())
+			}
+		} else if res.Config.Len() > 0 {
+			sawMidRun = true
+		}
+	}
+	if !sawMidRun {
+		t.Fatal("no budget produced a partial run with a non-empty configuration")
+	}
+}
+
+func TestTuneContextEquivalence(t *testing.T) {
+	cat := testCatalog()
+	w := testWorkload(t, cat)
+
+	compat := New(cost.NewOptimizer(cat), serialOptions()).Tune(w)
+	ctxRes, err := New(cost.NewOptimizer(cat), serialOptions()).TuneContext(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctxRes.Partial {
+		t.Fatal("background run marked partial")
+	}
+	if got, want := ctxRes.Config.Fingerprint(), compat.Config.Fingerprint(); got != want {
+		t.Fatalf("Tune and TuneContext diverge: %q vs %q", got, want)
+	}
+	if ctxRes.InitialCost != compat.InitialCost || ctxRes.FinalCost != compat.FinalCost {
+		t.Fatalf("costs diverge: (%v, %v) vs (%v, %v)",
+			ctxRes.InitialCost, ctxRes.FinalCost, compat.InitialCost, compat.FinalCost)
+	}
+}
+
+// TestTuneChaosDeterminism: a seeded error-injecting run with enough
+// retries must recommend the identical configuration with bit-identical
+// costs — transient faults are fully absorbed.
+func TestTuneChaosDeterminism(t *testing.T) {
+	cat := testCatalog()
+	w := testWorkload(t, cat)
+
+	plain, err := New(cost.NewOptimizer(cat), serialOptions()).TuneContext(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := cost.NewOptimizer(cat)
+	o.SetInjector(faults.NewInjector(faults.Config{Seed: 11, ErrorRate: 0.3}))
+	o.SetRetryPolicy(cost.RetryPolicy{MaxAttempts: 40, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond})
+	chaos, err := New(o, serialOptions()).TuneContext(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := chaos.Config.Fingerprint(), plain.Config.Fingerprint(); got != want {
+		t.Fatalf("chaos run recommends %q, fault-free run %q", got, want)
+	}
+	if chaos.InitialCost != plain.InitialCost || chaos.FinalCost != plain.FinalCost {
+		t.Fatalf("chaos costs (%v, %v) differ from fault-free (%v, %v)",
+			chaos.InitialCost, chaos.FinalCost, plain.InitialCost, plain.FinalCost)
+	}
+	if retries, _, _ := o.FaultStats(); retries == 0 {
+		t.Fatal("chaos run took no retries — injector not consulted?")
+	}
+}

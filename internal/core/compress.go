@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"time"
 
@@ -21,6 +23,16 @@ type Result struct {
 	SelectionBenefits []float64
 	// Elapsed is the wall-clock compression time.
 	Elapsed time.Duration
+
+	// Partial marks an anytime result: the context was cancelled (or its
+	// deadline expired) before k queries were selected, and Indices hold
+	// the best-so-far prefix — every entry is a completed greedy selection,
+	// weighed as usual. False means the run finished.
+	Partial bool
+	// Rounds is the number of greedy rounds completed: selections plus
+	// feature-reset rounds (Algorithm 2, line 12). A Partial result stopped
+	// after exactly Rounds rounds.
+	Rounds int
 }
 
 // Compressor runs ISUM workload compression.
@@ -51,6 +63,21 @@ func (c *Compressor) Name() string {
 // Compress selects k queries from w (Problem 1) and weighs them. For k ≥
 // n every query is selected with weight 1/n.
 func (c *Compressor) Compress(w *workload.Workload, k int) *Result {
+	res, err := c.CompressContext(context.Background(), w, k)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// CompressContext is Compress with the anytime contract (DESIGN.md §9):
+// when ctx is cancelled or its deadline expires, the greedy loop stops at
+// its next round boundary and the queries selected so far are weighed and
+// returned as a valid Result with Partial set — never a panic, never nil.
+// An already-cancelled ctx yields an empty Partial result. The error is
+// reserved for real failures (a contained worker panic); cancellation is
+// not an error.
+func (c *Compressor) CompressContext(ctx context.Context, w *workload.Workload, k int) (*Result, error) {
 	start := time.Now()
 	reg := c.opts.Telemetry
 	root := reg.Start("core/compress")
@@ -61,7 +88,7 @@ func (c *Compressor) Compress(w *workload.Workload, k int) *Result {
 	n := w.Len()
 	if n == 0 || k <= 0 {
 		res.Elapsed = time.Since(start)
-		return res
+		return res, nil
 	}
 	if k > n {
 		k = n
@@ -71,16 +98,27 @@ func (c *Compressor) Compress(w *workload.Workload, k int) *Result {
 		root.SetAttr("k", k)
 	}
 
-	states := BuildStates(w, c.opts)
+	states, err := BuildStatesContext(ctx, w, c.opts)
+	if err != nil {
+		if isCancel(err) {
+			res.Partial = true
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		return nil, err
+	}
 	sg := reg.Start("core/select-greedy")
-	c.selectGreedy(states, k, res)
+	err = c.selectGreedy(ctx, states, k, res)
 	sg.SetAttr("selected", len(res.Indices))
 	sg.End()
+	if err != nil {
+		return nil, err
+	}
 	sw := reg.Start("core/weigh")
 	res.Weights = c.weigh(w, states, res)
 	sw.End()
 	res.Elapsed = time.Since(start)
-	return res
+	return res, nil
 }
 
 // CompressedWorkload runs Compress and materialises the weighted compressed
@@ -90,8 +128,28 @@ func (c *Compressor) CompressedWorkload(w *workload.Workload, k int) (*workload.
 	return w.WeightedSubset(res.Indices, res.Weights), res
 }
 
+// CompressedWorkloadContext is CompressedWorkload under the anytime
+// contract: on cancellation the materialised workload holds the Partial
+// result's selections (possibly empty), and the error mirrors
+// CompressContext's.
+func (c *Compressor) CompressedWorkloadContext(ctx context.Context, w *workload.Workload, k int) (*workload.Workload, *Result, error) {
+	res, err := c.CompressContext(ctx, w, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w.WeightedSubset(res.Indices, res.Weights), res, nil
+}
+
+// isCancel reports whether err stems from context cancellation or deadline
+// expiry — the anytime outcomes, as opposed to real failures.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // selectGreedy runs the configured greedy algorithm, appending selections
-// to res.
+// to res. It returns a non-nil error only for real failures (contained
+// worker panics); cancellation sets res.Partial and returns nil, leaving
+// res.Indices the completed-selection prefix.
 //
 // The benefit scan and the post-selection update sweep fan out across
 // c.opts.Parallelism workers: benefits are computed into an index-ordered
@@ -100,7 +158,13 @@ func (c *Compressor) CompressedWorkload(w *workload.Workload, k int) (*workload.
 // The summary features are maintained incrementally (RemoveSelected +
 // per-query ApplyDelta, applied in index order) instead of rebuilt O(n)
 // every round; Options.RebuildSummary restores the literal rebuild.
-func (c *Compressor) selectGreedy(states []*QueryState, k int, res *Result) {
+//
+// Cancellation is observed at round boundaries and inside the parallel
+// sweeps. A benefit scan cut short discards the round (no selection from
+// partial benefits); an update sweep cut short keeps the round's selection
+// — it was already decided — and abandons the state updates, which only
+// feed rounds that will never run.
+func (c *Compressor) selectGreedy(ctx context.Context, states []*QueryState, k int, res *Result) error {
 	workers := parallel.Workers(c.opts.Parallelism)
 	summary := c.opts.Algorithm != AllPairs
 	incremental := summary && !c.opts.RebuildSummary
@@ -124,6 +188,10 @@ func (c *Compressor) selectGreedy(states []*QueryState, k int, res *Result) {
 	}
 	ineligible := math.Inf(-1)
 	for len(res.Indices) < k {
+		if ctx.Err() != nil {
+			res.Partial = true
+			return nil
+		}
 		rsp := reg.Start("core/greedy/round")
 		rounds.Inc()
 		if summary && c.opts.RebuildSummary {
@@ -133,7 +201,7 @@ func (c *Compressor) selectGreedy(states []*QueryState, k int, res *Result) {
 		if reg != nil {
 			tArgmax = time.Now()
 		}
-		benefits := parallel.Map(workers, len(states), func(i int) float64 {
+		benefits, err := parallel.Map(ctx, workers, len(states), func(i int) float64 {
 			s := states[i]
 			if s.Selected || s.Vec.AllZero() {
 				return ineligible
@@ -143,6 +211,15 @@ func (c *Compressor) selectGreedy(states []*QueryState, k int, res *Result) {
 			}
 			return BenefitSummary(s, ss)
 		})
+		if err != nil {
+			rsp.SetAttr("outcome", "cancelled")
+			rsp.End()
+			if isCancel(err) {
+				res.Partial = true
+				return nil
+			}
+			return err
+		}
 
 		// benefitEps breaks ties deterministically: feature vectors are maps,
 		// so summation order (and thus the last few ulps of a benefit) varies
@@ -166,12 +243,13 @@ func (c *Compressor) selectGreedy(states []*QueryState, k int, res *Result) {
 			if !resetIfAllZero(states) || allSelected(states) {
 				rsp.SetAttr("outcome", "exhausted")
 				rsp.End()
-				return
+				return nil
 			}
 			resets.Inc()
 			if incremental {
 				ss = BuildSummary(states)
 			}
+			res.Rounds++
 			rsp.SetAttr("outcome", "feature-reset")
 			rsp.End()
 			continue
@@ -180,6 +258,7 @@ func (c *Compressor) selectGreedy(states []*QueryState, k int, res *Result) {
 		best.Selected = true
 		res.Indices = append(res.Indices, best.Index)
 		res.SelectionBenefits = append(res.SelectionBenefits, bestBenefit)
+		res.Rounds++
 		if reg != nil {
 			rsp.SetAttr("selected", best.Index)
 			rsp.SetAttr("benefit", bestBenefit)
@@ -191,13 +270,22 @@ func (c *Compressor) selectGreedy(states []*QueryState, k int, res *Result) {
 		if incremental {
 			ss.RemoveSelected(best)
 		}
-		deltas := parallel.Map(workers, len(states), func(i int) *summaryDelta {
+		deltas, err := parallel.Map(ctx, workers, len(states), func(i int) *summaryDelta {
 			s := states[i]
 			if s.Selected {
 				return nil
 			}
 			return applyUpdateWithDelta(best, s, c.opts.Update, incremental)
 		})
+		if err != nil {
+			rsp.SetAttr("outcome", "cancelled")
+			rsp.End()
+			if isCancel(err) {
+				res.Partial = true
+				return nil
+			}
+			return err
+		}
 		if incremental {
 			for _, d := range deltas {
 				ss.ApplyDelta(d)
@@ -208,6 +296,7 @@ func (c *Compressor) selectGreedy(states []*QueryState, k int, res *Result) {
 		}
 		rsp.End()
 	}
+	return nil
 }
 
 func allSelected(states []*QueryState) bool {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"isum/internal/features"
 	"isum/internal/parallel"
 	"isum/internal/workload"
@@ -54,6 +56,18 @@ func delta(q *workload.Query, mode UtilityMode) float64 {
 // out across opts.Parallelism workers; ΣΔ is reduced serially in query
 // order, so utilities are bit-identical at any parallelism.
 func BuildStates(w *workload.Workload, opts Options) []*QueryState {
+	states, err := BuildStatesContext(context.Background(), w, opts)
+	if err != nil {
+		panic(err)
+	}
+	return states
+}
+
+// BuildStatesContext is BuildStates with cancellation: a cancelled ctx
+// aborts the feature-extraction sweep and returns the context's error
+// (states built so far are discarded — partially built states are not
+// meaningful), and a contained worker panic surfaces as a *PanicError.
+func BuildStatesContext(ctx context.Context, w *workload.Workload, opts Options) ([]*QueryState, error) {
 	sp := opts.Telemetry.Start("core/build-states")
 	defer sp.End()
 	sp.SetAttr("n", len(w.Queries))
@@ -61,7 +75,7 @@ func BuildStates(w *workload.Workload, opts Options) []*QueryState {
 	ex := opts.extractor(w.Catalog)
 	states := make([]*QueryState, len(w.Queries))
 	deltas := make([]float64, len(w.Queries))
-	parallel.ForEach(parallel.Workers(opts.Parallelism), len(w.Queries), func(i int) {
+	err := parallel.ForEach(ctx, parallel.Workers(opts.Parallelism), len(w.Queries), func(i int) {
 		q := w.Queries[i]
 		deltas[i] = delta(q, opts.Utility)
 		vec := ex.Features(q)
@@ -72,6 +86,9 @@ func BuildStates(w *workload.Workload, opts Options) []*QueryState {
 			OrigVec: vec,
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	var totalDelta float64
 	for _, d := range deltas {
 		totalDelta += d
@@ -82,7 +99,7 @@ func BuildStates(w *workload.Workload, opts Options) []*QueryState {
 		}
 		s.OrigUtility = s.Utility
 	}
-	return states
+	return states, nil
 }
 
 // applyUpdate updates an unselected query's state given a newly selected

@@ -1,6 +1,7 @@
 package cost
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -33,6 +34,34 @@ type cacheShard struct {
 	misses *telemetry.Counter
 }
 
+// Injector is the fault-injection hook of the what-if interface
+// (DESIGN.md §9). It is consulted once per plan-computation attempt (cache
+// misses only — cached costs never refetch). Returning a non-nil error
+// simulates a transient what-if failure, which the optimizer's retry
+// policy absorbs; the injector may also sleep (latency injection) or panic
+// (crash injection, contained by the worker pool). Implementations must be
+// safe for concurrent use. internal/faults provides the deterministic
+// seeded implementation.
+type Injector interface {
+	PlanFault(queryText, configFingerprint string, attempt int) error
+}
+
+// RetryPolicy bounds the retries around transient what-if failures:
+// MaxAttempts tries per plan (1 = no retry) with exponential backoff
+// starting at BaseDelay and capped at MaxDelay. The backoff sleep honours
+// context cancellation.
+type RetryPolicy struct {
+	MaxAttempts int
+	BaseDelay   time.Duration
+	MaxDelay    time.Duration
+}
+
+// DefaultRetryPolicy returns the standard policy: 3 attempts with
+// 1ms → 2ms → … backoff capped at 50ms.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+}
+
 // Optimizer estimates query costs against hypothetical index configurations
 // — the "what-if" API of Section 2.1. It caches (query, relevant-config)
 // pairs and counts invocations so the advisor can report optimizer-call
@@ -44,14 +73,30 @@ type cacheShard struct {
 // (query, configuration), so concurrent duplicate misses compute the same
 // value; the only concurrency artefact is that Plans may count such a
 // duplicate computation twice.
+//
+// Failure model: with no injector installed the optimizer cannot fail and
+// Cost never panics. Under fault injection (SetInjector) transient plan
+// failures are retried per the RetryPolicy; CostContext returns an error
+// when retries are exhausted or the context is cancelled mid-retry, and
+// the faults/ counters (faults/retry/attempts, faults/retry/exhausted,
+// faults/cancelled) record the outcomes.
 type Optimizer struct {
 	cat *catalog.Catalog
 	par Params
 	reg *telemetry.Registry
 
+	// inj and retry configure the failure model. They are set once during
+	// setup (SetInjector/SetRetryPolicy) before concurrent use.
+	inj   Injector
+	retry RetryPolicy
+
 	calls     *telemetry.Counter // cost/whatif/calls: invocations (hits included)
 	plans     *telemetry.Counter // cost/whatif/plans: plan computations (misses)
 	costNanos *telemetry.Counter // cost/whatif/cost_nanos (Fig. 2's optimizer share)
+
+	retryAttempts  *telemetry.Counter // faults/retry/attempts: backoff retries taken
+	retryExhausted *telemetry.Counter // faults/retry/exhausted: plans failed after all attempts
+	cancelled      *telemetry.Counter // faults/cancelled: plans aborted by ctx
 
 	shards [cacheShardCount]cacheShard
 }
@@ -68,8 +113,9 @@ func NewOptimizerWithParams(cat *catalog.Catalog, par Params) *Optimizer {
 }
 
 // NewOptimizerWithTelemetry registers the optimizer's metrics — what-if
-// call/plan counters, cumulative cost time, per-shard cache hits/misses —
-// in reg, so a pipeline-wide registry attributes what-if work to phases.
+// call/plan counters, cumulative cost time, per-shard cache hits/misses,
+// and the faults/ retry/cancellation counters — in reg, so a pipeline-wide
+// registry attributes what-if work to phases.
 // A nil reg gives the optimizer a private registry: the counters behind
 // Calls/Plans/CostTime are always live, at the cost of one atomic add
 // each, exactly as the pre-telemetry fields were.
@@ -81,12 +127,16 @@ func NewOptimizerWithTelemetry(cat *catalog.Catalog, par Params, reg *telemetry.
 		reg = telemetry.New()
 	}
 	o := &Optimizer{
-		cat:       cat,
-		par:       par,
-		reg:       reg,
-		calls:     reg.Counter("cost/whatif/calls"),
-		plans:     reg.Counter("cost/whatif/plans"),
-		costNanos: reg.Counter("cost/whatif/cost_nanos"),
+		cat:            cat,
+		par:            par,
+		reg:            reg,
+		retry:          DefaultRetryPolicy(),
+		calls:          reg.Counter("cost/whatif/calls"),
+		plans:          reg.Counter("cost/whatif/plans"),
+		costNanos:      reg.Counter("cost/whatif/cost_nanos"),
+		retryAttempts:  reg.Counter("faults/retry/attempts"),
+		retryExhausted: reg.Counter("faults/retry/exhausted"),
+		cancelled:      reg.Counter("faults/cancelled"),
 	}
 	for i := range o.shards {
 		o.shards[i].entries = make(map[string]map[string]float64)
@@ -95,6 +145,18 @@ func NewOptimizerWithTelemetry(cat *catalog.Catalog, par Params, reg *telemetry.
 	}
 	return o
 }
+
+// SetInjector installs a fault injector on the what-if interface (nil
+// removes it). Call during setup, before the optimizer is used
+// concurrently.
+func (o *Optimizer) SetInjector(inj Injector) { o.inj = inj }
+
+// SetRetryPolicy replaces the transient-failure retry policy. Call during
+// setup, before the optimizer is used concurrently.
+func (o *Optimizer) SetRetryPolicy(p RetryPolicy) { o.retry = p }
+
+// RetryPolicy returns the active retry policy.
+func (o *Optimizer) RetryPolicy() RetryPolicy { return o.retry }
 
 // Telemetry returns the registry holding the optimizer's metrics (never
 // nil; private unless one was supplied at construction).
@@ -123,7 +185,23 @@ func (o *Optimizer) shardFor(text string) *cacheShard {
 // Cost returns the estimated cost of q under the given (hypothetical)
 // configuration. A nil configuration means the current design (no secondary
 // indexes). Safe for concurrent use.
+//
+// Cost cannot fail without a fault injector; under injection it panics when
+// retries are exhausted (legacy surface — ctx-aware callers use
+// CostContext, and the worker pool contains such panics as errors).
 func (o *Optimizer) Cost(q *workload.Query, cfg *index.Configuration) float64 {
+	c, err := o.CostContext(context.Background(), q, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// CostContext is Cost with cancellation and failure reporting: the ctx
+// bounds retry backoff sleeps and aborts pending plan computations, and
+// injected what-if failures that survive the retry policy surface as
+// errors. Cache hits always succeed regardless of ctx.
+func (o *Optimizer) CostContext(ctx context.Context, q *workload.Query, cfg *index.Configuration) (float64, error) {
 	start := time.Now()
 	defer func() {
 		o.costNanos.Add(time.Since(start).Nanoseconds())
@@ -137,14 +215,16 @@ func (o *Optimizer) Cost(q *workload.Query, cfg *index.Configuration) float64 {
 		if c, ok := perQ[key]; ok {
 			sh.mu.RUnlock()
 			sh.hits.Inc()
-			return c
+			return c, nil
 		}
 	}
 	sh.mu.RUnlock()
 
 	sh.misses.Inc()
-	o.plans.Add(1)
-	c := o.computeCost(q, cfg)
+	c, err := o.planWithRetry(ctx, q, cfg, key)
+	if err != nil {
+		return 0, err
+	}
 
 	sh.mu.Lock()
 	perQ, ok := sh.entries[q.Text]
@@ -154,7 +234,52 @@ func (o *Optimizer) Cost(q *workload.Query, cfg *index.Configuration) float64 {
 	}
 	perQ[key] = c
 	sh.mu.Unlock()
-	return c
+	return c, nil
+}
+
+// planWithRetry runs one plan computation under the injector and retry
+// policy: transient injected failures back off exponentially (honouring
+// ctx) and retry up to MaxAttempts times.
+func (o *Optimizer) planWithRetry(ctx context.Context, q *workload.Query, cfg *index.Configuration, key string) (float64, error) {
+	attempts := o.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	delay := o.retry.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			o.cancelled.Inc()
+			return 0, err
+		}
+		if attempt > 0 {
+			o.retryAttempts.Inc()
+			if delay > 0 {
+				t := time.NewTimer(delay)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					o.cancelled.Inc()
+					return 0, ctx.Err()
+				case <-t.C:
+				}
+				delay *= 2
+				if o.retry.MaxDelay > 0 && delay > o.retry.MaxDelay {
+					delay = o.retry.MaxDelay
+				}
+			}
+		}
+		if o.inj != nil {
+			if err := o.inj.PlanFault(q.Text, key, attempt); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		o.plans.Add(1)
+		return o.computeCost(q, cfg), nil
+	}
+	o.retryExhausted.Inc()
+	return 0, fmt.Errorf("cost: what-if plan for query %d failed after %d attempts: %w", q.ID, attempts, lastErr)
 }
 
 // WorkloadCost returns the weighted cost Σ w(q)·C(q) of the workload under
@@ -165,19 +290,46 @@ func (o *Optimizer) WorkloadCost(w *workload.Workload, cfg *index.Configuration)
 
 // WorkloadCostN is WorkloadCost with an explicit parallelism (0 =
 // GOMAXPROCS, 1 = serial). The weighted sum is reduced in input order, so
-// the result is bit-identical at any parallelism.
+// the result is bit-identical at any parallelism. Panics under fault
+// injection when retries are exhausted; ctx-aware callers use
+// WorkloadCostCtx.
 func (o *Optimizer) WorkloadCostN(w *workload.Workload, cfg *index.Configuration, parallelism int) float64 {
-	return parallel.MapReduce(parallel.Workers(parallelism), len(w.Queries),
-		func(i int) float64 {
+	c, err := o.WorkloadCostCtx(context.Background(), w, cfg, parallelism)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// WorkloadCostCtx is WorkloadCostN with cancellation and failure
+// reporting: the first what-if failure (retries exhausted) or a ctx
+// cancellation aborts the scan and is returned.
+func (o *Optimizer) WorkloadCostCtx(ctx context.Context, w *workload.Workload, cfg *index.Configuration, parallelism int) (float64, error) {
+	type qc struct {
+		v   float64
+		err error
+	}
+	vals, err := parallel.Map(ctx, parallel.Workers(parallelism), len(w.Queries),
+		func(i int) qc {
 			q := w.Queries[i]
 			wt := q.Weight
 			if wt <= 0 {
 				wt = 1
 			}
-			return wt * o.Cost(q, cfg)
-		},
-		0.0,
-		func(acc, v float64) float64 { return acc + v })
+			c, err := o.CostContext(ctx, q, cfg)
+			return qc{wt * c, err}
+		})
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, r := range vals {
+		if r.err != nil {
+			return 0, r.err
+		}
+		total += r.v
+	}
+	return total, nil
 }
 
 // FillCosts sets each query's Cost field to its cost under the current
@@ -192,11 +344,36 @@ func (o *Optimizer) FillCosts(w *workload.Workload) {
 // 1 = serial). Costs are computed in parallel but assigned serially, so
 // workloads that alias the same *Query stay race-free.
 func (o *Optimizer) FillCostsN(w *workload.Workload, parallelism int) {
-	costs := parallel.Map(parallel.Workers(parallelism), len(w.Queries),
-		func(i int) float64 { return o.Cost(w.Queries[i], nil) })
-	for i, q := range w.Queries {
-		q.Cost = costs[i]
+	if err := o.FillCostsCtx(context.Background(), w, parallelism); err != nil {
+		panic(err)
 	}
+}
+
+// FillCostsCtx is FillCostsN with cancellation and failure reporting. On a
+// non-nil error no Cost field has been assigned — the workload is left
+// untouched rather than partially costed.
+func (o *Optimizer) FillCostsCtx(ctx context.Context, w *workload.Workload, parallelism int) error {
+	type qc struct {
+		v   float64
+		err error
+	}
+	costs, err := parallel.Map(ctx, parallel.Workers(parallelism), len(w.Queries),
+		func(i int) qc {
+			c, err := o.CostContext(ctx, w.Queries[i], nil)
+			return qc{c, err}
+		})
+	if err != nil {
+		return err
+	}
+	for _, r := range costs {
+		if r.err != nil {
+			return r.err
+		}
+	}
+	for i, q := range w.Queries {
+		q.Cost = costs[i].v
+	}
+	return nil
 }
 
 // Calls returns the number of what-if invocations so far.
@@ -219,18 +396,29 @@ func (o *Optimizer) CacheStats() (hits, misses int64) {
 		hits += o.shards[i].hits.Value()
 		misses += o.shards[i].misses.Value()
 	}
-	return hits, misses
+	return
 }
 
-// ResetCounters zeroes the call counters, timers, and per-shard cache
-// counters (the cache itself is retained) — the multi-run experiment
-// hook, so harness invocations report per-run rather than cumulative
-// what-if statistics. When the optimizer shares a registry, only its own
-// metrics are reset; use Registry.Reset to clear everything.
+// FaultStats reports the failure-model counters: backoff retries taken,
+// plans that failed after exhausting the retry policy, and plans aborted
+// by context cancellation.
+func (o *Optimizer) FaultStats() (retries, exhausted, cancelled int64) {
+	return o.retryAttempts.Value(), o.retryExhausted.Value(), o.cancelled.Value()
+}
+
+// ResetCounters zeroes the call counters, timers, per-shard cache
+// counters, and faults counters (the cache itself is retained) — the
+// multi-run experiment hook, so harness invocations report per-run rather
+// than cumulative what-if statistics. When the optimizer shares a
+// registry, only its own metrics are reset; use Registry.Reset to clear
+// everything.
 func (o *Optimizer) ResetCounters() {
 	o.calls.Reset()
 	o.plans.Reset()
 	o.costNanos.Reset()
+	o.retryAttempts.Reset()
+	o.retryExhausted.Reset()
+	o.cancelled.Reset()
 	for i := range o.shards {
 		o.shards[i].hits.Reset()
 		o.shards[i].misses.Reset()

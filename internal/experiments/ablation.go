@@ -9,7 +9,8 @@ import (
 // Fig13 reproduces Figure 13: the impact of the update strategies of
 // Section 4.3 on improvement, using the all-pairs greedy on TPC-H and
 // TPC-DS.
-func Fig13(env *Env) []*Table {
+func Fig13(env *Env) ([]*Table, error) {
+	ctx := env.Cfg.Context()
 	strategies := []struct {
 		name string
 		s    core.UpdateStrategy
@@ -26,7 +27,10 @@ func Fig13(env *Env) []*Table {
 	const maxAllPairsN = 1100
 	var tables []*Table
 	for _, name := range []string{"TPC-H", "TPC-DS"} {
-		w, o := env.Workload(name)
+		w, o, err := env.Workload(name)
+		if err != nil {
+			return nil, err
+		}
 		if w.Len() > maxAllPairsN {
 			ids := make([]int, maxAllPairsN)
 			for i := range ids {
@@ -34,7 +38,10 @@ func Fig13(env *Env) []*Table {
 			}
 			w = w.Subset(ids)
 		}
-		aopts := env.AdvisorOptions(name)
+		aopts, err := env.AdvisorOptions(name)
+		if err != nil {
+			return nil, err
+		}
 		t := &Table{
 			Title:   fmt.Sprintf("Fig 13 (%s): improvement %% by update strategy (all-pairs greedy)", name),
 			Columns: []string{"k", strategies[0].name, strategies[1].name, strategies[2].name, strategies[3].name},
@@ -45,18 +52,23 @@ func Fig13(env *Env) []*Table {
 				opts := core.DefaultOptions()
 				opts.Algorithm = core.AllPairs
 				opts.Update = st.s
-				row = append(row, RunPipeline(o, w, core.New(opts), k, aopts))
+				pct, err := RunPipeline(ctx, o, w, core.New(opts), k, aopts)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, pct)
 			}
 			t.AddRow(row...)
 		}
 		tables = append(tables, t)
 	}
-	return tables
+	return tables, nil
 }
 
 // Fig14 reproduces Figure 14: the impact of the weighing strategies of
 // Section 7 on improvement (TPC-H).
-func Fig14(env *Env) []*Table {
+func Fig14(env *Env) ([]*Table, error) {
+	ctx := env.Cfg.Context()
 	strategies := []struct {
 		name string
 		s    core.WeighStrategy
@@ -66,8 +78,14 @@ func Fig14(env *Env) []*Table {
 		{"Recalib. Benefit", core.WeighRecalibrated},
 		{"Recalib. w/ Template Weighing", core.WeighTemplateRecalibrated},
 	}
-	w, o := env.Workload("TPC-H")
-	aopts := env.AdvisorOptions("TPC-H")
+	w, o, err := env.Workload("TPC-H")
+	if err != nil {
+		return nil, err
+	}
+	aopts, err := env.AdvisorOptions("TPC-H")
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   "Fig 14 (TPC-H): improvement % by weighing strategy",
 		Columns: []string{"k", strategies[0].name, strategies[1].name, strategies[2].name, strategies[3].name},
@@ -77,9 +95,13 @@ func Fig14(env *Env) []*Table {
 		for _, st := range strategies {
 			opts := core.DefaultOptions()
 			opts.Weighing = st.s
-			row = append(row, RunPipeline(o, w, core.New(opts), k, aopts))
+			pct, err := RunPipeline(ctx, o, w, core.New(opts), k, aopts)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct)
 		}
 		t.AddRow(row...)
 	}
-	return []*Table{t}
+	return []*Table{t}, nil
 }

@@ -10,29 +10,46 @@ import (
 )
 
 // compareAt runs all compressors at one k and returns name → improvement %.
-func compareAt(env *Env, name string, comps []compress.Compressor, k int, aopts advisor.Options) map[string]float64 {
-	w, o := env.Workload(name)
+func compareAt(env *Env, name string, comps []compress.Compressor, k int, aopts advisor.Options) (map[string]float64, error) {
+	w, o, err := env.Workload(name)
+	if err != nil {
+		return nil, err
+	}
+	ctx := env.Cfg.Context()
 	out := map[string]float64{}
 	for _, c := range comps {
-		out[c.Name()] = RunPipeline(o, w, c, k, aopts)
+		pct, err := RunPipeline(ctx, o, w, c, k, aopts)
+		if err != nil {
+			return nil, err
+		}
+		out[c.Name()] = pct
 	}
-	return out
+	return out, nil
 }
 
 // Fig9a reproduces Figure 9a: improvement % vs compressed workload size for
 // the six algorithms on all four workloads.
-func Fig9a(env *Env) []*Table {
+func Fig9a(env *Env) ([]*Table, error) {
 	var tables []*Table
 	for _, name := range []string{"TPC-H", "TPC-DS", "DSB", "Real-M"} {
-		w, _ := env.Workload(name)
+		w, _, err := env.Workload(name)
+		if err != nil {
+			return nil, err
+		}
 		comps := StandardCompressors(env.Cfg.Seed)
 		t := &Table{
 			Title:   fmt.Sprintf("Fig 9a (%s): improvement %% vs compressed size", name),
 			Columns: append([]string{"k"}, compNames(comps)...),
 		}
-		aopts := env.AdvisorOptions(name)
+		aopts, err := env.AdvisorOptions(name)
+		if err != nil {
+			return nil, err
+		}
 		for _, k := range env.Cfg.KSweep(w.Len()) {
-			res := compareAt(env, name, comps, k, aopts)
+			res, err := compareAt(env, name, comps, k, aopts)
+			if err != nil {
+				return nil, err
+			}
 			row := []any{k}
 			for _, c := range comps {
 				row = append(row, res[c.Name()])
@@ -41,19 +58,22 @@ func Fig9a(env *Env) []*Table {
 		}
 		tables = append(tables, t)
 	}
-	return tables
+	return tables, nil
 }
 
 // Fig9b reproduces Figure 9b: improvement % vs index-configuration size at
 // a fixed compressed size of 0.5√n.
-func Fig9b(env *Env) []*Table {
+func Fig9b(env *Env) ([]*Table, error) {
 	var tables []*Table
 	configSizes := []int{8, 16, 32, 64}
 	if env.Cfg.Fast {
 		configSizes = []int{8, 16, 32}
 	}
 	for _, name := range []string{"TPC-H", "TPC-DS", "DSB", "Real-M"} {
-		w, _ := env.Workload(name)
+		w, _, err := env.Workload(name)
+		if err != nil {
+			return nil, err
+		}
 		k := halfSqrt(w.Len())
 		comps := StandardCompressors(env.Cfg.Seed)
 		t := &Table{
@@ -61,9 +81,15 @@ func Fig9b(env *Env) []*Table {
 			Columns: append([]string{"config size"}, compNames(comps)...),
 		}
 		for _, m := range configSizes {
-			aopts := env.AdvisorOptions(name)
+			aopts, err := env.AdvisorOptions(name)
+			if err != nil {
+				return nil, err
+			}
 			aopts.MaxIndexes = m
-			res := compareAt(env, name, comps, k, aopts)
+			res, err := compareAt(env, name, comps, k, aopts)
+			if err != nil {
+				return nil, err
+			}
 			row := []any{m}
 			for _, c := range comps {
 				row = append(row, res[c.Name()])
@@ -72,16 +98,19 @@ func Fig9b(env *Env) []*Table {
 		}
 		tables = append(tables, t)
 	}
-	return tables
+	return tables, nil
 }
 
 // Fig10 reproduces Figure 10: improvement % vs storage budget (1.5×–3× the
 // database size), including the ISUM-NoTable ablation.
-func Fig10(env *Env) []*Table {
+func Fig10(env *Env) ([]*Table, error) {
 	var tables []*Table
 	budgets := []float64{1.5, 2, 2.5, 3}
 	for _, name := range []string{"TPC-H", "TPC-DS", "DSB", "Real-M"} {
-		w, _ := env.Workload(name)
+		w, _, err := env.Workload(name)
+		if err != nil {
+			return nil, err
+		}
 		k := halfSqrt(w.Len())
 		comps := []compress.Compressor{
 			&compress.Uniform{Seed: env.Cfg.Seed},
@@ -95,11 +124,21 @@ func Fig10(env *Env) []*Table {
 			Title:   fmt.Sprintf("Fig 10 (%s): improvement %% vs storage budget (k=%d)", name, k),
 			Columns: append([]string{"budget"}, compNames(comps)...),
 		}
-		dbSize := env.Generator(name).Cat.TotalSizeBytes()
+		g, err := env.Generator(name)
+		if err != nil {
+			return nil, err
+		}
+		dbSize := g.Cat.TotalSizeBytes()
 		for _, b := range budgets {
-			aopts := env.AdvisorOptions(name)
+			aopts, err := env.AdvisorOptions(name)
+			if err != nil {
+				return nil, err
+			}
 			aopts.StorageBudget = int64(b * float64(dbSize))
-			res := compareAt(env, name, comps, k, aopts)
+			res, err := compareAt(env, name, comps, k, aopts)
+			if err != nil {
+				return nil, err
+			}
 			row := []any{fmt.Sprintf("%.1fx", b)}
 			for _, c := range comps {
 				row = append(row, res[c.Name()])
@@ -108,22 +147,28 @@ func Fig10(env *Env) []*Table {
 		}
 		tables = append(tables, t)
 	}
-	return tables
+	return tables, nil
 }
 
 // Fig15 reproduces Figure 15: the algorithm comparison under the
 // DEXTER-style advisor on TPC-H and TPC-DS.
-func Fig15(env *Env) []*Table {
+func Fig15(env *Env) ([]*Table, error) {
 	var tables []*Table
 	for _, name := range []string{"TPC-H", "TPC-DS"} {
-		w, _ := env.Workload(name)
+		w, _, err := env.Workload(name)
+		if err != nil {
+			return nil, err
+		}
 		comps := StandardCompressors(env.Cfg.Seed)
 		t := &Table{
 			Title:   fmt.Sprintf("Fig 15 (%s): improvement %% with DEXTER-style advisor", name),
 			Columns: append([]string{"k"}, compNames(comps)...),
 		}
 		for _, k := range env.Cfg.KSweep(w.Len()) {
-			res := compareAt(env, name, comps, k, advisor.DexterOptions())
+			res, err := compareAt(env, name, comps, k, advisor.DexterOptions())
+			if err != nil {
+				return nil, err
+			}
 			row := []any{k}
 			for _, c := range comps {
 				row = append(row, res[c.Name()])
@@ -132,7 +177,7 @@ func Fig15(env *Env) []*Table {
 		}
 		tables = append(tables, t)
 	}
-	return tables
+	return tables, nil
 }
 
 func compNames(comps []compress.Compressor) []string {

@@ -26,34 +26,58 @@ type perQueryStudy struct {
 // buildPerQueryStudy tunes every query of the named workload independently
 // under the given advisor options. Studies are cached per (workload, mode)
 // inside the Env, since Figs. 5–8 and Table 3 share them.
-func buildPerQueryStudy(env *Env, name string, aopts advisor.Options) *perQueryStudy {
+func buildPerQueryStudy(env *Env, name string, aopts advisor.Options) (*perQueryStudy, error) {
 	key := fmt.Sprintf("%s/mode=%d/m=%d", name, aopts.Mode, aopts.MaxIndexes)
 	if s, ok := env.studies[key]; ok {
-		return s
+		return s, nil
 	}
-	s := computePerQueryStudy(env, name, aopts)
+	s, err := computePerQueryStudy(env, name, aopts)
+	if err != nil {
+		return nil, err
+	}
 	env.studies[key] = s
-	return s
+	return s, nil
 }
 
-func computePerQueryStudy(env *Env, name string, aopts advisor.Options) *perQueryStudy {
-	w, o := env.Workload(name)
+func computePerQueryStudy(env *Env, name string, aopts advisor.Options) (*perQueryStudy, error) {
+	ctx := env.Cfg.Context()
+	w, o, err := env.Workload(name)
+	if err != nil {
+		return nil, err
+	}
+	ruleStates, err := core.BuildStatesContext(ctx, w, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	statsStates, err := core.BuildStatesContext(ctx, w, core.ISUMSOptions())
+	if err != nil {
+		return nil, err
+	}
 	s := &perQueryStudy{
 		w:             w,
 		reduction:     make([]float64, w.Len()),
 		wlImprovement: make([]float64, w.Len()),
-		ruleStates:    core.BuildStates(w, core.DefaultOptions()),
-		statsStates:   core.BuildStates(w, core.ISUMSOptions()),
+		ruleStates:    ruleStates,
+		statsStates:   statsStates,
 	}
 	adv := advisor.New(o, aopts)
 	for i := range w.Queries {
 		single := w.Subset([]int{i})
-		res := adv.Tune(single)
+		res, err := adv.TuneContext(ctx, single)
+		if err != nil {
+			return nil, err
+		}
+		if res.Partial {
+			return nil, ctxError(ctx)
+		}
 		s.reduction[i] = res.InitialCost - res.FinalCost
-		pct, _, _ := advisor.EvaluateImprovement(o, w, res.Config)
+		pct, _, _, err := evaluate(ctx, o, w, res.Config)
+		if err != nil {
+			return nil, err
+		}
 		s.wlImprovement[i] = pct
 	}
-	return s
+	return s, nil
 }
 
 // utilities extracts the raw per-query utility series.
@@ -105,10 +129,22 @@ func benefitsWithSimilarity(states []*core.QueryState, sim func(i, j int) float6
 	return out
 }
 
+// tpchStudy builds the default TPC-H per-query study shared by Figs. 5–8.
+func tpchStudy(env *Env) (*perQueryStudy, error) {
+	aopts, err := env.AdvisorOptions("TPC-H")
+	if err != nil {
+		return nil, err
+	}
+	return buildPerQueryStudy(env, "TPC-H", aopts)
+}
+
 // Fig5 reproduces Figure 5: correlation between utility proxies and the
 // per-query cost reduction when each query is tuned independently (TPC-H).
-func Fig5(env *Env) []*Table {
-	s := buildPerQueryStudy(env, "TPC-H", env.AdvisorOptions("TPC-H"))
+func Fig5(env *Env) ([]*Table, error) {
+	s, err := tpchStudy(env)
+	if err != nil {
+		return nil, err
+	}
 	costs := make([]float64, s.w.Len())
 	costSel := make([]float64, s.w.Len())
 	for i, q := range s.w.Queries {
@@ -121,13 +157,16 @@ func Fig5(env *Env) []*Table {
 	}
 	t.AddRow("original cost", Pearson(costs, s.reduction))
 	t.AddRow("cost + selectivity", Pearson(costSel, s.reduction))
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // Fig6 reproduces Figure 6: correlation of utility, similarity, and benefit
 // with the workload improvement from tuning each query alone (TPC-H).
-func Fig6(env *Env) []*Table {
-	s := buildPerQueryStudy(env, "TPC-H", env.AdvisorOptions("TPC-H"))
+func Fig6(env *Env) ([]*Table, error) {
+	s, err := tpchStudy(env)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:   "Fig 6: estimator vs workload improvement (TPC-H)",
 		Columns: []string{"estimator", "pearson r"},
@@ -135,13 +174,16 @@ func Fig6(env *Env) []*Table {
 	t.AddRow("utility", Pearson(utilities(s.ruleStates), s.wlImprovement))
 	t.AddRow("similarity", Pearson(similarityWithWorkload(s.ruleStates), s.wlImprovement))
 	t.AddRow("benefit", Pearson(benefits(s.ruleStates), s.wlImprovement))
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // Fig7 reproduces Figure 7: the impact of the similarity measure used
 // inside benefit on its correlation with workload improvement (TPC-H).
-func Fig7(env *Env) []*Table {
-	s := buildPerQueryStudy(env, "TPC-H", env.AdvisorOptions("TPC-H"))
+func Fig7(env *Env) ([]*Table, error) {
+	s, err := tpchStudy(env)
+	if err != nil {
+		return nil, err
+	}
 	n := s.w.Len()
 
 	candSets := make([]map[string]bool, n)
@@ -167,20 +209,26 @@ func Fig7(env *Env) []*Table {
 	t.AddRow("jaccard (unweighted)", Pearson(benefitsWithSimilarity(s.ruleStates, jacSim), s.wlImprovement))
 	t.AddRow("weighted jaccard (rule)", Pearson(benefitsWithSimilarity(s.ruleStates, ruleSim), s.wlImprovement))
 	t.AddRow("weighted jaccard (stats)", Pearson(benefitsWithSimilarity(s.statsStates, statsSim), s.wlImprovement))
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // Fig8 reproduces Figure 8: (a) the F(V)/F(W) summary-feature estimation
 // error on TPC-H and TPC-DS, and (b) the correlation of the
 // summary-feature benefit with workload improvement on TPC-H.
-func Fig8(env *Env) []*Table {
+func Fig8(env *Env) ([]*Table, error) {
 	errT := &Table{
 		Title:   "Fig 8a: summary-feature influence estimation error F(V)/F(W)",
 		Columns: []string{"workload", "within 2x", "within 10x", "median ratio"},
 	}
 	for _, name := range []string{"TPC-H", "TPC-DS"} {
-		w, _ := env.Workload(name)
-		states := core.BuildStates(w, core.DefaultOptions())
+		w, _, err := env.Workload(name)
+		if err != nil {
+			return nil, err
+		}
+		states, err := core.BuildStatesContext(env.Cfg.Context(), w, core.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
 		ss := core.BuildSummary(states)
 		var ratios []float64
 		within2, within10 := 0, 0
@@ -208,7 +256,10 @@ func Fig8(env *Env) []*Table {
 			Median(ratios))
 	}
 
-	s := buildPerQueryStudy(env, "TPC-H", env.AdvisorOptions("TPC-H"))
+	s, err := tpchStudy(env)
+	if err != nil {
+		return nil, err
+	}
 	ss := core.BuildSummary(s.ruleStates)
 	sumBenefit := make([]float64, len(s.ruleStates))
 	for i, st := range s.ruleStates {
@@ -220,13 +271,13 @@ func Fig8(env *Env) []*Table {
 	}
 	corrT.AddRow("benefit (summary features)", Pearson(sumBenefit, s.wlImprovement))
 	corrT.AddRow("benefit (all-pairs)", Pearson(benefits(s.ruleStates), s.wlImprovement))
-	return []*Table{errT, corrT}
+	return []*Table{errT, corrT}, nil
 }
 
 // Table3 reproduces Table 3: correlation of the six estimation techniques
 // with the improvement reported by the DTA-style and DEXTER-style advisors
 // on TPC-H and TPC-DS.
-func Table3(env *Env) []*Table {
+func Table3(env *Env) ([]*Table, error) {
 	t := &Table{
 		Title: "Table 3: estimator correlation with actual improvement",
 		Columns: []string{"estimation technique",
@@ -235,11 +286,20 @@ func Table3(env *Env) []*Table {
 	type cell struct{ study *perQueryStudy }
 	var cells []cell
 	for _, name := range []string{"TPC-H", "TPC-DS"} {
-		dtaOpts := env.AdvisorOptions(name)
+		dtaOpts, err := env.AdvisorOptions(name)
+		if err != nil {
+			return nil, err
+		}
 		dexOpts := advisor.DexterOptions()
-		cells = append(cells,
-			cell{buildPerQueryStudy(env, name, dtaOpts)},
-			cell{buildPerQueryStudy(env, name, dexOpts)})
+		dtaStudy, err := buildPerQueryStudy(env, name, dtaOpts)
+		if err != nil {
+			return nil, err
+		}
+		dexStudy, err := buildPerQueryStudy(env, name, dexOpts)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell{dtaStudy}, cell{dexStudy})
 	}
 	rows := []struct {
 		name string
@@ -276,5 +336,5 @@ func Table3(env *Env) []*Table {
 		}
 		t.AddRow(vals...)
 	}
-	return []*Table{t}
+	return []*Table{t}, nil
 }

@@ -3,23 +3,15 @@ package experiments
 import (
 	"fmt"
 
-	"isum/internal/benchmarks"
 	"isum/internal/compress"
 	"isum/internal/core"
-	"isum/internal/cost"
 )
-
-// freshOptimizer returns a new optimizer over a generator's catalog,
-// registered against the environment's telemetry (if any) so per-figure
-// breakdowns attribute its what-if calls.
-func (e *Env) freshOptimizer(g *benchmarks.Generator) *cost.Optimizer {
-	return cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), e.Cfg.Telemetry)
-}
 
 // Fig11 reproduces Figure 11: improvement (a, b) and compression time
 // (c, d) of the summary-features algorithm vs the all-pairs greedy and
 // k-medoid [11] as the input workload grows, on TPC-H and Real-M.
-func Fig11(env *Env) []*Table {
+func Fig11(env *Env) ([]*Table, error) {
+	ctx := env.Cfg.Context()
 	sizes := []int{64, 256, 512, 1024, 2048}
 	if env.Cfg.Fast {
 		sizes = []int{32, 64, 128}
@@ -34,7 +26,10 @@ func Fig11(env *Env) []*Table {
 
 	var tables []*Table
 	for _, name := range []string{"TPC-H", "Real-M"} {
-		g := env.Generator(name)
+		g, err := env.Generator(name)
+		if err != nil {
+			return nil, err
+		}
 		imp := &Table{
 			Title:   fmt.Sprintf("Fig 11a/b (%s): improvement %% vs input size", name),
 			Columns: append([]string{"n"}, compNames(algos)...),
@@ -46,20 +41,34 @@ func Fig11(env *Env) []*Table {
 		for _, n := range sizes {
 			w, err := g.Workload(n, env.Cfg.Seed)
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
 			o := env.freshOptimizer(g)
-			o.FillCosts(w)
+			if err := o.FillCostsCtx(ctx, w, env.Cfg.Parallelism); err != nil {
+				return nil, err
+			}
 			k := halfSqrt(n)
-			aopts := env.AdvisorOptions(name)
+			aopts, err := env.AdvisorOptions(name)
+			if err != nil {
+				return nil, err
+			}
 			impRow := []any{n}
 			tmRow := []any{n}
 			for _, algo := range algos {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				res := algo.Compress(w, k)
 				tmRow = append(tmRow, float64(res.Elapsed.Microseconds())/1000)
 				cw := w.WeightedSubset(res.Indices, res.Weights)
-				tuned := advisorTune(o, cw, aopts)
-				pct, _, _ := evaluate(o, w, tuned)
+				tuned, err := advisorTune(ctx, o, cw, aopts)
+				if err != nil {
+					return nil, err
+				}
+				pct, _, _, err := evaluate(ctx, o, w, tuned)
+				if err != nil {
+					return nil, err
+				}
 				impRow = append(impRow, pct)
 			}
 			imp.AddRow(impRow...)
@@ -67,5 +76,5 @@ func Fig11(env *Env) []*Table {
 		}
 		tables = append(tables, imp, tm)
 	}
-	return tables
+	return tables, nil
 }

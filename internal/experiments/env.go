@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -40,6 +41,25 @@ type Config struct {
 	// each figure's tables. Figure results themselves are identical with
 	// or without it.
 	Telemetry *telemetry.Registry
+	// Ctx, when non-nil, bounds the whole run (DESIGN.md §9): runners
+	// observe cancellation inside compression, tuning, and evaluation and
+	// abort with the context's error, so a -timeout run stops promptly
+	// instead of finishing the figure sweep.
+	Ctx context.Context
+	// Retry overrides the optimizers' what-if retry policy when
+	// MaxAttempts > 0 (zero value keeps cost.DefaultRetryPolicy).
+	Retry cost.RetryPolicy
+	// Injector, when non-nil, installs deterministic fault injection on
+	// every optimizer the experiments construct (the -chaos path).
+	Injector cost.Injector
+}
+
+// Context returns the run's context (Background when none was set).
+func (c Config) Context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultConfig returns the paper-faithful configuration.
@@ -80,10 +100,25 @@ func NewEnv(cfg Config) *Env {
 	}
 }
 
+// freshOptimizer returns a new optimizer over a generator's catalog,
+// registered against the environment's telemetry (if any) so per-figure
+// breakdowns attribute its what-if calls, and configured with the run's
+// retry policy and fault injector.
+func (e *Env) freshOptimizer(g *benchmarks.Generator) *cost.Optimizer {
+	o := cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), e.Cfg.Telemetry)
+	if e.Cfg.Retry.MaxAttempts > 0 {
+		o.SetRetryPolicy(e.Cfg.Retry)
+	}
+	if e.Cfg.Injector != nil {
+		o.SetInjector(e.Cfg.Injector)
+	}
+	return o
+}
+
 // Generator returns (building on first use) the named benchmark generator.
-func (e *Env) Generator(name string) *benchmarks.Generator {
+func (e *Env) Generator(name string) (*benchmarks.Generator, error) {
 	if g, ok := e.gens[name]; ok {
-		return g
+		return g, nil
 	}
 	var g *benchmarks.Generator
 	switch name {
@@ -96,63 +131,116 @@ func (e *Env) Generator(name string) *benchmarks.Generator {
 	case "Real-M":
 		g = benchmarks.RealM(e.Cfg.Seed + 40)
 	default:
-		panic("experiments: unknown benchmark " + name)
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
 	}
 	e.gens[name] = g
-	return g
+	return g, nil
 }
 
 // Workload returns (building on first use) the named benchmark workload at
 // the configured size, with optimizer-estimated costs filled — the paper's
 // input-workload contract.
-func (e *Env) Workload(name string) (*workload.Workload, *cost.Optimizer) {
+func (e *Env) Workload(name string) (*workload.Workload, *cost.Optimizer, error) {
 	if w, ok := e.wls[name]; ok {
-		return w, e.opts[name]
+		return w, e.opts[name], nil
 	}
-	g := e.Generator(name)
+	g, err := e.Generator(name)
+	if err != nil {
+		return nil, nil, err
+	}
 	w, err := g.Workload(e.Cfg.WorkloadSize(name), e.Cfg.Seed)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: building %s workload: %v", name, err))
+		return nil, nil, fmt.Errorf("experiments: building %s workload: %w", name, err)
 	}
-	o := cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), e.Cfg.Telemetry)
-	o.FillCosts(w)
+	o := e.freshOptimizer(g)
+	if err := o.FillCostsCtx(e.Cfg.Context(), w, e.Cfg.Parallelism); err != nil {
+		return nil, nil, fmt.Errorf("experiments: costing %s workload: %w", name, err)
+	}
 	e.wls[name] = w
 	e.opts[name] = o
-	return w, o
+	return w, o, nil
 }
 
 // AdvisorOptions returns the default DTA-style tuning constraints used
 // across experiments unless a figure varies them: up to 30 indexes (the
 // paper observes negligible improvement past 30) within 3× database
 // storage (DTA's default budget).
-func (e *Env) AdvisorOptions(name string) advisor.Options {
+func (e *Env) AdvisorOptions(name string) (advisor.Options, error) {
 	opts := advisor.DefaultOptions()
+	g, err := e.Generator(name)
+	if err != nil {
+		return opts, err
+	}
 	opts.MaxIndexes = 30
-	opts.StorageBudget = 3 * e.Generator(name).Cat.TotalSizeBytes()
+	opts.StorageBudget = 3 * g.Cat.TotalSizeBytes()
 	opts.Parallelism = e.Cfg.Parallelism
 	opts.Telemetry = e.Cfg.Telemetry
-	return opts
+	return opts, nil
 }
 
 // advisorTune tunes a (compressed) workload and returns the configuration.
-func advisorTune(o *cost.Optimizer, w *workload.Workload, aopts advisor.Options) *index.Configuration {
-	return advisor.New(o, aopts).Tune(w).Config
+// A run cut short by ctx aborts with the context's error — experiments
+// want full figures or a clean stop, not silently partial data points.
+func advisorTune(ctx context.Context, o *cost.Optimizer, w *workload.Workload, aopts advisor.Options) (*index.Configuration, error) {
+	res, err := advisor.New(o, aopts).TuneContext(ctx, w)
+	if err != nil {
+		return nil, err
+	}
+	if res.Partial {
+		return nil, ctxError(ctx)
+	}
+	return res.Config, nil
+}
+
+// ctxError returns ctx's error, defaulting to DeadlineExceeded when the
+// context has not (yet) recorded one — used when a Partial result proves
+// the run was cut short.
+func ctxError(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.DeadlineExceeded
 }
 
 // evaluate returns the improvement % (and before/after costs) of cfg on w.
-func evaluate(o *cost.Optimizer, w *workload.Workload, cfg *index.Configuration) (pct, base, final float64) {
-	return advisor.EvaluateImprovement(o, w, cfg)
+func evaluate(ctx context.Context, o *cost.Optimizer, w *workload.Workload, cfg *index.Configuration) (pct, base, final float64, err error) {
+	return advisor.EvaluateImprovementContext(ctx, o, w, cfg, 0)
+}
+
+// ctxCompressor is implemented by compressors that support cancellation
+// (core.Compressor); baselines without it run to completion — they are
+// fast enough that the next ctx check bounds the latency.
+type ctxCompressor interface {
+	CompressContext(ctx context.Context, w *workload.Workload, k int) (*core.Result, error)
 }
 
 // RunPipeline compresses w to k queries with comp, tunes the compressed
 // workload, and returns the improvement % on the full workload — the
-// paper's evaluation metric.
-func RunPipeline(o *cost.Optimizer, w *workload.Workload, comp compress.Compressor, k int, aopts advisor.Options) float64 {
-	res := comp.Compress(w, k)
+// paper's evaluation metric. Cancellation of ctx aborts with its error.
+func RunPipeline(ctx context.Context, o *cost.Optimizer, w *workload.Workload, comp compress.Compressor, k int, aopts advisor.Options) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	var res *core.Result
+	if cc, ok := comp.(ctxCompressor); ok {
+		r, err := cc.CompressContext(ctx, w, k)
+		if err != nil {
+			return 0, err
+		}
+		if r.Partial {
+			return 0, ctxError(ctx)
+		}
+		res = r
+	} else {
+		res = comp.Compress(w, k)
+	}
 	cw := w.WeightedSubset(res.Indices, res.Weights)
-	tuned := advisor.New(o, aopts).Tune(cw)
-	pct, _, _ := advisor.EvaluateImprovement(o, w, tuned.Config)
-	return pct
+	cfg, err := advisorTune(ctx, o, cw, aopts)
+	if err != nil {
+		return 0, err
+	}
+	pct, _, _, err := advisor.EvaluateImprovementContext(ctx, o, w, cfg, 0)
+	return pct, err
 }
 
 // StandardCompressors returns the Fig. 9 comparison set: the four baselines

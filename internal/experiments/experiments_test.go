@@ -10,6 +10,16 @@ import (
 
 func fastEnv() *Env { return NewEnv(FastConfig()) }
 
+// runExp invokes a runner and fails the test on error.
+func runExp(t *testing.T, f Runner, env *Env) []*Table {
+	t.Helper()
+	tabs, err := f(env)
+	if err != nil {
+		t.Fatalf("runner failed: %v", err)
+	}
+	return tabs
+}
+
 func TestPearson(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5}
 	ys := []float64{2, 4, 6, 8, 10}
@@ -103,7 +113,7 @@ func TestRegistryComplete(t *testing.T) {
 
 func TestTable2Shape(t *testing.T) {
 	env := fastEnv()
-	tabs := Table2(env)
+	tabs := runExp(t, Table2, env)
 	if len(tabs) != 1 || len(tabs[0].Rows) != 4 {
 		t.Fatalf("table2 = %+v", tabs)
 	}
@@ -111,7 +121,7 @@ func TestTable2Shape(t *testing.T) {
 
 func TestFig5CorrelationsPositive(t *testing.T) {
 	env := fastEnv()
-	tabs := Fig5(env)
+	tabs := runExp(t, Fig5, env)
 	for _, row := range tabs[0].Rows {
 		r := parseF(t, row[1])
 		if r < 0.5 {
@@ -122,7 +132,7 @@ func TestFig5CorrelationsPositive(t *testing.T) {
 
 func TestFig6BenefitBeatsComponents(t *testing.T) {
 	env := fastEnv()
-	tabs := Fig6(env)
+	tabs := runExp(t, Fig6, env)
 	rows := tabs[0].Rows
 	utility, similarity, benefit := parseF(t, rows[0][1]), parseF(t, rows[1][1]), parseF(t, rows[2][1])
 	// The paper's core claim (Fig. 6): benefit correlates better than either
@@ -135,7 +145,7 @@ func TestFig6BenefitBeatsComponents(t *testing.T) {
 
 func TestFig8SummaryEstimationTight(t *testing.T) {
 	env := fastEnv()
-	tabs := Fig8(env)
+	tabs := runExp(t, Fig8, env)
 	for _, row := range tabs[0].Rows {
 		within10 := strings.TrimSuffix(row[2], "%")
 		if v := parseF(t, within10); v < 70 {
@@ -149,7 +159,7 @@ func TestFig8SummaryEstimationTight(t *testing.T) {
 
 func TestFig13UpdatesHelp(t *testing.T) {
 	env := fastEnv()
-	tabs := Fig13(env)
+	tabs := runExp(t, Fig13, env)
 	for _, tab := range tabs {
 		last := tab.Rows[len(tab.Rows)-1] // largest k
 		noUpdate := parseF(t, last[1])
@@ -163,7 +173,7 @@ func TestFig13UpdatesHelp(t *testing.T) {
 
 func TestFig2CountersGrow(t *testing.T) {
 	env := fastEnv()
-	tabs := Fig2(env)
+	tabs := runExp(t, Fig2, env)
 	rows := tabs[0].Rows
 	firstCalls, lastCalls := parseF(t, rows[0][3]), parseF(t, rows[len(rows)-1][3])
 	if lastCalls <= firstCalls {
@@ -178,7 +188,7 @@ func TestFig2CountersGrow(t *testing.T) {
 
 func TestFig3CompressionApproachesFull(t *testing.T) {
 	env := fastEnv()
-	tabs := Fig3(env)
+	tabs := runExp(t, Fig3, env)
 	rows := tabs[0].Rows
 	full := parseF(t, rows[len(rows)-1][1])
 	biggestK := parseF(t, rows[len(rows)-2][1])
@@ -204,7 +214,7 @@ func TestFig9aISUMCompetitive(t *testing.T) {
 		t.Skip("fig9a is expensive")
 	}
 	env := fastEnv()
-	tabs := Fig9a(env)
+	tabs := runExp(t, Fig9a, env)
 	if len(tabs) != 4 {
 		t.Fatalf("fig9a tables = %d", len(tabs))
 	}
@@ -227,7 +237,7 @@ func TestFig15DexterRuns(t *testing.T) {
 		t.Skip("fig15 is moderately expensive")
 	}
 	env := fastEnv()
-	tabs := Fig15(env)
+	tabs := runExp(t, Fig15, env)
 	if len(tabs) != 2 {
 		t.Fatalf("fig15 tables = %d", len(tabs))
 	}

@@ -11,9 +11,16 @@ import (
 
 // ExtraNormAblation compares feature-normalisation modes: our divide-by-max
 // default, the paper-literal max−min denominator, and no normalisation.
-func ExtraNormAblation(env *Env) []*Table {
-	w, o := env.Workload("TPC-H")
-	aopts := env.AdvisorOptions("TPC-H")
+func ExtraNormAblation(env *Env) ([]*Table, error) {
+	ctx := env.Cfg.Context()
+	w, o, err := env.Workload("TPC-H")
+	if err != nil {
+		return nil, err
+	}
+	aopts, err := env.AdvisorOptions("TPC-H")
+	if err != nil {
+		return nil, err
+	}
 	modes := []struct {
 		name string
 		m    features.NormMode
@@ -31,20 +38,34 @@ func ExtraNormAblation(env *Env) []*Table {
 		for _, m := range modes {
 			opts := core.DefaultOptions()
 			opts.Norm = m.m
-			row = append(row, RunPipeline(o, w, core.New(opts), k, aopts))
+			pct, err := RunPipeline(ctx, o, w, core.New(opts), k, aopts)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct)
 		}
 		t.AddRow(row...)
 	}
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // ExtraAdvisorAblation ablates the DTA-style advisor's covering-index and
 // index-merging features when tuning an ISUM-compressed workload.
-func ExtraAdvisorAblation(env *Env) []*Table {
-	w, o := env.Workload("TPC-H")
+func ExtraAdvisorAblation(env *Env) ([]*Table, error) {
+	ctx := env.Cfg.Context()
+	w, o, err := env.Workload("TPC-H")
+	if err != nil {
+		return nil, err
+	}
 	k := halfSqrt(w.Len())
 	comp := core.New(core.DefaultOptions())
-	res := comp.Compress(w, k)
+	res, err := comp.CompressContext(ctx, w, k)
+	if err != nil {
+		return nil, err
+	}
+	if res.Partial {
+		return nil, ctxError(ctx)
+	}
 	cw := w.WeightedSubset(res.Indices, res.Weights)
 
 	variants := []struct {
@@ -62,29 +83,50 @@ func ExtraAdvisorAblation(env *Env) []*Table {
 		Columns: []string{"variant", "improvement %", "indexes", "configs explored"},
 	}
 	for _, v := range variants {
-		aopts := env.AdvisorOptions("TPC-H")
+		aopts, err := env.AdvisorOptions("TPC-H")
+		if err != nil {
+			return nil, err
+		}
 		aopts.EnableIncludes = v.includes
 		aopts.EnableMerging = v.merging
-		tuned := advisor.New(o, aopts).Tune(cw)
-		pct, _, _ := advisor.EvaluateImprovement(o, w, tuned.Config)
+		tuned, err := advisor.New(o, aopts).TuneContext(ctx, cw)
+		if err != nil {
+			return nil, err
+		}
+		if tuned.Partial {
+			return nil, ctxError(ctx)
+		}
+		pct, _, _, err := evaluate(ctx, o, w, tuned.Config)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(v.name, pct, tuned.Config.Len(), tuned.ConfigsExplored)
 	}
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // ExtraIncremental measures the incremental compressor (Section 10) against
 // one-shot compression at equal pool size.
-func ExtraIncremental(env *Env) []*Table {
+func ExtraIncremental(env *Env) ([]*Table, error) {
+	ctx := env.Cfg.Context()
 	name := "TPC-DS"
-	g := env.Generator(name)
+	g, err := env.Generator(name)
+	if err != nil {
+		return nil, err
+	}
 	n := env.Cfg.WorkloadSize(name)
 	w, err := g.Workload(n, env.Cfg.Seed)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	o := env.freshOptimizer(g)
-	o.FillCosts(w)
-	aopts := env.AdvisorOptions(name)
+	if err := o.FillCostsCtx(ctx, w, env.Cfg.Parallelism); err != nil {
+		return nil, err
+	}
+	aopts, err := env.AdvisorOptions(name)
+	if err != nil {
+		return nil, err
+	}
 	k := halfSqrt(n)
 	batches := 5
 
@@ -102,14 +144,32 @@ func ExtraIncremental(env *Env) []*Table {
 		}
 		ic.Observe(w.Queries[lo:hi])
 		seen := w.Subset(rangeInts(0, hi))
-		incTuned := advisorTune(o, ic.Pool(), aopts)
-		incPct, _, _ := evaluate(o, seen, incTuned)
-		osRes := oneShot.Compress(seen, k)
-		osTuned := advisorTune(o, seen.WeightedSubset(osRes.Indices, osRes.Weights), aopts)
-		osPct, _, _ := evaluate(o, seen, osTuned)
+		incTuned, err := advisorTune(ctx, o, ic.Pool(), aopts)
+		if err != nil {
+			return nil, err
+		}
+		incPct, _, _, err := evaluate(ctx, o, seen, incTuned)
+		if err != nil {
+			return nil, err
+		}
+		osRes, err := oneShot.CompressContext(ctx, seen, k)
+		if err != nil {
+			return nil, err
+		}
+		if osRes.Partial {
+			return nil, ctxError(ctx)
+		}
+		osTuned, err := advisorTune(ctx, o, seen.WeightedSubset(osRes.Indices, osRes.Weights), aopts)
+		if err != nil {
+			return nil, err
+		}
+		osPct, _, _, err := evaluate(ctx, o, seen, osTuned)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(b+1, hi, incPct, osPct)
 	}
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 func rangeInts(lo, hi int) []int {

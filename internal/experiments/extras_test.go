@@ -7,7 +7,7 @@ func TestExtraNormAblationRuns(t *testing.T) {
 		t.Skip("norm ablation runs several pipelines")
 	}
 	env := fastEnv()
-	tabs := ExtraNormAblation(env)
+	tabs := runExp(t, ExtraNormAblation, env)
 	if len(tabs) != 1 || len(tabs[0].Rows) == 0 {
 		t.Fatalf("tables = %+v", tabs)
 	}
@@ -22,7 +22,7 @@ func TestExtraNormAblationRuns(t *testing.T) {
 
 func TestExtraAdvisorAblation(t *testing.T) {
 	env := fastEnv()
-	tabs := ExtraAdvisorAblation(env)
+	tabs := runExp(t, ExtraAdvisorAblation, env)
 	rows := tabs[0].Rows
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))
@@ -39,7 +39,7 @@ func TestExtraIncrementalTracksOneShot(t *testing.T) {
 		t.Skip("incremental experiment is moderately expensive")
 	}
 	env := fastEnv()
-	tabs := ExtraIncremental(env)
+	tabs := runExp(t, ExtraIncremental, env)
 	rows := tabs[0].Rows
 	if len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))

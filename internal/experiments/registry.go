@@ -10,8 +10,12 @@ import (
 	"isum/internal/telemetry"
 )
 
-// Runner produces the tables for one paper figure/table.
-type Runner func(*Env) []*Table
+// Runner produces the tables for one paper figure/table. A runner returns
+// an error instead of panicking: workload-generation failures, what-if
+// failures that survive the retry policy, and cancellation of the run
+// context all surface here and are threaded to a non-zero exit in
+// cmd/experiments.
+type Runner func(*Env) ([]*Table, error)
 
 // Registry maps experiment ids to runners — one entry per table and figure
 // in the paper's evaluation.
@@ -62,8 +66,11 @@ func Run(env *Env, id string, w io.Writer) error {
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, Names())
 	}
 	sp := env.Cfg.Telemetry.Start("experiments/" + id)
-	tables := r(env)
+	tables, err := r(env)
 	sp.End()
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", id, err)
+	}
 	for _, t := range tables {
 		if err := t.Write(w); err != nil {
 			return err

@@ -11,12 +11,16 @@ import (
 // Fig2 reproduces Figure 2: index-tuning time (2a) and configurations
 // explored (2b) as the TPC-DS workload grows — the scalability motivation
 // for workload compression.
-func Fig2(env *Env) []*Table {
+func Fig2(env *Env) ([]*Table, error) {
+	ctx := env.Cfg.Context()
 	sizes := []int{1, 20, 40, 60, 80, 92}
 	if env.Cfg.Fast {
 		sizes = []int{1, 8, 16, 24}
 	}
-	g := env.Generator("TPC-DS")
+	g, err := env.Generator("TPC-DS")
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title: "Fig 2: tuning scalability vs workload size (TPC-DS)",
 		Columns: []string{"queries", "tuning time (s)", "optimizer time %",
@@ -27,43 +31,69 @@ func Fig2(env *Env) []*Table {
 		// larger runs.
 		w, err := g.Workload(n, env.Cfg.Seed)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		o := env.freshOptimizer(g)
-		o.FillCosts(w)
+		if err := o.FillCostsCtx(ctx, w, env.Cfg.Parallelism); err != nil {
+			return nil, err
+		}
 		o.ResetCounters()
-		aopts := env.AdvisorOptions("TPC-DS")
-		res := advisor.New(o, aopts).Tune(w)
+		aopts, err := env.AdvisorOptions("TPC-DS")
+		if err != nil {
+			return nil, err
+		}
+		res, err := advisor.New(o, aopts).TuneContext(ctx, w)
+		if err != nil {
+			return nil, err
+		}
+		if res.Partial {
+			return nil, ctxError(ctx)
+		}
 		share := 0.0
 		if res.Elapsed > 0 {
 			share = float64(o.CostTime()) / float64(res.Elapsed) * 100
 		}
 		t.AddRow(n, res.Elapsed.Seconds(), share, res.OptimizerCalls, res.ConfigsExplored, res.Config.Len())
 	}
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 // Fig3 reproduces Figure 3: improvement of the compressed workload vs the
 // full workload on 92 distinct TPC-DS queries, including the end-to-end
 // (compression + tuning) time.
-func Fig3(env *Env) []*Table {
-	g := env.Generator("TPC-DS")
+func Fig3(env *Env) ([]*Table, error) {
+	ctx := env.Cfg.Context()
+	g, err := env.Generator("TPC-DS")
+	if err != nil {
+		return nil, err
+	}
 	n := 92
 	if env.Cfg.Fast {
 		n = 46
 	}
 	w, err := g.Workload(n, env.Cfg.Seed)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	o := env.freshOptimizer(g)
-	o.FillCosts(w)
-	aopts := env.AdvisorOptions("TPC-DS")
+	if err := o.FillCostsCtx(ctx, w, env.Cfg.Parallelism); err != nil {
+		return nil, err
+	}
+	aopts, err := env.AdvisorOptions("TPC-DS")
+	if err != nil {
+		return nil, err
+	}
 
 	fullStart := time.Now()
-	fullRes := advisor.New(o, aopts).Tune(w)
+	fullCfg, err := advisorTune(ctx, o, w, aopts)
+	if err != nil {
+		return nil, err
+	}
 	fullTime := time.Since(fullStart)
-	fullPct, _, _ := advisor.EvaluateImprovement(o, w, fullRes.Config)
+	fullPct, _, _, err := evaluate(ctx, o, w, fullCfg)
+	if err != nil {
+		return nil, err
+	}
 
 	t := &Table{
 		Title:   fmt.Sprintf("Fig 3: compressed vs full workload tuning (TPC-DS, n=%d)", n),
@@ -76,13 +106,25 @@ func Fig3(env *Env) []*Table {
 	comp := core.New(core.DefaultOptions())
 	for _, k := range ks {
 		start := time.Now()
-		res := comp.Compress(w, k)
+		res, err := comp.CompressContext(ctx, w, k)
+		if err != nil {
+			return nil, err
+		}
+		if res.Partial {
+			return nil, ctxError(ctx)
+		}
 		cw := w.WeightedSubset(res.Indices, res.Weights)
-		tuned := advisor.New(o, aopts).Tune(cw)
+		cfg, err := advisorTune(ctx, o, cw, aopts)
+		if err != nil {
+			return nil, err
+		}
 		elapsed := time.Since(start)
-		pct, _, _ := advisor.EvaluateImprovement(o, w, tuned.Config)
+		pct, _, _, err := evaluate(ctx, o, w, cfg)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(k, pct, fullPct, elapsed.Seconds())
 	}
 	t.AddRow("full", fullPct, fullPct, fullTime.Seconds())
-	return []*Table{t}
+	return []*Table{t}, nil
 }

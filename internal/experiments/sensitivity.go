@@ -9,10 +9,17 @@ import (
 // Fig12 reproduces Figure 12: sensitivity to workload characteristics on
 // DSB — (a) varying instances per template, (b–d) varying query complexity
 // class (SPJ / Aggregate / Complex).
-func Fig12(env *Env) []*Table {
-	g := env.Generator("DSB")
+func Fig12(env *Env) ([]*Table, error) {
+	ctx := env.Cfg.Context()
+	g, err := env.Generator("DSB")
+	if err != nil {
+		return nil, err
+	}
 	comps := StandardCompressors(env.Cfg.Seed)
-	aopts := env.AdvisorOptions("DSB")
+	aopts, err := env.AdvisorOptions("DSB")
+	if err != nil {
+		return nil, err
+	}
 	var tables []*Table
 
 	// (a) instances per template.
@@ -27,14 +34,20 @@ func Fig12(env *Env) []*Table {
 	for _, inst := range instances {
 		w, err := g.WorkloadPerTemplate(inst, env.Cfg.Seed)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		o := env.freshOptimizer(g)
-		o.FillCosts(w)
+		if err := o.FillCostsCtx(ctx, w, env.Cfg.Parallelism); err != nil {
+			return nil, err
+		}
 		k := halfSqrt(w.Len())
 		row := []any{inst}
 		for _, c := range comps {
-			row = append(row, RunPipeline(o, w, c, k, aopts))
+			pct, err := RunPipeline(ctx, o, w, c, k, aopts)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct)
 		}
 		ta.AddRow(row...)
 	}
@@ -47,10 +60,12 @@ func Fig12(env *Env) []*Table {
 	} {
 		w, err := g.WorkloadByClass(class, n, env.Cfg.Seed)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		o := env.freshOptimizer(g)
-		o.FillCosts(w)
+		if err := o.FillCostsCtx(ctx, w, env.Cfg.Parallelism); err != nil {
+			return nil, err
+		}
 		t := &Table{
 			Title:   fmt.Sprintf("Fig 12b-d (DSB %s): improvement %% vs compressed size", class),
 			Columns: append([]string{"k"}, compNames(comps)...),
@@ -58,11 +73,15 @@ func Fig12(env *Env) []*Table {
 		for _, k := range env.Cfg.KSweep(w.Len()) {
 			row := []any{k}
 			for _, c := range comps {
-				row = append(row, RunPipeline(o, w, c, k, aopts))
+				pct, err := RunPipeline(ctx, o, w, c, k, aopts)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, pct)
 			}
 			t.AddRow(row...)
 		}
 		tables = append(tables, t)
 	}
-	return tables
+	return tables, nil
 }

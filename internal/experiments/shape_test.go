@@ -14,7 +14,7 @@ func TestFig9bMoreIndexesHelp(t *testing.T) {
 		t.Skip("fig9b is expensive")
 	}
 	env := fastEnv()
-	tabs := Fig9b(env)
+	tabs := runExp(t, Fig9b, env)
 	if len(tabs) != 4 {
 		t.Fatalf("tables = %d", len(tabs))
 	}
@@ -34,7 +34,7 @@ func TestFig10BudgetsRespectOrdering(t *testing.T) {
 		t.Skip("fig10 is expensive")
 	}
 	env := fastEnv()
-	tabs := Fig10(env)
+	tabs := runExp(t, Fig10, env)
 	for _, tab := range tabs {
 		// Improvements stay in [0, 100] and ISUM stays competitive at 3x.
 		for _, row := range tab.Rows {
@@ -58,7 +58,7 @@ func TestFig11SummaryFasterThanAllPairs(t *testing.T) {
 		t.Skip("fig11 is expensive")
 	}
 	env := fastEnv()
-	tabs := Fig11(env)
+	tabs := runExp(t, Fig11, env)
 	if len(tabs) != 4 {
 		t.Fatalf("tables = %d", len(tabs))
 	}
@@ -97,7 +97,7 @@ func TestFig12InstancesSweep(t *testing.T) {
 		t.Skip("fig12 is expensive")
 	}
 	env := fastEnv()
-	tabs := Fig12(env)
+	tabs := runExp(t, Fig12, env)
 	if len(tabs) != 4 {
 		t.Fatalf("tables = %d", len(tabs))
 	}
@@ -121,7 +121,7 @@ func TestFig14WeighingHelps(t *testing.T) {
 		t.Skip("fig14 is moderately expensive")
 	}
 	env := fastEnv()
-	tabs := Fig14(env)
+	tabs := runExp(t, Fig14, env)
 	rows := tabs[0].Rows
 	// At the largest k, some weighing strategy should beat "No Weighing"
 	// (the paper's Fig. 14 claim), and template weighing should be at least

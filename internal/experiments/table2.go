@@ -3,17 +3,23 @@ package experiments
 import "isum/internal/workload"
 
 // Table2 reproduces Table 2: the summary of the four evaluation workloads.
-func Table2(env *Env) []*Table {
+func Table2(env *Env) ([]*Table, error) {
 	t := &Table{
 		Title:   "Table 2: workload summary",
 		Columns: []string{"name", "#queries", "#templates", "#tables (schema)", "#tables (referenced)"},
 	}
 	for _, name := range []string{"TPC-H", "TPC-DS", "DSB", "Real-M"} {
-		w, _ := env.Workload(name)
-		g := env.Generator(name)
+		w, _, err := env.Workload(name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := env.Generator(name)
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(name, w.Len(), w.NumTemplates(), g.Cat.NumTables(), w.TablesReferenced())
 	}
-	return []*Table{t}
+	return []*Table{t}, nil
 }
 
 var _ = workload.Fingerprint

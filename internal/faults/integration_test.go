@@ -1,0 +1,167 @@
+package faults_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"isum/internal/catalog"
+	"isum/internal/cost"
+	"isum/internal/faults"
+	"isum/internal/parallel"
+	"isum/internal/workload"
+)
+
+func testCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	o := catalog.NewTable("orders", 1500000)
+	o.AddColumn(&catalog.Column{Name: "o_orderkey", Type: catalog.TypeInt, DistinctCount: 1500000, Min: 1, Max: 6000000,
+		Hist: catalog.SyntheticHistogram(1, 6000000, 1500000, 1500000, 50, 0)})
+	o.AddColumn(&catalog.Column{Name: "o_custkey", Type: catalog.TypeInt, DistinctCount: 100000, Min: 1, Max: 150000,
+		Hist: catalog.SyntheticHistogram(1, 150000, 1500000, 100000, 50, 0)})
+	o.AddColumn(&catalog.Column{Name: "o_totalprice", Type: catalog.TypeDecimal, DistinctCount: 1400000, Min: 800, Max: 600000,
+		Hist: catalog.SyntheticHistogram(800, 600000, 1500000, 1400000, 50, 0)})
+	cat.AddTable(o)
+	c := catalog.NewTable("customer", 150000)
+	c.AddColumn(&catalog.Column{Name: "c_custkey", Type: catalog.TypeInt, DistinctCount: 150000, Min: 1, Max: 150000,
+		Hist: catalog.SyntheticHistogram(1, 150000, 150000, 150000, 20, 0)})
+	c.AddColumn(&catalog.Column{Name: "c_nationkey", Type: catalog.TypeInt, DistinctCount: 25, Min: 0, Max: 24,
+		Hist: catalog.SyntheticHistogram(0, 24, 150000, 25, 25, 0)})
+	cat.AddTable(c)
+	return cat
+}
+
+func testWorkload(t *testing.T, cat *catalog.Catalog) *workload.Workload {
+	t.Helper()
+	w, err := workload.New(cat, []string{
+		"SELECT o_orderkey FROM orders WHERE o_custkey = 42",
+		"SELECT o_totalprice FROM orders WHERE o_totalprice > 100000 ORDER BY o_totalprice",
+		"SELECT c_custkey FROM customer WHERE c_nationkey = 7",
+		"SELECT o_orderkey FROM orders, customer WHERE o_custkey = c_custkey AND c_nationkey = 3",
+		"SELECT o_custkey FROM orders WHERE o_orderkey < 1000",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// fastRetry keeps the backoff sleeps out of test wall-clock time.
+func fastRetry(attempts int) cost.RetryPolicy {
+	return cost.RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+}
+
+// TestRetryAbsorbsTransientErrors pins the central chaos guarantee: with
+// enough retry attempts, a seeded error-injecting run produces costs
+// bit-identical to the fault-free run.
+func TestRetryAbsorbsTransientErrors(t *testing.T) {
+	cat := testCatalog()
+	w1 := testWorkload(t, cat)
+	w2 := testWorkload(t, cat)
+
+	plain := cost.NewOptimizer(cat)
+	if err := plain.FillCostsCtx(context.Background(), w1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	chaotic := cost.NewOptimizer(cat)
+	chaotic.SetInjector(faults.NewInjector(faults.Config{Seed: 5, ErrorRate: 0.4}))
+	chaotic.SetRetryPolicy(fastRetry(30))
+	if err := chaotic.FillCostsCtx(context.Background(), w2, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range w1.Queries {
+		if w1.Queries[i].Cost != w2.Queries[i].Cost {
+			t.Fatalf("query %d: chaos cost %v != fault-free cost %v", i, w2.Queries[i].Cost, w1.Queries[i].Cost)
+		}
+	}
+	retries, exhausted, cancelled := chaotic.FaultStats()
+	if retries == 0 {
+		t.Fatal("error rate 0.4 fired no retries — injector not consulted?")
+	}
+	if exhausted != 0 || cancelled != 0 {
+		t.Fatalf("exhausted=%d cancelled=%d", exhausted, cancelled)
+	}
+}
+
+// TestRetryExhaustion: with ErrorRate 1 every attempt fails, so the
+// optimizer must surface a real error (wrapping ErrInjected), not a
+// cancellation.
+func TestRetryExhaustion(t *testing.T) {
+	cat := testCatalog()
+	w := testWorkload(t, cat)
+	o := cost.NewOptimizer(cat)
+	o.SetInjector(faults.NewInjector(faults.Config{Seed: 1, ErrorRate: 1}))
+	o.SetRetryPolicy(fastRetry(3))
+
+	err := o.FillCostsCtx(context.Background(), w, 1)
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if faults.IsCancellation(err) {
+		t.Fatal("retry exhaustion must not look like a cancellation")
+	}
+	for _, q := range w.Queries {
+		if q.Cost != 0 {
+			t.Fatal("failed FillCostsCtx must leave the workload untouched")
+		}
+	}
+	_, exhausted, _ := o.FaultStats()
+	if exhausted == 0 {
+		t.Fatal("exhausted counter did not fire")
+	}
+}
+
+// TestPanicContainment: an injected panic inside a worker must come back
+// as a *parallel.PanicError from the pool, not crash the process.
+func TestPanicContainment(t *testing.T) {
+	cat := testCatalog()
+	w := testWorkload(t, cat)
+	o := cost.NewOptimizer(cat)
+	o.SetInjector(faults.NewInjector(faults.Config{Seed: 2, PanicRate: 1}))
+
+	_, err := o.WorkloadCostCtx(context.Background(), w, nil, 0)
+	var pe *parallel.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *parallel.PanicError, got %T: %v", err, err)
+	}
+}
+
+func TestFlagsPolicyAndInjector(t *testing.T) {
+	var f faults.Flags
+	if got, def := f.Policy().MaxAttempts, cost.DefaultRetryPolicy().MaxAttempts; got != def {
+		t.Fatalf("zero Flags policy = %d attempts, want default %d", got, def)
+	}
+	f.Retries = 7
+	if got := f.Policy().MaxAttempts; got != 7 {
+		t.Fatalf("Retries=7 → MaxAttempts %d", got)
+	}
+
+	if inj, err := f.BuildInjector(nil); inj != nil || err != nil {
+		t.Fatalf("no -chaos must yield (nil, nil), got (%v, %v)", inj, err)
+	}
+	f.Chaos = "seed=3,errors=0.5"
+	inj, err := f.BuildInjector(nil)
+	if err != nil || inj == nil {
+		t.Fatalf("BuildInjector: (%v, %v)", inj, err)
+	}
+	f.Chaos = "frobs=1"
+	if _, err := f.BuildInjector(nil); err == nil {
+		t.Fatal("bad spec must error")
+	}
+
+	f.Timeout = time.Hour
+	ctx, cancel := f.Context()
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("-timeout must set a deadline")
+	}
+	f.Timeout = 0
+	ctx2, cancel2 := f.Context()
+	defer cancel2()
+	if _, ok := ctx2.Deadline(); ok {
+		t.Fatal("no -timeout must mean no deadline")
+	}
+}

@@ -4,7 +4,10 @@
 // workload summary features (Definition 11).
 package features
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Vector is a sparse feature vector mapping feature keys ("table.column")
 // to non-negative weights. Absent keys are zero.
@@ -29,11 +32,25 @@ func (v Vector) AllZero() bool {
 	return true
 }
 
-// Sum returns the total weight.
+// Sum returns the total weight. The accumulation order is canonicalised so
+// the result is bit-identical across runs (map iteration order is not).
 func (v Vector) Sum() float64 {
-	var s float64
+	vals := make([]float64, 0, len(v))
 	for _, w := range v {
-		s += w
+		vals = append(vals, w)
+	}
+	return detSum(vals)
+}
+
+// detSum adds vals in ascending value order. Floating-point addition is not
+// associative, so summing in Go's randomised map iteration order perturbs
+// the last ulp from run to run; sorting by value first makes every sum over
+// the same multiset reproduce the same bits.
+func detSum(vals []float64) float64 {
+	sort.Float64s(vals)
+	var s float64
+	for _, v := range vals {
+		s += v
 	}
 	return s
 }
@@ -82,26 +99,29 @@ func (v Vector) ZeroShared(other Vector) Vector {
 
 // WeightedJaccard returns Σ_c min(a_c, b_c) / Σ_c max(a_c, b_c), the
 // similarity measure of Section 4.2. It is 0 when either vector is empty
-// and always lies in [0, 1].
+// and always lies in [0, 1]. Both sums accumulate in canonical order (see
+// detSum) so similarities are bit-identical across runs.
 func WeightedJaccard(a, b Vector) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	var minSum, maxSum float64
+	mins := make([]float64, 0, len(a))
+	maxs := make([]float64, 0, len(a)+len(b))
 	for k, aw := range a {
 		bw := b[k]
-		minSum += math.Min(aw, bw)
-		maxSum += math.Max(aw, bw)
+		mins = append(mins, math.Min(aw, bw))
+		maxs = append(maxs, math.Max(aw, bw))
 	}
 	for k, bw := range b {
 		if _, ok := a[k]; !ok {
-			maxSum += bw
+			maxs = append(maxs, bw)
 		}
 	}
+	maxSum := detSum(maxs)
 	if maxSum == 0 {
 		return 0
 	}
-	return minSum / maxSum
+	return detSum(mins) / maxSum
 }
 
 // Jaccard returns the unweighted Jaccard similarity of the key sets

@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -22,12 +24,15 @@ func TestWorkers(t *testing.T) {
 }
 
 func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	ctx := context.Background()
 	for _, workers := range []int{1, 2, 3, 8, 100} {
 		for _, n := range []int{0, 1, 2, 5, 97, 1000} {
 			hits := make([]int32, n)
-			ForEach(workers, n, func(i int) {
+			if err := ForEach(ctx, workers, n, func(i int) {
 				atomic.AddInt32(&hits[i], 1)
-			})
+			}); err != nil {
+				t.Fatalf("workers=%d n=%d: unexpected error: %v", workers, n, err)
+			}
 			for i, h := range hits {
 				if h != 1 {
 					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
@@ -39,7 +44,10 @@ func TestForEachCoversEveryIndexOnce(t *testing.T) {
 
 func TestMapPreservesIndexOrder(t *testing.T) {
 	for _, workers := range []int{1, 2, 8} {
-		out := Map(workers, 500, func(i int) int { return i * i })
+		out, err := Map(context.Background(), workers, 500, func(i int) int { return i * i })
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error: %v", workers, err)
+		}
 		for i, v := range out {
 			if v != i*i {
 				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
@@ -55,10 +63,13 @@ func TestMapReduceOrderedFold(t *testing.T) {
 	letters := "abcdefghijklmnopqrstuvwxyz"
 	want := letters
 	for _, workers := range []int{1, 2, 3, 13, 26, 50} {
-		got := MapReduce(workers, len(letters),
+		got, err := MapReduce(context.Background(), workers, len(letters),
 			func(i int) string { return string(letters[i]) },
 			"",
 			func(acc, v string) string { return acc + v })
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error: %v", workers, err)
+		}
 		if got != want {
 			t.Fatalf("workers=%d: %q != %q", workers, got, want)
 		}
@@ -76,10 +87,14 @@ func TestMapReduceFloatSumDeterminism(t *testing.T) {
 		vals[i] = x
 	}
 	sum := func(workers int) float64 {
-		return MapReduce(workers, n,
+		got, err := MapReduce(context.Background(), workers, n,
 			func(i int) float64 { return vals[i] },
 			0.0,
 			func(acc, v float64) float64 { return acc + v })
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error: %v", workers, err)
+		}
+		return got
 	}
 	want := sum(1)
 	for _, workers := range []int{2, 4, 16} {
@@ -89,19 +104,131 @@ func TestMapReduceFloatSumDeterminism(t *testing.T) {
 	}
 }
 
-func TestForEachPanicPropagates(t *testing.T) {
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("panic did not propagate")
+// TestForEachPanicContained pins the failure model: a worker panic is
+// returned as a *PanicError — with the payload and a stack — instead of
+// crashing the process, at every worker count including the serial path.
+func TestForEachPanicContained(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), workers, 100, func(i int) {
+			if i == 37 {
+				panic("boom")
+			}
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic was not surfaced as an error", workers)
 		}
-		if !strings.Contains(r.(string), "boom") {
-			t.Fatalf("unexpected panic payload: %v", r)
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: error is %T, want *PanicError", workers, err)
 		}
-	}()
-	ForEach(4, 100, func(i int) {
-		if i == 37 {
-			panic("boom")
+		if pe.Value != "boom" {
+			t.Fatalf("workers=%d: unexpected panic payload: %v", workers, pe.Value)
+		}
+		if !strings.Contains(err.Error(), "boom") {
+			t.Fatalf("workers=%d: Error() should carry the payload: %q", workers, err.Error())
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: missing stack trace", workers)
+		}
+	}
+}
+
+// TestForEachPanicStopsRemainingWork: after a panic the other workers stop
+// at their next index instead of running the batch to completion.
+func TestForEachPanicStopsRemainingWork(t *testing.T) {
+	var ran atomic.Int64
+	n := 100000
+	err := ForEach(context.Background(), 4, n, func(i int) {
+		ran.Add(1)
+		if i == 0 {
+			panic("early")
 		}
 	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got == int64(n) {
+		t.Fatalf("all %d tasks ran despite an early panic", n)
+	}
+}
+
+func TestForEachAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	for _, workers := range []int{1, 4} {
+		err := ForEach(ctx, workers, 50, func(i int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d tasks ran under an already-cancelled context", ran.Load())
+	}
+}
+
+// TestForEachCancelMidRun: cancelling while the batch runs stops the
+// workers before the batch completes and returns ctx.Err().
+func TestForEachCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	n := 1 << 20
+	err := ForEach(ctx, 4, n, func(i int) {
+		if ran.Add(1) == 100 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got == int64(n) {
+		t.Fatal("cancellation did not stop the batch early")
+	}
+}
+
+// TestMapPartialOnCancel: Map under cancellation returns the partially
+// filled slice alongside the error; entries that ran hold real results.
+func TestMapPartialOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	out, err := Map(ctx, 2, 1<<16, func(i int) int {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return i + 1
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(out) != 1<<16 {
+		t.Fatalf("partial slice has wrong length %d", len(out))
+	}
+	filled := 0
+	for i, v := range out {
+		if v != 0 {
+			if v != i+1 {
+				t.Fatalf("out[%d] = %d, want %d", i, v, i+1)
+			}
+			filled++
+		}
+	}
+	if filled == 0 {
+		t.Fatal("no entries filled before cancellation")
+	}
+}
+
+// TestMapReduceErrorReturnsInit: the fold must not run over partial values.
+func TestMapReduceErrorReturnsInit(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := MapReduce(ctx, 4, 100,
+		func(i int) int { return 1 },
+		-7,
+		func(acc, v int) int { return acc + v })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got != -7 {
+		t.Fatalf("on error MapReduce must return init, got %d", got)
+	}
 }

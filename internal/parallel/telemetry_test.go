@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"testing"
 
 	"isum/internal/telemetry"
@@ -14,9 +15,10 @@ func TestSetTelemetry(t *testing.T) {
 	SetTelemetry(reg)
 	defer SetTelemetry(nil)
 
-	ForEach(1, 100, func(int) {}) // serial path
-	ForEach(4, 100, func(int) {}) // pooled path
-	Map(4, 50, func(i int) int { return i })
+	ctx := context.Background()
+	ForEach(ctx, 1, 100, func(int) {}) // serial path
+	ForEach(ctx, 4, 100, func(int) {}) // pooled path
+	Map(ctx, 4, 50, func(i int) int { return i })
 
 	if got := reg.Counter("parallel/pool/tasks").Value(); got != 250 {
 		t.Errorf("tasks = %d, want 250", got)
@@ -36,7 +38,7 @@ func TestSetTelemetry(t *testing.T) {
 // records nothing and a later registry sees no phantom counts.
 func TestTelemetryDisabledByDefault(t *testing.T) {
 	SetTelemetry(nil)
-	ForEach(4, 100, func(int) {})
+	ForEach(context.Background(), 4, 100, func(int) {})
 	reg := telemetry.New()
 	SetTelemetry(reg)
 	defer SetTelemetry(nil)

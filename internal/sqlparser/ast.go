@@ -256,6 +256,36 @@ func (*CastExpr) exprNode()       {}
 // ---- SQL rendering ----
 
 // SQL renders the statement as SQL text.
+// quoteIdent renders an identifier so it re-lexes as a single TokenIdent:
+// plain identifiers print bare, anything else (spaces, punctuation,
+// keyword collisions) gets quoted. A lexed identifier can never contain
+// every quote character, so one of the three forms always applies.
+func quoteIdent(s string) string {
+	if plainIdent(s) {
+		return s
+	}
+	return quoted(s)
+}
+
+func quoted(s string) string {
+	switch {
+	case !strings.Contains(s, `"`):
+		return `"` + s + `"`
+	case !strings.Contains(s, "`"):
+		return "`" + s + "`"
+	default:
+		return "[" + s + "]"
+	}
+}
+
+func quoteIdents(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = quoteIdent(n)
+	}
+	return out
+}
+
 func (s *SelectStmt) SQL() string {
 	var sb strings.Builder
 	if len(s.With) > 0 {
@@ -264,10 +294,10 @@ func (s *SelectStmt) SQL() string {
 			if i > 0 {
 				sb.WriteString(", ")
 			}
-			sb.WriteString(cte.Name)
+			sb.WriteString(quoteIdent(cte.Name))
 			if len(cte.Columns) > 0 {
 				sb.WriteString(" (")
-				sb.WriteString(strings.Join(cte.Columns, ", "))
+				sb.WriteString(strings.Join(quoteIdents(cte.Columns), ", "))
 				sb.WriteString(")")
 			}
 			sb.WriteString(" AS (")
@@ -349,14 +379,14 @@ func (i SelectItem) SQL() string {
 	var s string
 	switch {
 	case i.Star && i.Table != "":
-		s = i.Table + ".*"
+		s = quoteIdent(i.Table) + ".*"
 	case i.Star:
 		s = "*"
 	default:
 		s = i.Expr.SQL()
 	}
 	if i.Alias != "" {
-		s += " AS " + i.Alias
+		s += " AS " + quoteIdent(i.Alias)
 	}
 	return s
 }
@@ -364,9 +394,9 @@ func (i SelectItem) SQL() string {
 // SQL renders the base table reference.
 func (t *BaseTable) SQL() string {
 	if t.Alias != "" {
-		return t.Name + " " + t.Alias
+		return quoteIdent(t.Name) + " " + quoteIdent(t.Alias)
 	}
-	return t.Name
+	return quoteIdent(t.Name)
 }
 
 // SQL renders the join tree.
@@ -382,7 +412,7 @@ func (j *JoinExpr) SQL() string {
 func (d *SubqueryRef) SQL() string {
 	s := "(" + d.Select.SQL() + ")"
 	if d.Alias != "" {
-		s += " " + d.Alias
+		s += " " + quoteIdent(d.Alias)
 	}
 	return s
 }
@@ -390,9 +420,9 @@ func (d *SubqueryRef) SQL() string {
 // SQL renders the column reference.
 func (c *ColumnRef) SQL() string {
 	if c.Qualifier != "" {
-		return c.Qualifier + "." + c.Name
+		return quoteIdent(c.Qualifier) + "." + quoteIdent(c.Name)
 	}
-	return c.Name
+	return quoteIdent(c.Name)
 }
 
 // SQL renders the literal.
@@ -443,8 +473,15 @@ func (u *UnaryExpr) SQL() string {
 
 // SQL renders the function call.
 func (f *FuncCall) SQL() string {
+	// Function names print bare when they re-lex as one word — keywords
+	// included, so COUNT stays COUNT — and quoted otherwise ("a b"(x) is a
+	// legal call with a quoted name).
+	name := f.Name
+	if !plainWord(name) {
+		name = quoted(name)
+	}
 	if f.Star {
-		return f.Name + "(*)"
+		return name + "(*)"
 	}
 	args := make([]string, len(f.Args))
 	for i, a := range f.Args {
@@ -454,7 +491,7 @@ func (f *FuncCall) SQL() string {
 	if f.Distinct {
 		d = "DISTINCT "
 	}
-	return f.Name + "(" + d + strings.Join(args, ", ") + ")"
+	return name + "(" + d + strings.Join(args, ", ") + ")"
 }
 
 // SQL renders the IN expression.

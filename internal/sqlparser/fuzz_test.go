@@ -1,0 +1,44 @@
+package sqlparser
+
+import "testing"
+
+// FuzzParse checks the parser on arbitrary input: it must never panic, and
+// anything it accepts must print to SQL that parses again with a stable
+// printed form (print∘parse is idempotent).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM orders",
+		"SELECT o_custkey, COUNT(*) FROM orders WHERE o_totalprice > 100 GROUP BY o_custkey HAVING COUNT(*) > 2 ORDER BY o_custkey DESC",
+		"SELECT a.x FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id",
+		"SELECT x FROM t WHERE y IN (1, 2, 3) AND z BETWEEN 1 AND 5",
+		"SELECT x FROM t WHERE c LIKE 'a%' AND d IS NOT NULL",
+		"SELECT x FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)",
+		"SELECT CASE WHEN x > 0 THEN 'pos' ELSE 'neg' END FROM t",
+		"SELECT CAST(x AS INT) FROM (SELECT y AS x FROM u) AS sub",
+		"SELECT x FROM t WHERE a = ANY (SELECT b FROM u)",
+		"SELECT 'it''s' FROM t",
+		"SELECT",
+		"",
+		"NOT SQL AT ALL",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := Parse(sql)
+		if err != nil {
+			return
+		}
+		if stmt == nil {
+			t.Fatal("nil statement with nil error")
+		}
+		printed := stmt.SQL()
+		stmt2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed SQL does not re-parse: %v\ninput:   %q\nprinted: %q", err, sql, printed)
+		}
+		if again := stmt2.SQL(); again != printed {
+			t.Fatalf("printing is not stable:\nfirst:  %q\nsecond: %q", printed, again)
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // TokenKind classifies lexical tokens.
@@ -92,12 +93,17 @@ func (lx *Lexer) Next() (Token, error) {
 	}
 	start := lx.pos
 	ch := lx.input[lx.pos]
+	r, rsize := utf8.DecodeRuneInString(lx.input[lx.pos:])
 
 	switch {
-	case isIdentStart(rune(ch)):
-		lx.pos++
-		for lx.pos < len(lx.input) && isIdentPart(rune(lx.input[lx.pos])) {
-			lx.pos++
+	case isIdentStart(r) && validRune(r, rsize):
+		lx.pos += rsize
+		for lx.pos < len(lx.input) {
+			r2, s2 := utf8.DecodeRuneInString(lx.input[lx.pos:])
+			if !isIdentPart(r2) || !validRune(r2, s2) {
+				break
+			}
+			lx.pos += s2
 		}
 		word := lx.input[start:lx.pos]
 		up := strings.ToUpper(word)
@@ -195,11 +201,43 @@ func (lx *Lexer) lexQuotedIdent(start int, closer byte) (Token, error) {
 		if lx.input[lx.pos] == closer {
 			text := lx.input[idStart:lx.pos]
 			lx.pos++
+			if text == "" {
+				return Token{}, fmt.Errorf("sqlparser: empty quoted identifier at offset %d", start)
+			}
 			return Token{Kind: TokenIdent, Text: text, Pos: start}, nil
 		}
 		lx.pos++
 	}
 	return Token{}, fmt.Errorf("sqlparser: unterminated quoted identifier at offset %d", start)
+}
+
+// plainIdent reports whether s lexes bare as exactly one TokenIdent: a
+// non-empty identifier that is not a keyword.
+func plainIdent(s string) bool {
+	return plainWord(s) && !keywords[strings.ToUpper(s)]
+}
+
+// plainWord reports whether s lexes bare as a single ident-or-keyword
+// token (identifier characters only, valid UTF-8).
+func plainWord(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if !validRune(r, size) {
+			return false
+		}
+		if i == 0 {
+			if !isIdentStart(r) {
+				return false
+			}
+		} else if !isIdentPart(r) {
+			return false
+		}
+		i += size
+	}
+	return true
 }
 
 func (lx *Lexer) lexOperator(start int) (Token, error) {
@@ -244,6 +282,13 @@ func (lx *Lexer) skipSpaceAndComments() {
 			return
 		}
 	}
+}
+
+// validRune rejects bytes that are not valid UTF-8: DecodeRuneInString
+// reports those as a RuneError of size 1. Treating them as Latin-1 letters
+// would admit identifiers that no longer survive ToUpper or reprinting.
+func validRune(r rune, size int) bool {
+	return r != utf8.RuneError || size > 1
 }
 
 func isIdentStart(r rune) bool {

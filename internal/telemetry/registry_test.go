@@ -1,6 +1,7 @@
 package telemetry_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -19,11 +20,13 @@ func TestRegistryUnderForEach(t *testing.T) {
 	reg := telemetry.New()
 	ctr := reg.Counter("test/hammer/adds")
 	hist := reg.Histogram("test/hammer/values", []float64{10, 100, 1000})
-	parallel.ForEach(workers, n, func(i int) {
+	if err := parallel.ForEach(context.Background(), workers, n, func(i int) {
 		ctr.Inc()
 		reg.Counter("test/hammer/lookups").Add(2) // exercise concurrent registration
 		hist.Observe(float64(i % 2000))
-	})
+	}); err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
 	if got := ctr.Value(); got != n {
 		t.Errorf("counter = %d, want %d", got, n)
 	}

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzSplitStatements checks the script splitter on arbitrary input: it
+// must never panic, failures must carry an in-range position, and on
+// success the statements must survive a join/re-split round trip.
+func FuzzSplitStatements(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM orders WHERE o_custkey = 1;",
+		"SELECT 'a;b' FROM t; -- c;d\nSELECT 2",
+		"/* block; */ SELECT 1;\nSELECT 'it''s';",
+		"SELECT '--' FROM t; SELECT '/*' FROM u;",
+		";;;",
+		"",
+		"-- only a comment\n",
+		"SELECT 'unterminated",
+		"/* unterminated",
+		"SELECT * FROM a; SELECT * FROM b;\r\nSELECT * FROM c",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, script string) {
+		stmts, err := SplitStatements(script)
+		if err != nil {
+			var se *ScriptError
+			if !errors.As(err, &se) {
+				t.Fatalf("error %v is not a *ScriptError", err)
+			}
+			if se.Offset < 0 || se.Offset >= len(script) {
+				t.Fatalf("offset %d out of range for %d-byte script", se.Offset, len(script))
+			}
+			if se.Line < 1 || se.Column < 1 {
+				t.Fatalf("position line %d col %d not 1-based", se.Line, se.Column)
+			}
+			return
+		}
+		for _, s := range stmts {
+			if strings.TrimSpace(s) != s || s == "" {
+				t.Fatalf("statement not trimmed: %q", s)
+			}
+		}
+		// Join and re-split: comments are stripped and every literal closed,
+		// so the statements themselves must round-trip exactly.
+		again, err := SplitStatements(strings.Join(stmts, ";\n"))
+		if err != nil {
+			t.Fatalf("re-split failed: %v (stmts %q)", err, stmts)
+		}
+		if len(again) != len(stmts) {
+			t.Fatalf("round trip changed count: %d -> %d (%q vs %q)", len(stmts), len(again), stmts, again)
+		}
+		for i := range stmts {
+			if again[i] != stmts[i] {
+				t.Fatalf("round trip changed statement %d: %q -> %q", i, stmts[i], again[i])
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"isum/internal/catalog"
@@ -45,8 +46,32 @@ func LoadSQLScript(cat *catalog.Catalog, in io.Reader) (*Workload, error) {
 	return New(cat, stmts)
 }
 
+// ScriptError reports a malformed construct in a SQL script: what was left
+// unterminated and where it started, as a byte offset and 1-based
+// line/column pair.
+type ScriptError struct {
+	Offset int    // byte offset of the construct's opening token
+	Line   int    // 1-based line of the opening token
+	Column int    // 1-based column (in bytes) of the opening token
+	Msg    string // what is unterminated
+}
+
+func (e *ScriptError) Error() string {
+	return fmt.Sprintf("workload: script line %d column %d (byte %d): %s",
+		e.Line, e.Column, e.Offset, e.Msg)
+}
+
+// scriptErr builds a ScriptError for the construct opening at offset off.
+func scriptErr(script string, off int, msg string) *ScriptError {
+	line := 1 + strings.Count(script[:off], "\n")
+	col := off - strings.LastIndexByte(script[:off], '\n')
+	return &ScriptError{Offset: off, Line: line, Column: col, Msg: msg}
+}
+
 // SplitStatements splits SQL text on top-level semicolons, respecting
-// string literals and comments. Empty statements are dropped.
+// string literals and comments. Empty statements are dropped. An
+// unterminated string literal or block comment yields a *ScriptError
+// carrying the position where the construct opened.
 func SplitStatements(script string) ([]string, error) {
 	var stmts []string
 	var cur []byte
@@ -62,8 +87,10 @@ func SplitStatements(script string) ([]string, error) {
 			i++
 		case c == '\'':
 			// Copy the string literal verbatim (with '' escapes).
+			start := i
 			cur = append(cur, c)
 			i++
+			closed := false
 			for i < len(script) {
 				cur = append(cur, script[i])
 				if script[i] == '\'' {
@@ -73,23 +100,37 @@ func SplitStatements(script string) ([]string, error) {
 						continue
 					}
 					i++
+					closed = true
 					break
 				}
 				i++
+			}
+			if !closed {
+				return nil, scriptErr(script, start, "unterminated string literal")
 			}
 		case c == '-' && i+1 < len(script) && script[i+1] == '-':
 			for i < len(script) && script[i] != '\n' {
 				i++
 			}
 		case c == '/' && i+1 < len(script) && script[i+1] == '*':
+			start := i
 			i += 2
-			for i+1 < len(script) && !(script[i] == '*' && script[i+1] == '/') {
+			closed := false
+			for i+1 < len(script) {
+				if script[i] == '*' && script[i+1] == '/' {
+					closed = true
+					break
+				}
 				i++
 			}
-			i += 2
-			if i > len(script) {
-				i = len(script)
+			if !closed {
+				return nil, scriptErr(script, start, "unterminated block comment")
 			}
+			i += 2
+			// A comment separates tokens: drop a space in its place so the
+			// surrounding text cannot paste into a new token ("a/**/b" is
+			// "a b", and "//**/*" must not become "/*").
+			cur = append(cur, ' ')
 		default:
 			cur = append(cur, c)
 			i++
@@ -102,7 +143,9 @@ func SplitStatements(script string) ([]string, error) {
 }
 
 // Load reads a JSON workload log and analyses each query against the
-// catalog. Entries with missing weights default to 1.
+// catalog. Entries with missing weights default to 1. Costs must be finite
+// and non-negative, weights finite and non-negative (0 means "default");
+// violations are rejected with the offending entry's index.
 func Load(cat *catalog.Catalog, in io.Reader) (*Workload, error) {
 	var entries []LogEntry
 	if err := json.NewDecoder(in).Decode(&entries); err != nil {
@@ -110,6 +153,12 @@ func Load(cat *catalog.Catalog, in io.Reader) (*Workload, error) {
 	}
 	w := &Workload{Catalog: cat}
 	for i, e := range entries {
+		if math.IsNaN(e.Cost) || math.IsInf(e.Cost, 0) || e.Cost < 0 {
+			return nil, fmt.Errorf("workload: entry %d: invalid cost %v (must be finite and >= 0)", i, e.Cost)
+		}
+		if math.IsNaN(e.Weight) || math.IsInf(e.Weight, 0) || e.Weight < 0 {
+			return nil, fmt.Errorf("workload: entry %d: invalid weight %v (must be finite and >= 0)", i, e.Weight)
+		}
 		q, err := NewQuery(cat, i, e.SQL)
 		if err != nil {
 			return nil, fmt.Errorf("workload: entry %d: %w", i, err)

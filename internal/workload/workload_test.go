@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -175,6 +176,72 @@ SELECT 1`
 	}
 	if !strings.Contains(stmts[2], "it''s; fine") {
 		t.Fatalf("escaped quote mishandled: %q", stmts[2])
+	}
+}
+
+func TestSplitStatementsUnterminated(t *testing.T) {
+	cases := []struct {
+		script   string
+		wantMsg  string
+		wantLine int
+		wantCol  int
+	}{
+		{"SELECT 'abc", "unterminated string literal", 1, 8},
+		{"SELECT 1;\nSELECT 'it''s open", "unterminated string literal", 2, 8},
+		{"SELECT 1; /* never closed", "unterminated block comment", 1, 11},
+		{"SELECT 1;\n/* open\nacross lines", "unterminated block comment", 2, 1},
+		{"SELECT '", "unterminated string literal", 1, 8},
+		{"/*", "unterminated block comment", 1, 1},
+		{"/**", "unterminated block comment", 1, 1},
+	}
+	for _, c := range cases {
+		_, err := SplitStatements(c.script)
+		if err == nil {
+			t.Fatalf("%q: expected error", c.script)
+		}
+		var se *ScriptError
+		if !errors.As(err, &se) {
+			t.Fatalf("%q: error %v is not a *ScriptError", c.script, err)
+		}
+		if !strings.Contains(se.Msg, c.wantMsg) {
+			t.Errorf("%q: msg = %q, want %q", c.script, se.Msg, c.wantMsg)
+		}
+		if se.Line != c.wantLine || se.Column != c.wantCol {
+			t.Errorf("%q: position = line %d col %d, want line %d col %d",
+				c.script, se.Line, se.Column, c.wantLine, c.wantCol)
+		}
+		if se.Offset < 0 || se.Offset >= len(c.script) {
+			t.Errorf("%q: offset %d out of range", c.script, se.Offset)
+		}
+	}
+}
+
+func TestLoadRejectsInvalidNumbers(t *testing.T) {
+	cat := tpchMiniCatalog()
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"negative cost", `[{"sql":"SELECT * FROM orders","cost":-1}]`, "entry 0"},
+		{"negative weight", `[{"sql":"SELECT * FROM orders","cost":1},{"sql":"SELECT * FROM orders","cost":1,"weight":-2}]`, "entry 1"},
+	}
+	for _, c := range cases {
+		_, err := Load(cat, strings.NewReader(c.json))
+		if err == nil {
+			t.Fatalf("%s: expected error", c.name)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q should name %s", c.name, err, c.want)
+		}
+	}
+	// Zero cost and zero weight stay legal (weight 0 defaults to 1).
+	w, err := Load(cat, strings.NewReader(`[{"sql":"SELECT * FROM orders","cost":0}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Queries[0].Weight != 1 {
+		t.Fatalf("weight = %f", w.Queries[0].Weight)
 	}
 }
 

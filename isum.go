@@ -23,6 +23,7 @@
 package isum
 
 import (
+	"context"
 	"io"
 
 	"isum/internal/advisor"
@@ -30,6 +31,7 @@ import (
 	"isum/internal/catalog"
 	"isum/internal/core"
 	"isum/internal/cost"
+	"isum/internal/faults"
 	"isum/internal/index"
 	"isum/internal/telemetry"
 	"isum/internal/workload"
@@ -186,6 +188,58 @@ func Explain(o *Optimizer, q *Query, cfg *Configuration) *Plan {
 // reporting contract commercial advisors expose (Section 10).
 func Report(o *Optimizer, w *Workload, cfg *Configuration) *WorkloadReport {
 	return advisor.Report(o, w, cfg)
+}
+
+// Failure model (DESIGN.md §9). The context-taking pipeline entry points
+// implement the anytime contract: on cancellation or deadline expiry they
+// return the best-so-far result with Partial set rather than an error;
+// the error is reserved for real failures (retry-exhausted what-if calls,
+// contained worker panics).
+type (
+	// RetryPolicy bounds the retries around transient what-if failures
+	// (Optimizer.SetRetryPolicy).
+	RetryPolicy = cost.RetryPolicy
+	// FaultConfig sets deterministic fault-injection rates for chaos runs.
+	FaultConfig = faults.Config
+	// FaultInjector is the seeded deterministic injector
+	// (Optimizer.SetInjector); same seed → same faults, so with retries a
+	// chaos run reproduces the fault-free output exactly.
+	FaultInjector = faults.Injector
+)
+
+// ErrFaultInjected marks a transient what-if failure produced by the fault
+// harness; retry-exhausted errors wrap it.
+var ErrFaultInjected = faults.ErrInjected
+
+// NewFaultInjector returns a deterministic seeded injector.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faults.NewInjector(cfg) }
+
+// ParseChaosSpec parses a chaos spec like "seed=42,errors=0.3,delay=200us".
+func ParseChaosSpec(spec string) (FaultConfig, error) { return faults.ParseSpec(spec) }
+
+// DefaultRetryPolicy returns the standard what-if retry policy.
+func DefaultRetryPolicy() RetryPolicy { return cost.DefaultRetryPolicy() }
+
+// IsCancellation reports whether err is a context cancellation or deadline
+// expiry — the "partial result" outcomes, as opposed to real failures.
+func IsCancellation(err error) bool { return faults.IsCancellation(err) }
+
+// CompressContext is Compress with the anytime contract: on cancellation
+// the returned workload holds the best-so-far weighted selection and the
+// result has Partial set.
+func CompressContext(ctx context.Context, w *Workload, k int) (*Workload, *CompressionResult, error) {
+	return core.New(core.DefaultOptions()).CompressedWorkloadContext(ctx, w, k)
+}
+
+// TuneContext is Tune with the anytime contract: on cancellation the
+// result holds the best configuration found so far with Partial set.
+func TuneContext(ctx context.Context, o *Optimizer, w *Workload, opts AdvisorOptions) (*TuningResult, error) {
+	return advisor.New(o, opts).TuneContext(ctx, w)
+}
+
+// EvaluateContext is Evaluate with cancellation and failure reporting.
+func EvaluateContext(ctx context.Context, o *Optimizer, w *Workload, cfg *Configuration) (pct, before, after float64, err error) {
+	return advisor.EvaluateImprovementContext(ctx, o, w, cfg, 0)
 }
 
 // TPCH, TPCDS, DSB, and RealM return the paper's evaluation workload

@@ -2,7 +2,9 @@ package isum_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
+	"time"
 
 	"testing"
 
@@ -188,5 +190,68 @@ func TestFacadeSerialization(t *testing.T) {
 	}
 	if sw.Len() != 2 {
 		t.Fatalf("script len = %d", sw.Len())
+	}
+}
+
+// TestFacadeFailureModel exercises the DESIGN.md §9 surface through the
+// public names: context variants, anytime partials, chaos + retries.
+func TestFacadeFailureModel(t *testing.T) {
+	gen := isum.TPCH(1)
+	w, err := gen.Workload(44, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := isum.NewOptimizer(gen.Cat)
+	o.FillCosts(w)
+
+	// Background context matches the plain path exactly.
+	cw, res := isum.Compress(w, 6)
+	ctxCW, ctxRes, err := isum.CompressContext(context.Background(), w, 6)
+	if err != nil || ctxRes.Partial {
+		t.Fatalf("background CompressContext: err=%v partial=%v", err, ctxRes.Partial)
+	}
+	if cw.Len() != ctxCW.Len() || len(res.Weights) != len(ctxRes.Weights) {
+		t.Fatal("Compress and CompressContext diverge")
+	}
+
+	// A cancelled context yields an anytime partial, never an error.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, pres, err := isum.CompressContext(cancelled, w, 6)
+	if err != nil || !pres.Partial {
+		t.Fatalf("cancelled CompressContext: err=%v partial=%v", err, pres.Partial)
+	}
+	if !isum.IsCancellation(cancelled.Err()) {
+		t.Fatal("IsCancellation")
+	}
+
+	// Chaos with retries reproduces the fault-free recommendation.
+	cfg, err := isum.ParseChaosSpec("seed=13,errors=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := isum.NewOptimizer(gen.Cat)
+	co.SetInjector(isum.NewFaultInjector(cfg))
+	rp := isum.DefaultRetryPolicy()
+	rp.MaxAttempts = 40
+	rp.BaseDelay = time.Microsecond
+	co.SetRetryPolicy(rp)
+
+	opts := isum.DefaultAdvisorOptions()
+	opts.MaxIndexes = 5
+	plain, err := isum.TuneContext(context.Background(), o, cw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos, err := isum.TuneContext(context.Background(), co, cw, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Config.Fingerprint() != chaos.Config.Fingerprint() {
+		t.Fatal("chaos run diverged from the fault-free recommendation")
+	}
+
+	if _, _, _, err := isum.EvaluateContext(context.Background(), o, w, plain.Config); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -40,6 +40,40 @@ go run ./scripts/metricscheck \
     -require core/greedy/rounds \
     "$metrics_out"
 
+echo "== failure-model smoke =="
+fm_dir=$(mktemp -d)
+trap 'rm -rf "$fm_dir"; rm -f "$metrics_out"' EXIT
+go build -o "$fm_dir/" ./cmd/isum ./cmd/tune
+
+# Chaos determinism (DESIGN.md §9): a seeded fault-injected run with
+# enough retries must produce output byte-identical to the fault-free run.
+"$fm_dir/isum" -benchmark tpch -n 100 -k 10 -out "$fm_dir/plain.json" >/dev/null
+"$fm_dir/isum" -benchmark tpch -n 100 -k 10 \
+    -retries 5 -chaos 'seed=42,errors=0.3' -out "$fm_dir/chaos.json" >/dev/null
+cmp "$fm_dir/plain.json" "$fm_dir/chaos.json"
+
+# Anytime partials: an unmeetable deadline exits with the partial code (3).
+rc=0
+"$fm_dir/isum" -benchmark tpch -n 100 -k 10 -timeout 1ns >/dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "expected partial exit code 3 under -timeout 1ns, got $rc" >&2
+    exit 1
+fi
+
+# Tuning under chaos: the recommendation must match the fault-free run
+# exactly; only the elapsed-time figure may differ.
+strip_elapsed() { sed -E 's/ in [0-9.]+(ns|us|µs|ms|s|m)+ / /'; }
+"$fm_dir/tune" -benchmark tpch -in "$fm_dir/plain.json" -max-indexes 5 \
+    | strip_elapsed >"$fm_dir/tune_plain.txt"
+"$fm_dir/tune" -benchmark tpch -in "$fm_dir/plain.json" -max-indexes 5 \
+    -retries 6 -chaos 'seed=7,errors=0.1' \
+    | strip_elapsed >"$fm_dir/tune_chaos.txt"
+cmp "$fm_dir/tune_plain.txt" "$fm_dir/tune_chaos.txt"
+
+echo "== fuzz smoke =="
+go test -fuzz 'FuzzSplitStatements' -fuzztime 10s -run '^$' ./internal/workload
+go test -fuzz 'FuzzParse' -fuzztime 10s -run '^$' ./internal/sqlparser
+
 if [ "${1:-}" = "--no-bench" ]; then
     echo "CI OK (benchmarks skipped)"
     exit 0
@@ -47,7 +81,7 @@ fi
 
 echo "== parallel benchmarks =="
 bench_out=$(mktemp)
-trap 'rm -f "$bench_out" "$metrics_out"' EXIT
+trap 'rm -f "$bench_out" "$metrics_out"; rm -rf "$fm_dir"' EXIT
 go test -bench '^(BenchmarkCompress|BenchmarkTune)$' -benchmem \
     -benchtime "${BENCHTIME:-3x}" -run '^$' . | tee "$bench_out"
 go run ./scripts/benchjson <"$bench_out" >BENCH_parallel.json
