@@ -80,7 +80,7 @@ func main() {
 		ids = experiments.Names()
 	}
 	for _, id := range ids {
-		start := time.Now()
+		start := time.Now() //lint:allow determinism per-figure elapsed reporting; results never read the clock
 		if err := experiments.Run(env, id, w); err != nil {
 			if faults.IsCancellation(err) {
 				fmt.Fprintf(os.Stderr, "experiments: %s: deadline reached, stopping (partial output above)\n", id)

@@ -101,7 +101,12 @@ func main() {
 	for _, tm := range byID {
 		tmpls = append(tmpls, tm)
 	}
-	sort.Slice(tmpls, func(i, j int) bool { return tmpls[i].cost > tmpls[j].cost })
+	sort.Slice(tmpls, func(i, j int) bool {
+		if tmpls[i].cost != tmpls[j].cost {
+			return tmpls[i].cost > tmpls[j].cost
+		}
+		return tmpls[i].id < tmpls[j].id // total order: tmpls was collected in map order
+	})
 	fmt.Println("top templates by total cost:")
 	for i, tm := range tmpls {
 		if i >= *top {
@@ -148,7 +153,12 @@ func main() {
 			for k := range v {
 				keys = append(keys, k)
 			}
-			sort.Slice(keys, func(a, b int) bool { return v[keys[a]] > v[keys[b]] })
+			sort.Slice(keys, func(a, b int) bool {
+				if v[keys[a]] != v[keys[b]] {
+					return v[keys[a]] > v[keys[b]]
+				}
+				return keys[a] < keys[b] // total order: keys was collected in map order
+			})
 			for _, k := range keys {
 				fmt.Printf("        %-30s %.3f\n", k, v[k])
 			}
@@ -161,7 +171,12 @@ func main() {
 	for k := range ss.V {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(a, b int) bool { return ss.V[keys[a]] > ss.V[keys[b]] })
+	sort.Slice(keys, func(a, b int) bool {
+		if ss.V[keys[a]] != ss.V[keys[b]] {
+			return ss.V[keys[a]] > ss.V[keys[b]]
+		}
+		return keys[a] < keys[b] // total order: keys was collected in map order
+	})
 	for i, k := range keys {
 		if i >= *top {
 			break

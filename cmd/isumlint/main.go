@@ -1,0 +1,178 @@
+// Command isumlint is the repo's custom static-analysis gate: it
+// enforces the pipeline's determinism, context, concurrency, telemetry,
+// and anytime-contract invariants (DESIGN.md §10) over the whole module
+// using only the standard library's go/ast and go/types.
+//
+// Usage:
+//
+//	isumlint [-json] [-list] [patterns]
+//
+// Patterns are package directories relative to the module root, with an
+// optional /... suffix ("./...", "./internal/...", "internal/core").
+// With no patterns (or "./..."), the whole module is linted. Test files
+// are not analyzed. Findings print one per line in machine-readable
+// form:
+//
+//	file.go:12:4: [determinism] time.Now is wall-clock nondeterminism; ...
+//
+// A finding is suppressed by a reasoned escape hatch on its line (or a
+// standalone comment directly above):
+//
+//	start := time.Now() //lint:allow determinism phase timing only
+//
+// Exit status: 0 clean, 1 findings, 2 load or usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"isum/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	list := flag.Bool("list", false, "list the analyzers and the invariants they guard, then exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.ID, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+	filters, err := compilePatterns(root, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	var findings []analysis.Finding
+	for _, pkg := range pkgs {
+		if !filters.match(root, pkg.Dir) {
+			continue
+		}
+		findings = append(findings, analysis.RunPackage(pkg, analysis.Analyzers())...)
+	}
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil {
+			findings[i].Pos.Filename = rel
+		}
+	}
+
+	if *jsonOut {
+		type jsonFinding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+				Analyzer: f.Analyzer, Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "isumlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "isumlint: ok")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "isumlint:", err)
+	os.Exit(2)
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// patternSet filters package directories by the CLI patterns.
+type patternSet struct {
+	all      bool
+	prefixes []string // dir prefixes (for /... patterns)
+	exact    []string // exact dirs
+}
+
+func compilePatterns(root string, args []string) (*patternSet, error) {
+	ps := &patternSet{}
+	if len(args) == 0 {
+		ps.all = true
+		return ps, nil
+	}
+	for _, a := range args {
+		p := strings.TrimPrefix(filepath.ToSlash(a), "./")
+		if p == "..." || p == "" {
+			ps.all = true
+			continue
+		}
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			if rest == "" || rest == "." {
+				ps.all = true
+			} else {
+				ps.prefixes = append(ps.prefixes, filepath.Join(root, filepath.FromSlash(rest)))
+			}
+			continue
+		}
+		ps.exact = append(ps.exact, filepath.Join(root, filepath.FromSlash(p)))
+	}
+	return ps, nil
+}
+
+func (ps *patternSet) match(root, dir string) bool {
+	if ps.all {
+		return true
+	}
+	for _, e := range ps.exact {
+		if dir == e {
+			return true
+		}
+	}
+	for _, p := range ps.prefixes {
+		if dir == p || strings.HasPrefix(dir, p+string(filepath.Separator)) {
+			return true
+		}
+	}
+	return false
+}

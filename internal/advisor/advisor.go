@@ -173,7 +173,7 @@ func (a *Advisor) Tune(w *workload.Workload) *Result {
 // for real failures (a contained worker panic, or an injected what-if
 // failure that survived the retry policy); cancellation is not an error.
 func (a *Advisor) TuneContext(ctx context.Context, w *workload.Workload) (*Result, error) {
-	start := time.Now()
+	start := time.Now() //lint:allow determinism Result.Elapsed timing only; recommendations never read the clock
 	reg := a.opts.Telemetry
 	root := reg.Start("advisor/tune")
 	defer root.End()
@@ -238,7 +238,7 @@ func (a *Advisor) TuneContext(ctx context.Context, w *workload.Workload) (*Resul
 func (a *Advisor) costDetachedOnCancel(ctx context.Context, res *Result, w *workload.Workload, cfg *index.Configuration) (float64, error) {
 	if res.Partial || ctx.Err() != nil {
 		res.Partial = true
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow ctx deliberate detach: recost the partial result after cancellation (DESIGN.md §9)
 	}
 	c, err := a.o.WorkloadCostCtx(ctx, w, cfg, a.opts.Parallelism)
 	if err == nil {
@@ -248,6 +248,7 @@ func (a *Advisor) costDetachedOnCancel(ctx context.Context, res *Result, w *work
 		return 0, err
 	}
 	res.Partial = true
+	//lint:allow ctx deliberate detach: recost the partial result after cancellation (DESIGN.md §9)
 	return a.o.WorkloadCostCtx(context.Background(), w, cfg, a.opts.Parallelism)
 }
 
@@ -632,7 +633,8 @@ func (a *Advisor) dexterCandidates(q *workload.Query) []index.Index {
 			out = append(out, ix)
 		}
 	}
-	for t, r := range rolesForQuery(q) {
+	for _, tr := range sortedRoles(rolesForQuery(q)) {
+		t, r := tr.table, tr.roles
 		eq := colsOf(r.eqFilters)
 		rng := colsOf(r.rngFilters)
 		for _, c := range eq {

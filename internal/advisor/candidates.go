@@ -151,7 +151,8 @@ func (a *Advisor) syntacticCandidates(q *workload.Query) []index.Index {
 		}
 	}
 
-	for t, r := range rolesForQuery(q) {
+	for _, tr := range sortedRoles(rolesForQuery(q)) {
+		t, r := tr.table, tr.roles
 		// Singles.
 		for _, f := range r.eqFilters {
 			emit(index.New(t, f.col))
@@ -233,6 +234,24 @@ func (a *Advisor) syntacticCandidates(q *workload.Query) []index.Index {
 			}
 		}
 	}
+	return out
+}
+
+// tableRole pairs a table name with its roles for ordered iteration.
+type tableRole struct {
+	table string
+	roles *tableRoles
+}
+
+// sortedRoles flattens the per-table role map into table-name order, so
+// candidate emission is deterministic at the source instead of leaning
+// on downstream tie-break sorts to undo map iteration order.
+func sortedRoles(m map[string]*tableRoles) []tableRole {
+	out := make([]tableRole, 0, len(m))
+	for t, r := range m {
+		out = append(out, tableRole{table: t, roles: r})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].table < out[j].table })
 	return out
 }
 

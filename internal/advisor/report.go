@@ -70,7 +70,11 @@ func (r *WorkloadReport) Write(w io.Writer, topN int) {
 
 	sorted := append([]QueryReport{}, r.Queries...)
 	sort.Slice(sorted, func(i, j int) bool {
-		return sorted[i].Before-sorted[i].After > sorted[j].Before-sorted[j].After
+		di, dj := sorted[i].Before-sorted[i].After, sorted[j].Before-sorted[j].After
+		if di != dj {
+			return di > dj
+		}
+		return sorted[i].ID < sorted[j].ID // total order: equal gains keep ID order
 	})
 	if topN > len(sorted) {
 		topN = len(sorted)

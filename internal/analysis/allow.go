@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos    token.Position // of the comment itself
+	line   int            // source line the directive applies to
+	id     string         // analyzer id
+	reason string
+	used   bool
+}
+
+// allowKey identifies the line a directive governs.
+type allowKey struct {
+	file string
+	line int
+}
+
+const allowPrefix = "//lint:allow"
+
+// parseAllows extracts every //lint:allow directive from the package's
+// files. A directive applies to findings on its own line (end-of-line
+// comment) or, when the comment starts its line, to the first line after
+// the comment group ends. Malformed directives (missing analyzer id or
+// reason) are returned as findings under the "allow" pseudo-analyzer.
+func parseAllows(pkg *Package) (map[allowKey][]*allowDirective, []Finding) {
+	allows := make(map[allowKey][]*allowDirective)
+	var bad []Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowed — not ours
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{Pos: pos, Analyzer: "allow",
+						Message: "//lint:allow needs an analyzer id and a reason: //lint:allow <id> <reason>"})
+					continue
+				}
+				d := &allowDirective{
+					pos:    pos,
+					id:     fields[0],
+					reason: strings.Join(fields[1:], " "),
+				}
+				// End-of-line directives govern their own line; standalone
+				// ones govern the first line after the comment group.
+				d.line = pos.Line
+				if startsLine(pkg, pos) {
+					d.line = pkg.Fset.Position(cg.End()).Line + 1
+				}
+				key := allowKey{file: pos.Filename, line: d.line}
+				allows[key] = append(allows[key], d)
+			}
+		}
+	}
+	return allows, bad
+}
+
+// startsLine reports whether only whitespace precedes the comment on its
+// source line (i.e. the directive is standalone, not end-of-line).
+func startsLine(pkg *Package, pos token.Position) bool {
+	src, ok := pkg.Sources[pos.Filename]
+	if !ok {
+		return pos.Column == 1
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return pos.Column == 1
+	}
+	return strings.TrimSpace(string(src[start:pos.Offset])) == ""
+}
+
+// filterAllowed drops findings covered by a matching directive and marks
+// those directives used.
+func filterAllowed(fs []Finding, allows map[allowKey][]*allowDirective) []Finding {
+	if len(allows) == 0 {
+		return fs
+	}
+	var kept []Finding
+	for _, f := range fs {
+		key := allowKey{file: f.Pos.Filename, line: f.Pos.Line}
+		matched := false
+		for _, d := range allows[key] {
+			if d.id == f.Analyzer {
+				d.used = true
+				matched = true
+			}
+		}
+		if !matched {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
+// unusedAllows reports directives that suppressed nothing — stale
+// allowlist entries are findings so the escape hatch cannot rot.
+func unusedAllows(allows map[allowKey][]*allowDirective) []Finding {
+	var fs []Finding
+	for _, ds := range allows {
+		for _, d := range ds {
+			if !d.used {
+				fs = append(fs, Finding{Pos: d.pos, Analyzer: "allow",
+					Message: "unused //lint:allow " + d.id + " directive (no matching finding on line " + strconv.Itoa(d.line) + ")"})
+			}
+		}
+	}
+	// The map walk above visits keys in randomized order; restore the
+	// canonical position order before handing the findings on.
+	sortFindings(fs)
+	return fs
+}
+
+// allowFindingsOnly re-checks directive well-formedness without running
+// analyzers; the driver uses it for packages outside the lint scope so a
+// reasonless directive anywhere in the module still fails CI.
+func allowFindingsOnly(pkg *Package) []Finding {
+	_, bad := parseAllows(pkg)
+	return bad
+}

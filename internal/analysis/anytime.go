@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// AnytimeAnalyzer guards PR 3's anytime contract (DESIGN.md §9): in
+// internal/core and internal/advisor, exported functions that take a
+// context must never surface cancellation as an error — the contract is
+// best-so-far results with Partial set, so returning a bare ctx.Err()
+// (or context.Canceled / context.DeadlineExceeded) from the exported
+// frame is a contract violation. Interior closures may return ctx.Err()
+// to unwind worker loops; only the exported function's own return
+// statements are checked.
+var AnytimeAnalyzer = &Analyzer{
+	ID:  "anytime",
+	Doc: "exported ctx functions in internal/core and internal/advisor return best-so-far + Partial, never ctx.Err()",
+	Run: runAnytime,
+}
+
+func runAnytime(pass *Pass) {
+	if !pathHasSeq(pass.Path, "internal/core") && !pathHasSeq(pass.Path, "internal/advisor") {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !ast.IsExported(fd.Name.Name) {
+				continue
+			}
+			if !hasCtxParam(pass, fd.Type) {
+				continue
+			}
+			checkAnytimeReturns(pass, fd)
+		}
+	}
+}
+
+func checkAnytimeReturns(pass *Pass, fd *ast.FuncDecl) {
+	inspectShallow(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			res = ast.Unparen(res)
+			if call, ok := res.(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Err" {
+					if t := pass.TypeOf(sel.X); t != nil && isContextType(t) {
+						pass.Reportf(res.Pos(), "anytime contract: return the best-so-far result with Partial set instead of ctx.Err()")
+					}
+				}
+				continue
+			}
+			if sel, ok := res.(*ast.SelectorExpr); ok {
+				if selIsPkgMember(pass.Info, sel, "context", "Canceled") ||
+					selIsPkgMember(pass.Info, sel, "context", "DeadlineExceeded") {
+					pass.Reportf(res.Pos(), "anytime contract: return the best-so-far result with Partial set instead of context.%s", sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ConcurrencyAnalyzer guards PR 1's worker-pool discipline (DESIGN.md
+// §7): every goroutine in library code is routed through
+// internal/parallel so cancellation, panic containment, and pool sizing
+// stay centralized — bare `go` statements are allowed only inside
+// internal/parallel itself and in cmd/ mains. It also flags locks
+// (sync.Mutex & friends) passed, returned, or received by value, beyond
+// go vet's assignment-copy checks.
+var ConcurrencyAnalyzer = &Analyzer{
+	ID:  "concurrency",
+	Doc: "goroutines only via internal/parallel (or cmd/); no locks by value in signatures",
+	Run: runConcurrency,
+}
+
+func runConcurrency(pass *Pass) {
+	allowGo := pathHasSeq(pass.Path, "internal/parallel") || pathHasSegment(pass.Path, "cmd")
+	for _, file := range pass.Files {
+		if !allowGo {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					pass.Reportf(g.Pos(), "bare go statement outside internal/parallel; route goroutines through the worker pool (parallel.ForEach/Map) so cancellation and panic containment hold")
+				}
+				return true
+			})
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil {
+					for _, field := range d.Recv.List {
+						checkLockByValue(pass, field, "receiver")
+					}
+				}
+				checkSigLocks(pass, d.Type)
+			case *ast.FuncLit:
+				checkSigLocks(pass, d.Type)
+			case *ast.InterfaceType:
+				for _, m := range d.Methods.List {
+					if ft, ok := m.Type.(*ast.FuncType); ok {
+						checkSigLocks(pass, ft)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func checkSigLocks(pass *Pass, ft *ast.FuncType) {
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			checkLockByValue(pass, field, "parameter")
+		}
+	}
+	if ft.Results != nil {
+		for _, field := range ft.Results.List {
+			checkLockByValue(pass, field, "result")
+		}
+	}
+}
+
+func checkLockByValue(pass *Pass, field *ast.Field, kind string) {
+	t := pass.TypeOf(field.Type)
+	if t == nil {
+		return
+	}
+	if lock := containsLock(t, nil); lock != "" {
+		pass.Reportf(field.Type.Pos(), "%s copies %s by value; pass a pointer so the lock state is shared", kind, lock)
+	}
+}
+
+// lockTypes are the sync types whose values must never be copied.
+var lockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+// containsLock walks the value representation of t (structs, arrays,
+// named underlyings — not pointers, which share state) and returns the
+// name of the first embedded sync lock type, or "".
+func containsLock(t types.Type, seen map[*types.Named]bool) string {
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypes[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+		if seen[u] {
+			return ""
+		}
+		if seen == nil {
+			seen = make(map[*types.Named]bool)
+		}
+		seen[u] = true
+		return containsLock(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := containsLock(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxAnalyzer guards PR 3's context discipline: a context.Context is
+// always the first parameter, never stored in a struct field, and never
+// dropped on the floor — a function holding a ctx must pass it to
+// callees that accept one (no fresh context.Background/TODO, no calling
+// the ctx-less variant when a …Context/…Ctx sibling exists).
+var CtxAnalyzer = &Analyzer{
+	ID:  "ctx",
+	Doc: "context.Context first parameter, never in struct fields, never dropped when a ctx variant exists",
+	Run: runCtx,
+}
+
+func runCtx(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.FuncType:
+				checkCtxFirst(pass, t)
+			case *ast.StructType:
+				checkNoCtxField(pass, t)
+			}
+			return true
+		})
+		forEachFunc(file, func(fs funcScope) { checkCtxUse(pass, fs) })
+	}
+}
+
+// checkCtxFirst flags any context.Context parameter that is not the
+// first parameter (receivers excluded; applies to funcs, methods,
+// interface methods, and func types alike).
+func checkCtxFirst(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		t := pass.TypeOf(field.Type)
+		if t != nil && isContextType(t) && idx != 0 {
+			pass.Reportf(field.Type.Pos(), "context.Context must be the first parameter")
+		}
+		idx += n
+	}
+}
+
+// checkNoCtxField flags struct fields of type context.Context: contexts
+// are request-scoped and flow through call frames, not object state.
+func checkNoCtxField(pass *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if t := pass.TypeOf(field.Type); t != nil && isContextType(t) {
+			pass.Reportf(field.Type.Pos(), "context.Context stored in a struct field; pass it per call instead")
+		}
+	}
+}
+
+// checkCtxUse runs the drop-on-the-floor checks inside a function that
+// has its own context parameter. Nested function literals without their
+// own ctx parameter are scanned as part of the enclosing function (they
+// capture the same ctx); literals with their own ctx are scoped to it.
+func checkCtxUse(pass *Pass, fs funcScope) {
+	var ft *ast.FuncType
+	switch d := fs.node.(type) {
+	case *ast.FuncDecl:
+		ft = d.Type
+	case *ast.FuncLit:
+		ft = d.Type
+	}
+	if ft == nil || ft.Params == nil || !hasCtxParam(pass, ft) {
+		return
+	}
+	ast.Inspect(fs.body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && hasCtxParam(pass, lit.Type) {
+			return false // analyzed under its own scope by forEachFunc
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkgFunc(pass.Info, call, "context", "Background") || pkgFunc(pass.Info, call, "context", "TODO") {
+			pass.Reportf(call.Pos(), "context.%s() inside a function that already has a ctx; thread the caller's ctx (or //lint:allow with the detachment reason)", calleeName(call))
+			return true
+		}
+		checkDroppedVariant(pass, call)
+		return true
+	})
+}
+
+// checkDroppedVariant flags a call to a ctx-less function when a sibling
+// …Context/…Ctx variant exists in the same scope or method set — calling
+// the plain variant from ctx-holding code silently discards cancellation.
+func checkDroppedVariant(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	name := fn.Name()
+	if strings.HasSuffix(name, "Context") || strings.HasSuffix(name, "Ctx") || takesContext(fn) {
+		return
+	}
+	for _, suffix := range []string{"Context", "Ctx"} {
+		variant := lookupSibling(fn, name+suffix)
+		if variant != nil && takesContext(variant) {
+			pass.Reportf(call.Pos(), "call to %s drops the in-scope ctx; use %s", name, variant.Name())
+			return
+		}
+	}
+}
+
+// lookupSibling finds a function or method named want alongside fn:
+// in the receiver's method set for methods, in the defining package's
+// scope for package functions.
+func lookupSibling(fn *types.Func, want string) *types.Func {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), want)
+		if m, ok := obj.(*types.Func); ok {
+			return m
+		}
+		return nil
+	}
+	if fn.Pkg() == nil {
+		return nil
+	}
+	if m, ok := fn.Pkg().Scope().Lookup(want).(*types.Func); ok {
+		return m
+	}
+	return nil
+}
+
+// takesContext reports whether the function's signature has a
+// context.Context parameter.
+func takesContext(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasCtxParam reports whether the func type declares a context.Context
+// parameter of its own.
+func hasCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := pass.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "?"
+}

@@ -1,0 +1,286 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path    string // import path
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Sources map[string][]byte // filename -> raw source (for directive parsing)
+	Types   *types.Package
+	Info    *types.Info
+
+	imports []string // module-internal imports (loader bookkeeping)
+}
+
+// Loader parses and type-checks module packages using only the standard
+// library: go/parser for syntax and go/importer in source mode for
+// dependencies, so the module never needs export data or network access.
+type Loader struct {
+	fset *token.FileSet
+	std  types.ImporterFrom
+	// checked maps import path -> type-checked package, shared so module
+	// packages can import each other and fixtures reuse stdlib work.
+	checked map[string]*types.Package
+	root    string
+}
+
+// NewLoader returns a loader rooted at dir (used as the source-importer
+// resolution directory; the module root for real runs).
+func NewLoader(dir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		checked: make(map[string]*types.Package),
+		root:    dir,
+	}
+}
+
+// Import implements types.Importer for the type-checker: module packages
+// come from the already-checked set (guaranteed by topological order),
+// everything else from the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if tp, ok := l.checked[path]; ok {
+		return tp, nil
+	}
+	tp, err := l.std.ImportFrom(path, l.root, 0)
+	if err == nil {
+		l.checked[path] = tp
+	}
+	return tp, err
+}
+
+// LoadModule walks the module rooted at root (identified by its go.mod),
+// parses every non-test package outside testdata/, and type-checks them
+// in dependency order. The returned packages are sorted by import path.
+func LoadModule(root string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := NewLoader(root)
+
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*Package, len(dirs))
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		imp := modPath
+		if rel != "." {
+			imp = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.parseDir(dir, imp)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no buildable files
+		}
+		for _, f := range pkg.Files {
+			for _, is := range f.Imports {
+				p, _ := strconv.Unquote(is.Path.Value)
+				if p == modPath || strings.HasPrefix(p, modPath+"/") {
+					pkg.imports = append(pkg.imports, p)
+				}
+			}
+		}
+		byPath[imp] = pkg
+	}
+
+	order, err := topoOrder(byPath)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, imp := range order {
+		pkg := byPath[imp]
+		if err := l.check(pkg); err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir parses and type-checks a single directory as the given import
+// path, resolving imports against the stdlib only. Golden-test fixtures
+// use it with synthetic paths (e.g. "isum/internal/core") to exercise
+// path-scoped analyzers.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	pkg, err := l.parseDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("%s: no buildable Go files", dir)
+	}
+	if err := l.check(pkg); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// parseDir parses the non-test .go files of dir (nil if there are none).
+func (l *Loader) parseDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{
+		Path:    importPath,
+		Dir:     dir,
+		Fset:    l.fset,
+		Sources: make(map[string][]byte),
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		file, err := parser.ParseFile(l.fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, file)
+		pkg.Sources[path] = src
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// check type-checks pkg and registers it with the loader.
+func (l *Loader) check(pkg *Package) error {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tp, err := conf.Check(pkg.Path, l.fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tp
+	pkg.Info = info
+	l.checked[pkg.Path] = tp
+	return nil
+}
+
+// packageDirs returns every directory under root that contains at least
+// one non-test .go file, skipping VCS, testdata, and underscore/dot dirs.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// modulePath reads the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// topoOrder returns the import paths of pkgs in dependency order
+// (imported before importer). Unknown imports are ignored; cycles error.
+func topoOrder(pkgs map[string]*Package) ([]string, error) {
+	var order []string
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(imp string, stack []string) error
+	visit = func(imp string, stack []string) error {
+		pkg, ok := pkgs[imp]
+		if !ok || state[imp] == 2 {
+			return nil
+		}
+		if state[imp] == 1 {
+			return fmt.Errorf("import cycle: %s", strings.Join(append(stack, imp), " -> "))
+		}
+		state[imp] = 1
+		deps := append([]string(nil), pkg.imports...)
+		sort.Strings(deps)
+		for _, dep := range deps {
+			if err := visit(dep, append(stack, imp)); err != nil {
+				return err
+			}
+		}
+		state[imp] = 2
+		order = append(order, imp)
+		return nil
+	}
+	paths := make([]string, 0, len(pkgs))
+	for imp := range pkgs {
+		paths = append(paths, imp)
+	}
+	sort.Strings(paths)
+	for _, imp := range paths {
+		if err := visit(imp, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+)
+
+// TelemetryAnalyzer guards PR 2's observability conventions (DESIGN.md
+// §8): a span opened by a Start/StartSpan-style call must be ended in
+// the same function (defer preferred; an explicit End on every path also
+// counts — the check requires at least one End on the span variable),
+// and metric/span name literals must follow the area/sub/name convention
+// that scripts/metricscheck validates on exports, so names in code can
+// never drift from names CI asserts on.
+var TelemetryAnalyzer = &Analyzer{
+	ID:  "telemetry",
+	Doc: "spans ended in the function that starts them; metric names follow area/sub/name",
+	Run: runTelemetry,
+}
+
+// MetricNamePattern is the shared naming convention: 2–4 slash-separated
+// lowercase segments, e.g. "cost/whatif/calls", "core/greedy/argmax_nanos",
+// "cost/cache/shard00/hits". scripts/metricscheck applies the same
+// pattern to exported names at runtime.
+const MetricNamePattern = `^[a-z][a-z0-9_-]*(/[a-z0-9_-]+){1,3}$`
+
+var metricNameRe = regexp.MustCompile(MetricNamePattern)
+
+// metricMethods are Registry methods whose first argument is a metric or
+// span name.
+var metricMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "Start": true, "StartSpan": true,
+}
+
+func runTelemetry(pass *Pass) {
+	for _, file := range pass.Files {
+		forEachFunc(file, func(fs funcScope) { checkSpanPairing(pass, fs) })
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkMetricName(pass, call)
+			return true
+		})
+	}
+}
+
+// checkMetricName validates string-literal names passed to Registry
+// metric/span constructors (non-literal names are validated at runtime
+// by scripts/metricscheck on the export).
+func checkMetricName(pass *Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !metricMethods[sel.Sel.Name] || len(call.Args) == 0 {
+		return
+	}
+	if !isRegistryRecv(pass, sel.X) {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if !metricNameRe.MatchString(name) {
+		pass.Reportf(lit.Pos(), "metric/span name %q does not match the area/sub/name convention (%s)", name, MetricNamePattern)
+	}
+}
+
+// isRegistryRecv reports whether the expression's type is (a pointer to)
+// a named type called Registry — the telemetry registry, matched
+// structurally so fixtures can define their own.
+func isRegistryRecv(pass *Pass, x ast.Expr) bool {
+	t := pass.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// checkSpanPairing flags Start/StartSpan-style calls (a method returning
+// a pointer to a type with an End() method) whose result is discarded or
+// whose span variable has no End call in the same function.
+func checkSpanPairing(pass *Pass, fs funcScope) {
+	inspectShallow(fs.body, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		var target *ast.Ident // span variable, nil when discarded
+
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			c, ok := st.X.(*ast.CallExpr)
+			if ok && isSpanStart(pass, c) {
+				call = c
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				c, ok := rhs.(*ast.CallExpr)
+				if !ok || !isSpanStart(pass, c) {
+					continue
+				}
+				call = c
+				if i < len(st.Lhs) {
+					if id, ok := st.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+						target = id
+					}
+				}
+			}
+		}
+		if call == nil {
+			return true
+		}
+		if target == nil {
+			pass.Reportf(call.Pos(), "span started but its handle is discarded; assign it and End it in this function")
+			return true
+		}
+		obj := pass.Info.ObjectOf(target)
+		if obj == nil {
+			return true
+		}
+		if !hasEndCall(pass, fs.body, obj) {
+			pass.Reportf(call.Pos(), "span %q is started but never ended in this function; add defer %s.End() (or End it on every path)", target.Name, target.Name)
+		}
+		return true
+	})
+}
+
+// isSpanStart reports whether the call is a method named Start/StartSpan
+// returning exactly one value: a pointer to a named type that has an
+// End() method.
+func isSpanStart(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Start" && sel.Sel.Name != "StartSpan") {
+		return false
+	}
+	if _, isMethod := pass.Info.Selections[sel]; !isMethod {
+		return false
+	}
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	endObj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), "End")
+	end, ok := endObj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := end.Type().(*types.Signature)
+	return ok && sig.Params().Len() == 0 && sig.Results().Len() == 0
+}
+
+// hasEndCall reports whether body contains v.End() (plain or deferred)
+// on the given span object, including inside nested literals (a deferred
+// closure that ends the span still ends it in this function).
+func hasEndCall(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,18 @@
+// Package allowbad exercises directive hygiene: a reasonless
+// //lint:allow is a finding and suppresses nothing, and a directive
+// that matches no finding is reported as unused.
+package allowbad
+
+import "time"
+
+// Now carries a reasonless directive: both the directive and the
+// underlying determinism finding are reported.
+func Now() time.Time {
+	return time.Now() //lint:allow determinism
+}
+
+// Later carries a directive that suppresses nothing.
+func Later() int {
+	//lint:allow concurrency nothing concurrent happens here
+	return 1
+}

@@ -1,0 +1,43 @@
+// Package coreok is loaded under fixture/internal/core and honours the
+// anytime contract: cancellation yields best-so-far + Partial. Interior
+// closures may unwind with ctx.Err(); only exported frames are checked.
+package coreok
+
+import "context"
+
+// Result is a best-so-far result.
+type Result struct {
+	Partial bool
+	Rounds  int
+}
+
+// Run keeps the partial result on cancellation.
+func Run(ctx context.Context) (*Result, error) {
+	res := &Result{}
+	err := each(3, func(i int) error {
+		if ctx.Err() != nil {
+			return ctx.Err() // interior unwind, converted below
+		}
+		res.Rounds++
+		return nil
+	})
+	if err != nil {
+		res.Partial = true
+	}
+	return res, nil
+}
+
+// unexported frames are outside the contract's scope.
+func drain(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func each(n int, f func(int) error) error {
+	for i := 0; i < n; i++ {
+		if err := f(i); err != nil {
+			return err
+		}
+	}
+	_ = drain
+	return nil
+}

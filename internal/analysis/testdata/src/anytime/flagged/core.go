@@ -1,0 +1,30 @@
+// Package core is loaded under the import path fixture/internal/core,
+// where the anytime contract applies: exported ctx functions must not
+// surface cancellation as an error.
+package core
+
+import "context"
+
+// Result is a best-so-far result.
+type Result struct {
+	Partial bool
+	Rounds  int
+}
+
+// Run returns a bare ctx.Err() — an anytime-contract violation.
+func Run(ctx context.Context) (*Result, error) {
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return &Result{}, nil
+}
+
+// Wait returns the cancellation sentinel directly.
+func Wait(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return context.Canceled
+	default:
+	}
+	return nil
+}

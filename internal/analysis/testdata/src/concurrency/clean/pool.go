@@ -1,0 +1,25 @@
+// Package pool is loaded under the import path
+// fixture/internal/parallel, where bare goroutines are the worker pool's
+// own business; locks travel by pointer. No findings expected.
+package pool
+
+import "sync"
+
+// Fan spawns workers — legal inside internal/parallel.
+func Fan(n int, f func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Lock takes the mutex by pointer.
+func Lock(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}

@@ -1,0 +1,32 @@
+// Package engine exercises the concurrency analyzer from a library
+// import path (fixture/internal/engine): bare goroutines and locks by
+// value must be flagged.
+package engine
+
+import "sync"
+
+// Fire spawns a bare goroutine outside internal/parallel.
+func Fire(ch chan int) {
+	go func() { ch <- 1 }()
+}
+
+// Lock receives a mutex by value.
+func Lock(mu sync.Mutex) {
+	_ = mu
+}
+
+// Group returns a WaitGroup by value.
+func Group() sync.WaitGroup {
+	return sync.WaitGroup{}
+}
+
+// Guarded carries a lock.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Snapshot copies the lock through its value receiver.
+func (g Guarded) Snapshot() int {
+	return g.n
+}

@@ -1,0 +1,27 @@
+// Package ctxok holds context-hygienic code: no findings expected.
+package ctxok
+
+import "context"
+
+// Run threads its leading ctx into the ctx-aware callee.
+func Run(ctx context.Context, name string) error {
+	helperContext(ctx, 1)
+	_ = name
+	return nil
+}
+
+// Derive passes a derived (still caller-rooted) context on.
+func Derive(ctx context.Context) {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	helperContext(sub, 2)
+}
+
+// Plain has no ctx in scope, so calling the plain variant is fine.
+func Plain() {
+	helper(1)
+}
+
+func helper(n int) { _ = n }
+
+func helperContext(ctx context.Context, n int) { _, _ = ctx, n }

@@ -1,0 +1,32 @@
+// Package ctxbad exercises the ctx analyzer: misplaced parameters,
+// stored contexts, detached Backgrounds, and dropped ctx variants.
+package ctxbad
+
+import "context"
+
+// Job stores a context in a struct field.
+type Job struct {
+	ctx context.Context
+	n   int
+}
+
+// Run takes its context in the wrong position.
+func Run(name string, ctx context.Context) error {
+	_ = name
+	_ = ctx
+	return nil
+}
+
+// Detach holds a ctx but forges a fresh one for the callee.
+func Detach(ctx context.Context) {
+	helperContext(context.Background(), 1)
+}
+
+// Drop holds a ctx but calls the ctx-less variant of helper.
+func Drop(ctx context.Context) {
+	helper(1)
+}
+
+func helper(n int) { _ = n }
+
+func helperContext(ctx context.Context, n int) { _, _ = ctx, n }

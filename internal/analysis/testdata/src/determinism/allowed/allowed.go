@@ -1,0 +1,20 @@
+// Package allowed repeats the determinism violations behind reasoned
+// //lint:allow directives: the expected finding set is empty.
+package allowed
+
+import "time"
+
+// Stamp reads the wall clock for telemetry only.
+func Stamp() time.Time {
+	return time.Now() //lint:allow determinism elapsed-time telemetry only
+}
+
+// SumWeights is allowed by a standalone directive on the line above.
+func SumWeights(m map[string]float64) float64 {
+	var s float64
+	for _, w := range m {
+		//lint:allow determinism diagnostic-only sum, never compared across runs
+		s += w
+	}
+	return s
+}

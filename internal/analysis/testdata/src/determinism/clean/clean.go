@@ -1,0 +1,54 @@
+// Package clean holds determinism-safe variants of the flagged
+// constructs: no findings expected.
+package clean
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Roll draws from an explicitly seeded generator.
+func Roll(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// SumWeights collects and sums in canonical order (the detSum pattern).
+func SumWeights(m map[string]float64) float64 {
+	vals := make([]float64, 0, len(m))
+	for _, w := range m {
+		vals = append(vals, w)
+	}
+	return detSum(vals)
+}
+
+func detSum(vals []float64) float64 {
+	sort.Float64s(vals)
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// Keys sorts the collected keys before returning them.
+func Keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PerKey updates an iteration-local value per key: order-independent.
+func PerKey(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		var local []float64
+		local = append(local, vs...)
+		sort.Float64s(local)
+		out[k] = local[0]
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+// Package det exercises the determinism analyzer: every construct in
+// this file must be flagged.
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Roll draws from the shared unseeded source.
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// SumWeights accumulates a float in map-iteration order.
+func SumWeights(m map[string]float64) float64 {
+	var s float64
+	for _, w := range m {
+		s += w
+	}
+	return s
+}
+
+// Keys collects map keys and never sorts them.
+func Keys(m map[string]float64) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

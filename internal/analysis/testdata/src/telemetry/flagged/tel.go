@@ -1,0 +1,42 @@
+// Package tel exercises the telemetry analyzer with a local mirror of
+// the registry/span shape: leaked spans, discarded handles, and
+// non-conforming metric names must be flagged.
+package tel
+
+// Registry is a minimal metrics registry (structural match: a named
+// Registry type with Start/Counter methods).
+type Registry struct{}
+
+// Span is one phase; End closes it.
+type Span struct{}
+
+// Start opens a span.
+func (r *Registry) Start(name string) *Span {
+	_ = name
+	return &Span{}
+}
+
+// End closes the span.
+func (s *Span) End() {}
+
+// Counter registers the named counter.
+func (r *Registry) Counter(name string) int {
+	_ = name
+	return 0
+}
+
+// Leak starts a span and never ends it.
+func Leak(r *Registry) *Span {
+	sp := r.Start("area/sub/phase")
+	return sp
+}
+
+// Discard throws the span handle away.
+func Discard(r *Registry) {
+	r.Start("area/sub/other")
+}
+
+// BadName registers a counter outside the area/sub/name convention.
+func BadName(r *Registry) {
+	r.Counter("TotalCalls")
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"isum/internal/core"
+	"isum/internal/features"
 	"isum/internal/workload"
 )
 
@@ -30,7 +31,7 @@ func (g *GSUM) Name() string { return "GSUM" }
 
 // Compress implements Compressor.
 func (g *GSUM) Compress(w *workload.Workload, k int) *core.Result {
-	start := time.Now()
+	start := time.Now() //lint:allow determinism Result.Elapsed timing only; greedy scoring never reads the clock
 	n := w.Len()
 	k = clampK(k, n)
 	alpha := g.Alpha
@@ -104,16 +105,18 @@ func (g *GSUM) Compress(w *workload.Workload, k int) *core.Result {
 		if total == 0 {
 			return alpha * coverage
 		}
-		var tv float64
-		seen := map[string]bool{}
+		// Accumulate the per-feature deviations canonically: a float sum
+		// in map-iteration order would drift by an ulp from run to run
+		// (the features.DetSum bug class caught by isumlint).
+		terms := make([]float64, 0, len(workloadFreq))
 		for key, wf := range workloadFreq {
 			sf := sumFreq[key]
 			if feats[i][key] {
 				sf++
 			}
-			tv += math.Abs(sf/total - wf)
-			seen[key] = true
+			terms = append(terms, math.Abs(sf/total-wf))
 		}
+		tv := features.DetSum(terms)
 		rep := 1 - tv/2
 		return alpha*coverage + (1-alpha)*rep
 	}

@@ -78,7 +78,7 @@ func (c *Compressor) Compress(w *workload.Workload, k int) *Result {
 // reserved for real failures (a contained worker panic); cancellation is
 // not an error.
 func (c *Compressor) CompressContext(ctx context.Context, w *workload.Workload, k int) (*Result, error) {
-	start := time.Now()
+	start := time.Now() //lint:allow determinism Result.Elapsed timing only; greedy selection never reads the clock
 	reg := c.opts.Telemetry
 	root := reg.Start("core/compress")
 	defer root.End()
@@ -199,7 +199,7 @@ func (c *Compressor) selectGreedy(ctx context.Context, states []*QueryState, k i
 		}
 		var tArgmax time.Time
 		if reg != nil {
-			tArgmax = time.Now()
+			tArgmax = time.Now() //lint:allow determinism argmax_nanos histogram only; benefits never read the clock
 		}
 		benefits, err := parallel.Map(ctx, workers, len(states), func(i int) float64 {
 			s := states[i]
@@ -265,7 +265,7 @@ func (c *Compressor) selectGreedy(ctx context.Context, states []*QueryState, k i
 		}
 		var tUpdate time.Time
 		if reg != nil {
-			tUpdate = time.Now()
+			tUpdate = time.Now() //lint:allow determinism update_nanos histogram only; summary updates never read the clock
 		}
 		if incremental {
 			ss.RemoveSelected(best)

@@ -242,7 +242,14 @@ func (p *blockPlanner) planJoins(plans []*accessPlan) (float64, float64, []strin
 	}
 
 	// Start from the smallest filtered input.
-	sort.Slice(plans, func(i, j int) bool { return plans[i].outRows < plans[j].outRows })
+	sort.Slice(plans, func(i, j int) bool {
+		if plans[i].outRows != plans[j].outRows {
+			return plans[i].outRows < plans[j].outRows
+		}
+		// Total order: equal-cardinality inputs tie-break on table name so
+		// the join order (and thus the plan cost) cannot drift.
+		return plans[i].use.Table < plans[j].use.Table
+	})
 	joined := map[string]bool{plans[0].use.Table: true}
 	total := plans[0].cost
 	rows := plans[0].outRows

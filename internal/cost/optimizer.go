@@ -202,7 +202,7 @@ func (o *Optimizer) Cost(q *workload.Query, cfg *index.Configuration) float64 {
 // injected what-if failures that survive the retry policy surface as
 // errors. Cache hits always succeed regardless of ctx.
 func (o *Optimizer) CostContext(ctx context.Context, q *workload.Query, cfg *index.Configuration) (float64, error) {
-	start := time.Now()
+	start := time.Now() //lint:allow determinism what-if latency metric only; costs are computed from the plan, not the clock
 	defer func() {
 		o.costNanos.Add(time.Since(start).Nanoseconds())
 	}()

@@ -45,7 +45,7 @@ type Config struct {
 	// observe cancellation inside compression, tuning, and evaluation and
 	// abort with the context's error, so a -timeout run stops promptly
 	// instead of finishing the figure sweep.
-	Ctx context.Context
+	Ctx context.Context //lint:allow ctx optional run-scoped config knob; Context() threads it into every runner call
 	// Retry overrides the optimizers' what-if retry policy when
 	// MaxAttempts > 0 (zero value keeps cost.DefaultRetryPolicy).
 	Retry cost.RetryPolicy

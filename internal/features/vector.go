@@ -39,14 +39,16 @@ func (v Vector) Sum() float64 {
 	for _, w := range v {
 		vals = append(vals, w)
 	}
-	return detSum(vals)
+	return DetSum(vals)
 }
 
-// detSum adds vals in ascending value order. Floating-point addition is not
-// associative, so summing in Go's randomised map iteration order perturbs
-// the last ulp from run to run; sorting by value first makes every sum over
-// the same multiset reproduce the same bits.
-func detSum(vals []float64) float64 {
+// DetSum adds vals in ascending value order (mutating vals). Floating-point
+// addition is not associative, so summing in Go's randomised map iteration
+// order perturbs the last ulp from run to run; sorting by value first makes
+// every sum over the same multiset reproduce the same bits. Exported so
+// every package that folds a float over a map can share the one canonical
+// accumulation (isumlint's determinism analyzer points here).
+func DetSum(vals []float64) float64 {
 	sort.Float64s(vals)
 	var s float64
 	for _, v := range vals {
@@ -100,7 +102,7 @@ func (v Vector) ZeroShared(other Vector) Vector {
 // WeightedJaccard returns Σ_c min(a_c, b_c) / Σ_c max(a_c, b_c), the
 // similarity measure of Section 4.2. It is 0 when either vector is empty
 // and always lies in [0, 1]. Both sums accumulate in canonical order (see
-// detSum) so similarities are bit-identical across runs.
+// DetSum) so similarities are bit-identical across runs.
 func WeightedJaccard(a, b Vector) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
@@ -117,11 +119,11 @@ func WeightedJaccard(a, b Vector) float64 {
 			maxs = append(maxs, bw)
 		}
 	}
-	maxSum := detSum(maxs)
+	maxSum := DetSum(maxs)
 	if maxSum == 0 {
 		return 0
 	}
-	return detSum(mins) / maxSum
+	return DetSum(mins) / maxSum
 }
 
 // Jaccard returns the unweighted Jaccard similarity of the key sets

@@ -157,7 +157,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
 		var wg sync.WaitGroup
 		var spawned time.Time
 		if m != nil {
-			spawned = time.Now()
+			spawned = time.Now() //lint:allow determinism queue-wait histogram only; task results never read the clock
 		}
 		for w := 0; w < workers; w++ {
 			lo := w * n / workers

@@ -5,6 +5,7 @@
 #
 # Usage: scripts/ci.sh [--no-bench]
 #   BENCHTIME overrides the benchmark duration (default 3x iterations).
+#   FUZZTIME overrides the fuzz smoke duration (default 10s).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +19,12 @@ fi
 
 echo "== go vet =="
 go vet ./...
+
+# Project-specific invariants (determinism, ctx hygiene, concurrency,
+# telemetry, anytime contract) beyond what vet knows. Exits non-zero on
+# any finding not carrying a reasoned //lint:allow.
+echo "== isumlint =="
+go run ./cmd/isumlint ./...
 
 echo "== go build =="
 go build ./...
@@ -35,9 +42,12 @@ echo "== telemetry smoke run =="
 metrics_out=$(mktemp)
 trap 'rm -f "$metrics_out"' EXIT
 go run ./cmd/isum -benchmark tpch -n 60 -k 8 -trace -metrics-out "$metrics_out" >/dev/null
+# -names-from closes the code/export loop: every literal metric name
+# registered by internal/cost must actually appear in the smoke export.
 go run ./scripts/metricscheck \
     -require cost/whatif/calls \
     -require core/greedy/rounds \
+    -names-from internal/cost \
     "$metrics_out"
 
 echo "== failure-model smoke =="
@@ -71,8 +81,8 @@ strip_elapsed() { sed -E 's/ in [0-9.]+(ns|us|µs|ms|s|m)+ / /'; }
 cmp "$fm_dir/tune_plain.txt" "$fm_dir/tune_chaos.txt"
 
 echo "== fuzz smoke =="
-go test -fuzz 'FuzzSplitStatements' -fuzztime 10s -run '^$' ./internal/workload
-go test -fuzz 'FuzzParse' -fuzztime 10s -run '^$' ./internal/sqlparser
+go test -fuzz 'FuzzSplitStatements' -fuzztime "${FUZZTIME:-10s}" -run '^$' ./internal/workload
+go test -fuzz 'FuzzParse' -fuzztime "${FUZZTIME:-10s}" -run '^$' ./internal/sqlparser
 
 if [ "${1:-}" = "--no-bench" ]; then
     echo "CI OK (benchmarks skipped)"
