@@ -21,6 +21,7 @@ import (
 
 	"isum/internal/experiments"
 	"isum/internal/faults"
+	"isum/internal/features"
 	"isum/internal/parallel"
 	"isum/internal/telemetry"
 )
@@ -61,6 +62,7 @@ func main() {
 		fatal(err)
 	}
 	parallel.SetTelemetry(trun.Registry)
+	features.SetTelemetry(trun.Registry)
 
 	ctx, cancel := ff.Context()
 	defer cancel()

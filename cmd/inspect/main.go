@@ -18,6 +18,7 @@ import (
 	"isum/internal/core"
 	"isum/internal/cost"
 	"isum/internal/faults"
+	"isum/internal/features"
 	"isum/internal/parallel"
 	"isum/internal/telemetry"
 	"isum/internal/workload"
@@ -43,6 +44,7 @@ func main() {
 	}
 	reg := trun.Registry
 	parallel.SetTelemetry(reg)
+	features.SetTelemetry(reg)
 	ctx, cancel := ff.Context()
 	defer cancel()
 
@@ -148,7 +150,7 @@ func main() {
 		fmt.Printf("  #%-4d benefit %.4f  utility %.4f  cost %10.0f  %.60s\n",
 			d.idx, d.benefit, d.utility, q.Cost, q.Text)
 		if *showFeatures {
-			v := states[d.idx].OrigVec
+			v := states[d.idx].OrigVec.ToMap(states[d.idx].Interner)
 			keys := make([]string, 0, len(v))
 			for k := range v {
 				keys = append(keys, k)
@@ -167,21 +169,24 @@ func main() {
 
 	// Summary features.
 	fmt.Printf("\nworkload summary features (top weights):\n")
-	keys := make([]string, 0, len(ss.V))
-	for k := range ss.V {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(a, b int) bool {
-		if ss.V[keys[a]] != ss.V[keys[b]] {
-			return ss.V[keys[a]] > ss.V[keys[b]]
+	if len(states) > 0 {
+		sv := ss.V.ToMap(states[0].Interner)
+		keys := make([]string, 0, len(sv))
+		for k := range sv {
+			keys = append(keys, k)
 		}
-		return keys[a] < keys[b] // total order: keys was collected in map order
-	})
-	for i, k := range keys {
-		if i >= *top {
-			break
+		sort.Slice(keys, func(a, b int) bool {
+			if sv[keys[a]] != sv[keys[b]] {
+				return sv[keys[a]] > sv[keys[b]]
+			}
+			return keys[a] < keys[b] // total order: keys was collected in map order
+		})
+		for i, k := range keys {
+			if i >= *top {
+				break
+			}
+			fmt.Printf("  %-32s %.4f\n", k, sv[k])
 		}
-		fmt.Printf("  %-32s %.4f\n", k, ss.V[k])
 	}
 	if err := trun.Close(); err != nil {
 		fatal(err)

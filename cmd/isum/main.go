@@ -23,6 +23,7 @@ import (
 	"isum/internal/core"
 	"isum/internal/cost"
 	"isum/internal/faults"
+	"isum/internal/features"
 	"isum/internal/parallel"
 	"isum/internal/telemetry"
 	"isum/internal/workload"
@@ -52,6 +53,7 @@ func main() {
 	}
 	reg := trun.Registry
 	parallel.SetTelemetry(reg)
+	features.SetTelemetry(reg)
 	ctx, cancel := ff.Context()
 	defer cancel()
 

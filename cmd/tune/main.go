@@ -22,6 +22,7 @@ import (
 	"isum/internal/catalog"
 	"isum/internal/cost"
 	"isum/internal/faults"
+	"isum/internal/features"
 	"isum/internal/parallel"
 	"isum/internal/telemetry"
 	"isum/internal/workload"
@@ -56,6 +57,7 @@ func main() {
 	}
 	reg := trun.Registry
 	parallel.SetTelemetry(reg)
+	features.SetTelemetry(reg)
 	ctx, cancel := ff.Context()
 	defer cancel()
 	g, err := benchmarks.FromName(*bench, *sf, *seed)

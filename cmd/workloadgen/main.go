@@ -14,6 +14,7 @@ import (
 	"isum/internal/benchmarks"
 	"isum/internal/cost"
 	"isum/internal/faults"
+	"isum/internal/features"
 	"isum/internal/parallel"
 	"isum/internal/telemetry"
 )
@@ -37,6 +38,7 @@ func main() {
 	}
 	reg := trun.Registry
 	parallel.SetTelemetry(reg)
+	features.SetTelemetry(reg)
 	ctx, cancel := ff.Context()
 	defer cancel()
 

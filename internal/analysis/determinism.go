@@ -128,8 +128,39 @@ func checkMapRanges(pass *Pass, fs funcScope) {
 
 // canonicalizedAfter reports whether, after pos and within body, obj is
 // passed to a call whose name matches canonicalizerPat (sort.*, slices
-// sorting helpers, DetSum, canonical*).
+// sorting helpers, DetSum, canonical*). The object may reach the call as
+// an argument or as the method receiver (sv.sortByID()), and one level
+// of aliasing is followed: a variable assigned from an expression that
+// mentions obj — the collect-into-struct idiom,
+// sv := SparseVec{ids: ids, ws: ws} — counts as obj for both checks.
+// Ascending-ID slice accumulation built this way is canonical and must
+// not be flagged.
 func canonicalizedAfter(pass *Pass, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	objs := map[types.Object]bool{obj: true}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || !mentionsObject(pass, rhs, obj) {
+				continue
+			}
+			if o := pass.Info.ObjectOf(id); o != nil {
+				objs[o] = true
+			}
+		}
+		return true
+	})
+	mentionsAny := func(e ast.Expr) bool {
+		for o := range objs {
+			if mentionsObject(pass, e, o) {
+				return true
+			}
+		}
+		return false
+	}
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -140,14 +171,17 @@ func canonicalizedAfter(pass *Pass, body *ast.BlockStmt, pos token.Pos, obj type
 			return true
 		}
 		name := ""
+		var recv ast.Expr
 		switch fun := ast.Unparen(call.Fun).(type) {
 		case *ast.Ident:
 			name = fun.Name
 		case *ast.SelectorExpr:
 			name = fun.Sel.Name
+			recv = fun.X
 			if id, ok := fun.X.(*ast.Ident); ok {
 				if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
 					p := pn.Imported().Path()
+					recv = nil
 					if p == "sort" || p == "slices" {
 						name = "sort" + name
 					}
@@ -157,8 +191,12 @@ func canonicalizedAfter(pass *Pass, body *ast.BlockStmt, pos token.Pos, obj type
 		if !canonicalizerPat.MatchString(name) {
 			return true
 		}
+		if recv != nil && mentionsAny(recv) {
+			found = true
+			return false
+		}
 		for _, arg := range call.Args {
-			if mentionsObject(pass, arg, obj) {
+			if mentionsAny(arg) {
 				found = true
 				return false
 			}

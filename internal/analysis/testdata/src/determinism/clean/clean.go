@@ -52,3 +52,40 @@ func PerKey(m map[string][]float64) map[string]float64 {
 	}
 	return out
 }
+
+// intVec mimics the SparseVec collect-into-struct idiom: parallel slices
+// collected in map order, canonicalised by a sort method on the struct
+// they flow into. One aliasing hop (vec := intVec{...}) plus the method
+// receiver must count as canonicalisation.
+type intVec struct {
+	ids []uint32
+	ws  []float64
+}
+
+func (v *intVec) sortByID() {
+	sort.Slice(v.ids, func(i, j int) bool { return v.ids[i] < v.ids[j] })
+}
+
+// FromMap collects map entries into parallel slices and sorts them via
+// the struct's method: the merge-join ascending-ID regime.
+func FromMap(m map[uint32]float64) intVec {
+	ids := make([]uint32, 0, len(m))
+	ws := make([]float64, 0, len(m))
+	for id, w := range m {
+		ids = append(ids, id)
+		ws = append(ws, w)
+	}
+	vec := intVec{ids: ids, ws: ws}
+	vec.sortByID()
+	return vec
+}
+
+// MergeSum accumulates over already-sorted parallel slices: ascending-ID
+// iteration is canonical, no map range involved, never flagged.
+func MergeSum(v intVec) float64 {
+	var s float64
+	for i := 0; i < len(v.ids); i++ {
+		s += v.ws[i]
+	}
+	return s
+}

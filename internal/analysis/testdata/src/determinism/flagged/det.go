@@ -34,3 +34,21 @@ func Keys(m map[string]float64) []string {
 	}
 	return out
 }
+
+type vec struct {
+	ids []uint32
+}
+
+func (v *vec) use() {}
+
+// Collect aliases the collected slice into a struct but only calls a
+// non-canonicalising method on it: still flagged.
+func Collect(m map[uint32]float64) vec {
+	var ids []uint32
+	for id := range m {
+		ids = append(ids, id)
+	}
+	v := vec{ids: ids}
+	v.use()
+	return v
+}

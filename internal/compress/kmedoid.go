@@ -43,11 +43,11 @@ func (m *KMedoid) Compress(w *workload.Workload, k int) *core.Result {
 	rng := rand.New(rand.NewSource(seed))
 
 	states := core.BuildStates(w, core.DefaultOptions())
-	vecs := make([]features.Vector, n)
+	vecs := make([]features.SparseVec, n)
 	for i, s := range states {
 		vecs[i] = s.OrigVec
 	}
-	dist := func(a, b int) float64 { return 1 - features.WeightedJaccard(vecs[a], vecs[b]) }
+	dist := func(a, b int) float64 { return 1 - vecs[a].WeightedJaccard(vecs[b]) }
 
 	medoids := rng.Perm(n)[:k]
 	assign := make([]int, n)

@@ -28,14 +28,14 @@ func BenefitAllPairs(qi *QueryState, states []*QueryState) float64 {
 // SummaryState carries the workload-level summary features and total
 // utility over the unselected queries, for the linear-time benefit.
 type SummaryState struct {
-	V            features.Vector
+	V            features.SparseVec
 	TotalUtility float64
 }
 
 // BuildSummary computes the summary features V (Definition 11) and total
 // utility over the unselected queries.
 func BuildSummary(states []*QueryState) *SummaryState {
-	ss := &SummaryState{V: features.Vector{}}
+	ss := &SummaryState{}
 	for _, s := range states {
 		if s.Selected {
 			continue
@@ -57,21 +57,16 @@ func (ss *SummaryState) RemoveSelected(q *QueryState) {
 // ApplyDelta folds one unselected query's contribution delta (produced by
 // the post-selection update sweep) into the summary. Deltas must be applied
 // in query-index order for bit-identical summaries across runs.
-func (ss *SummaryState) ApplyDelta(d *summaryDelta) {
-	if d == nil {
-		return
-	}
-	for k, w := range d.vec {
-		ss.V[k] += w
-	}
-	ss.TotalUtility += d.util
+func (ss *SummaryState) ApplyDelta(util float64, vec features.SparseVec) {
+	ss.V.Add(vec)
+	ss.TotalUtility += util
 }
 
 // BenefitSummary returns qi's benefit against the summary (Algorithm 3):
-// its utility plus S(qi, V′) where V′ excludes qi's own contribution.
+// its utility plus S(qi, V′) where V′ excludes qi's own contribution,
+// computed by the fused merge-join kernel (no temporary summary copy).
 func BenefitSummary(qi *QueryState, ss *SummaryState) float64 {
-	vPrime := features.ExcludeFromSummary(ss.V, qi.Vec, qi.Utility, ss.TotalUtility)
-	return qi.Utility + features.WeightedJaccard(qi.Vec, vPrime)
+	return qi.Utility + features.SummarySimilarity(qi.Vec, ss.V, qi.Utility, ss.TotalUtility)
 }
 
 // InfluenceOnWorkload returns F_qs(W) = Σ_j S(qs,qj)·U(qj), the all-pairs
@@ -91,6 +86,5 @@ func InfluenceOnWorkload(qs *QueryState, states []*QueryState) float64 {
 // InfluenceOnSummary returns F_qs(V) = S(qs, V′), the summary-feature
 // estimate of the same quantity.
 func InfluenceOnSummary(qs *QueryState, ss *SummaryState) float64 {
-	vPrime := features.ExcludeFromSummary(ss.V, qs.Vec, qs.Utility, ss.TotalUtility)
-	return features.WeightedJaccard(qs.Vec, vPrime)
+	return features.SummarySimilarity(qs.Vec, ss.V, qs.Utility, ss.TotalUtility)
 }

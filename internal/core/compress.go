@@ -186,6 +186,11 @@ func (c *Compressor) selectGreedy(ctx context.Context, states []*QueryState, k i
 	if summary {
 		ss = BuildSummary(states)
 	}
+	// live counts unselected states whose vectors still carry weight, so
+	// the all-exhausted check is a counter read instead of an O(n) scan
+	// every round. Selections and emptying updates decrement it;
+	// feature resets recount it.
+	live := countLive(states)
 	ineligible := math.Inf(-1)
 	for len(res.Indices) < k {
 		if ctx.Err() != nil {
@@ -221,9 +226,11 @@ func (c *Compressor) selectGreedy(ctx context.Context, states []*QueryState, k i
 			return err
 		}
 
-		// benefitEps breaks ties deterministically: feature vectors are maps,
-		// so summation order (and thus the last few ulps of a benefit) varies
-		// between runs; without a tolerance, exact ties would flip.
+		// benefitEps breaks near-ties deterministically. SparseVec kernels
+		// accumulate in ascending-ID order, so benefits are bit-identical
+		// across runs and worker counts; the tolerance is kept so the
+		// selection is also stable across representation changes (the map
+		// oracle, future kernel reorderings) that only move the last ulps.
 		const benefitEps = 1e-9
 		var best *QueryState
 		bestBenefit := -1.0
@@ -240,7 +247,9 @@ func (c *Compressor) selectGreedy(ctx context.Context, states []*QueryState, k i
 			// Every remaining query has zero-weight features: reset to the
 			// original features (Algorithm 2, line 12) and retry; if reset
 			// does nothing we are out of selectable queries.
-			if !resetIfAllZero(states) || allSelected(states) {
+			var didReset bool
+			didReset, live = resetIfAllZero(states, live)
+			if !didReset || allSelected(states) {
 				rsp.SetAttr("outcome", "exhausted")
 				rsp.End()
 				return nil
@@ -256,6 +265,7 @@ func (c *Compressor) selectGreedy(ctx context.Context, states []*QueryState, k i
 		}
 
 		best.Selected = true
+		live-- // best was eligible, so it was counted live
 		res.Indices = append(res.Indices, best.Index)
 		res.SelectionBenefits = append(res.SelectionBenefits, bestBenefit)
 		res.Rounds++
@@ -270,10 +280,10 @@ func (c *Compressor) selectGreedy(ctx context.Context, states []*QueryState, k i
 		if incremental {
 			ss.RemoveSelected(best)
 		}
-		deltas, err := parallel.Map(ctx, workers, len(states), func(i int) *summaryDelta {
+		updates, err := parallel.Map(ctx, workers, len(states), func(i int) updateResult {
 			s := states[i]
 			if s.Selected {
-				return nil
+				return updateResult{}
 			}
 			return applyUpdateWithDelta(best, s, c.opts.Update, incremental)
 		})
@@ -286,9 +296,16 @@ func (c *Compressor) selectGreedy(ctx context.Context, states []*QueryState, k i
 			}
 			return err
 		}
-		if incremental {
-			for _, d := range deltas {
-				ss.ApplyDelta(d)
+		for i := range updates {
+			u := &updates[i]
+			if u.hasDelta {
+				if incremental {
+					ss.ApplyDelta(u.util, u.vec)
+				}
+				u.vec.Release()
+			}
+			if u.emptied {
+				live--
 			}
 		}
 		if reg != nil {

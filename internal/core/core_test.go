@@ -295,7 +295,7 @@ func TestUpdateStrategies(t *testing.T) {
 	if other.Utility >= u0 {
 		t.Fatal("utility should shrink")
 	}
-	if len(other.Vec) != len(other.OrigVec) {
+	if other.Vec.Len() != other.OrigVec.Len() {
 		t.Fatal("UtilityOnly must not touch features")
 	}
 
@@ -375,7 +375,7 @@ func TestExtractorModesMatchOptions(t *testing.T) {
 	statsOpts := ISUMSOptions()
 	stats := BuildStates(w, statsOpts)
 	// Feature supports agree, weights differ in general.
-	if len(rule[12].Vec) != len(stats[12].Vec) {
+	if rule[12].Vec.Len() != stats[12].Vec.Len() {
 		t.Fatalf("supports differ: %v vs %v", rule[12].Vec, stats[12].Vec)
 	}
 	_ = features.StatsBased

@@ -2,6 +2,7 @@ package core
 
 import (
 	"isum/internal/catalog"
+	"isum/internal/features"
 	"isum/internal/workload"
 )
 
@@ -28,6 +29,12 @@ type Incremental struct {
 func NewIncremental(cat *catalog.Catalog, opts Options, k int) *Incremental {
 	if k < 1 {
 		k = 1
+	}
+	if opts.Interner == nil {
+		// One dictionary across every recompression: carried representatives
+		// keep stable feature IDs, and the intern table only grows by each
+		// batch's genuinely new columns.
+		opts.Interner = features.NewInterner()
 	}
 	return &Incremental{
 		comp: New(opts),

@@ -95,6 +95,14 @@ type Options struct {
 	// identical at any setting: benefits are computed in parallel but
 	// reduced serially in query order (see DESIGN.md, "Concurrency model").
 	Parallelism int
+	// Interner, when non-nil, is the feature dictionary BuildStates interns
+	// extracted vectors into, letting callers keep feature IDs stable
+	// across repeated compressions of overlapping workloads (the
+	// incremental pool does this). nil — the default — builds a fresh
+	// workload-scoped dictionary per BuildStates call. A shared Interner is
+	// mutated by BuildStates, so compressions sharing one must not run
+	// concurrently.
+	Interner *features.Interner
 	// RebuildSummary forces the summary features to be rebuilt from
 	// scratch every greedy round (the literal Algorithm 3 reading) instead
 	// of being maintained incrementally. Debug/validation knob: the

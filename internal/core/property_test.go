@@ -8,7 +8,6 @@ import (
 	"testing/quick"
 
 	"isum/internal/cost"
-	"isum/internal/features"
 	"isum/internal/workload"
 )
 
@@ -36,12 +35,12 @@ func TestTheorem3Bound(t *testing.T) {
 
 	// R: the smallest cross-query ratio of weights for any shared feature;
 	// U_S, U_L over positive utilities.
-	minW := map[string]float64{}
-	maxW := map[string]float64{}
+	minW := map[uint32]float64{}
+	maxW := map[uint32]float64{}
 	for _, s := range states {
-		for k, v := range s.Vec {
+		s.Vec.Each(func(k uint32, v float64) {
 			if v <= 0 {
-				continue
+				return
 			}
 			if cur, ok := minW[k]; !ok || v < cur {
 				minW[k] = v
@@ -49,7 +48,7 @@ func TestTheorem3Bound(t *testing.T) {
 			if cur, ok := maxW[k]; !ok || v > cur {
 				maxW[k] = v
 			}
-		}
+		})
 	}
 	R := math.Inf(1)
 	for k := range minW {
@@ -193,18 +192,19 @@ func TestSummaryMatchesManualSum(t *testing.T) {
 	w := testWorkload(t)
 	states := BuildStates(w, DefaultOptions())
 	ss := BuildSummary(states)
-	manual := features.Vector{}
+	manual := map[uint32]float64{}
 	for _, s := range states {
-		for k, v := range s.Vec {
+		s.Vec.Each(func(k uint32, v float64) {
 			manual[k] += v * s.Utility
-		}
+		})
 	}
-	if len(manual) != len(ss.V) {
-		t.Fatalf("support mismatch: %d vs %d", len(manual), len(ss.V))
+	if len(manual) != ss.V.Len() {
+		t.Fatalf("support mismatch: %d vs %d", len(manual), ss.V.Len())
 	}
 	for k, v := range manual {
-		if math.Abs(ss.V[k]-v) > 1e-9 {
-			t.Fatalf("summary[%s] = %f, want %f", k, ss.V[k], v)
+		got, _ := ss.V.Get(k)
+		if math.Abs(got-v) > 1e-9 {
+			t.Fatalf("summary[%d] = %f, want %f", k, got, v)
 		}
 	}
 }

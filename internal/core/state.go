@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sync"
 
 	"isum/internal/features"
 	"isum/internal/parallel"
@@ -18,22 +19,27 @@ type QueryState struct {
 	Query *workload.Query
 
 	// Vec is the current feature vector; mutated by update strategies.
-	Vec features.Vector
+	Vec features.SparseVec
 	// Utility is the current (discounted) normalised utility U(q).
 	Utility float64
 
 	// OrigVec and OrigUtility are the values before any updates.
-	OrigVec     features.Vector
+	OrigVec     features.SparseVec
 	OrigUtility float64
 
 	// Selected marks membership in the compressed workload.
 	Selected bool
+
+	// Interner is the workload-scoped feature dictionary shared by every
+	// state built in the same BuildStates call; it maps the IDs in
+	// Vec/OrigVec back to "table.column" keys.
+	Interner *features.Interner
 }
 
 // Similarity returns the weighted-Jaccard similarity between two query
 // states' current features.
 func (s *QueryState) Similarity(t *QueryState) float64 {
-	return features.WeightedJaccard(s.Vec, t.Vec)
+	return s.Vec.WeightedJaccard(t.Vec)
 }
 
 // delta computes Δ(q) under the utility mode.
@@ -67,23 +73,44 @@ func BuildStates(w *workload.Workload, opts Options) []*QueryState {
 // aborts the feature-extraction sweep and returns the context's error
 // (states built so far are discarded — partially built states are not
 // meaningful), and a contained worker panic surfaces as a *PanicError.
+//
+// Extraction produces map-shaped vectors; their keys are interned into
+// the workload dictionary (opts.Interner if set, else a fresh one) in a
+// single serial batch, and the vectors are converted to sorted SparseVec
+// form in a second parallel sweep. Batch interning is what makes IDs —
+// and so every downstream merge-join — reproducible across runs.
 func BuildStatesContext(ctx context.Context, w *workload.Workload, opts Options) ([]*QueryState, error) {
 	sp := opts.Telemetry.Start("core/build-states")
 	defer sp.End()
 	sp.SetAttr("n", len(w.Queries))
 
 	ex := opts.extractor(w.Catalog)
+	in := opts.Interner
+	if in == nil {
+		in = features.NewInterner()
+	}
 	states := make([]*QueryState, len(w.Queries))
 	deltas := make([]float64, len(w.Queries))
-	err := parallel.ForEach(ctx, parallel.Workers(opts.Parallelism), len(w.Queries), func(i int) {
+	vecs := make([]features.Vector, len(w.Queries))
+	workers := parallel.Workers(opts.Parallelism)
+	err := parallel.ForEach(ctx, workers, len(w.Queries), func(i int) {
 		q := w.Queries[i]
 		deltas[i] = delta(q, opts.Utility)
-		vec := ex.Features(q)
+		vecs[i] = ex.Features(q)
+	})
+	if err != nil {
+		return nil, err
+	}
+	in.AddVectors(vecs)
+	sp.SetAttr("features", in.Len())
+	err = parallel.ForEach(ctx, workers, len(w.Queries), func(i int) {
+		sv := in.FromMap(vecs[i])
 		states[i] = &QueryState{
-			Index:   i,
-			Query:   q,
-			Vec:     vec.Clone(),
-			OrigVec: vec,
+			Index:    i,
+			Query:    w.Queries[i],
+			Vec:      sv.Clone(),
+			OrigVec:  sv,
+			Interner: in,
 		}
 	})
 	if err != nil {
@@ -117,80 +144,104 @@ func applyUpdate(sel, q *QueryState, strategy UpdateStrategy) {
 	switch strategy {
 	case UpdateWeightSubtract:
 		// Reduce q's feature weights by the selected query's weights,
-		// scaled by similarity (option 1 in Section 4.3).
-		q.Vec.SubClamped(sel.Vec.Clone().Scale(sim))
+		// scaled by similarity (option 1 in Section 4.3). The fused
+		// kernel subtracts sel's weights scaled by sim in place — no
+		// Clone().Scale(sim) temporary.
+		q.Vec.SubClampedScaled(sel.Vec, sim)
 	case UpdateFeatureRemove:
 		// Zero the columns covered by the selected query (option 2).
 		q.Vec.ZeroShared(sel.Vec)
 	}
 }
 
-// summaryDelta is the change one applyUpdate call makes to a query's
-// contribution (Utility·Vec) to the workload summary, recorded so the
-// summary can be maintained incrementally instead of rebuilt each round.
-type summaryDelta struct {
-	util float64
-	vec  features.Vector
+// updateResult is what one applyUpdateWithDelta call reports back to the
+// greedy loop: the query's summary-contribution delta (when tracked and
+// non-empty) and whether the update exhausted the query's features (so
+// the loop can maintain its live-vector count without rescanning).
+type updateResult struct {
+	// util and vec are the change to the query's contribution
+	// (Utility·Vec) to the workload summary; vec owns pooled storage and
+	// must be Released after folding. Only meaningful when hasDelta.
+	util     float64
+	vec      features.SparseVec
+	hasDelta bool
+	// emptied is set when the update took the vector from live
+	// (some weight > 0) to exhausted.
+	emptied bool
 }
 
-// applyUpdateWithDelta runs applyUpdate and, when track is set, returns the
-// contribution delta (nil when nothing changed). Safe to call concurrently
+// sharedScratch pools the pre-update weight snapshots taken by
+// applyUpdateWithDelta.
+var sharedScratch = sync.Pool{New: func() any { return new([]float64) }}
+
+// applyUpdateWithDelta runs applyUpdate and, when track is set, computes
+// the contribution delta with the merge-join kernels: the only entries an
+// update can change are the IDs of sel.Vec, so it snapshots q's weights
+// at those IDs, applies the update, and diffs. Safe to call concurrently
 // for distinct q: it reads sel and mutates only q.
-func applyUpdateWithDelta(sel, q *QueryState, strategy UpdateStrategy, track bool) *summaryDelta {
+func applyUpdateWithDelta(sel, q *QueryState, strategy UpdateStrategy, track bool) updateResult {
+	if strategy == UpdateNone {
+		return updateResult{}
+	}
+	wasLive := !q.Vec.AllZero()
 	if !track {
 		applyUpdate(sel, q, strategy)
-		return nil
-	}
-	if strategy == UpdateNone {
-		return nil
+		return updateResult{emptied: wasLive && q.Vec.AllZero()}
 	}
 	oldUtil := q.Utility
-	// Snapshot the only entries applyUpdate can change: keys of sel.Vec.
-	touched := make(map[string]float64, len(sel.Vec))
-	for k := range sel.Vec {
-		touched[k] = q.Vec[k]
-	}
+	buf := sharedScratch.Get().(*[]float64)
+	shared := q.Vec.SharedWeights(sel.Vec, (*buf)[:0])
 	applyUpdate(sel, q, strategy)
 	newUtil := q.Utility
+	d := features.UpdateDelta(q.Vec, sel.Vec, shared, oldUtil, newUtil)
+	*buf = shared[:0]
+	sharedScratch.Put(buf)
 
-	d := &summaryDelta{util: newUtil - oldUtil, vec: features.Vector{}}
-	for k, oldW := range touched {
-		if dd := newUtil*q.Vec[k] - oldUtil*oldW; dd != 0 {
-			d.vec[k] = dd
-		}
+	res := updateResult{emptied: wasLive && q.Vec.AllZero()}
+	if newUtil-oldUtil == 0 && d.Len() == 0 {
+		d.Release()
+		return res
 	}
-	if newUtil != oldUtil {
-		// A utility change rescales every untouched entry too.
-		for k, w := range q.Vec {
-			if _, ok := touched[k]; ok {
-				continue
-			}
-			if dd := (newUtil - oldUtil) * w; dd != 0 {
-				d.vec[k] = dd
-			}
-		}
-	}
-	if d.util == 0 && len(d.vec) == 0 {
-		return nil
-	}
-	return d
+	res.util = newUtil - oldUtil
+	res.vec = d
+	res.hasDelta = true
+	return res
 }
 
 // resetIfAllZero restores original features for unselected queries when
 // every remaining query's features are exhausted (Algorithm 2, line 12).
-// Returns whether a reset happened.
-func resetIfAllZero(states []*QueryState) bool {
-	for _, s := range states {
-		if !s.Selected && !s.Vec.AllZero() {
-			return false
-		}
+// live is the greedy loop's maintained count of unselected states with
+// non-exhausted vectors, so the common case is a counter check instead
+// of an O(n) scan. Returns whether a reset happened and the new live
+// count.
+func resetIfAllZero(states []*QueryState, live int) (bool, int) {
+	if live > 0 {
+		return false, live
 	}
 	any := false
+	n := 0
 	for _, s := range states {
-		if !s.Selected {
-			s.Vec = s.OrigVec.Clone()
-			any = true
+		if s.Selected {
+			continue
+		}
+		s.Vec.Release()
+		s.Vec = s.OrigVec.Clone()
+		any = true
+		if !s.Vec.AllZero() {
+			n++
 		}
 	}
-	return any
+	return any, n
+}
+
+// countLive returns the number of unselected states whose vectors still
+// carry weight — the initial value for the greedy loop's live counter.
+func countLive(states []*QueryState) int {
+	n := 0
+	for _, s := range states {
+		if !s.Selected && !s.Vec.AllZero() {
+			n++
+		}
+	}
+	return n
 }

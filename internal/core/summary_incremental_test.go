@@ -30,19 +30,20 @@ func TestIncrementalSummaryMatchesRebuild(t *testing.T) {
 					t.Fatalf("round %d: total utility drifted by %g (inc %v, rebuilt %v)",
 						round, d, inc.TotalUtility, rebuilt.TotalUtility)
 				}
-				for k, want := range rebuilt.V {
-					if d := math.Abs(inc.V[k] - want); d > 1e-9 {
-						t.Fatalf("round %d: V[%s] drifted by %g (inc %v, rebuilt %v)",
-							round, k, d, inc.V[k], want)
+				rebuilt.V.Each(func(k uint32, want float64) {
+					got, _ := inc.V.Get(k)
+					if d := math.Abs(got - want); d > 1e-9 {
+						t.Fatalf("round %d: V[%d] drifted by %g (inc %v, rebuilt %v)",
+							round, k, d, got, want)
 					}
-				}
-				// Residue keys the incremental summary keeps at ~0 must
+				})
+				// Residue entries the incremental summary keeps at ~0 must
 				// actually be ~0.
-				for k, got := range inc.V {
-					if _, ok := rebuilt.V[k]; !ok && math.Abs(got) > 1e-9 {
-						t.Fatalf("round %d: incremental residue V[%s] = %v", round, k, got)
+				inc.V.Each(func(k uint32, got float64) {
+					if _, ok := rebuilt.V.Get(k); !ok && math.Abs(got) > 1e-9 {
+						t.Fatalf("round %d: incremental residue V[%d] = %v", round, k, got)
 					}
-				}
+				})
 
 				// Select the benefit argmax, as selectGreedy would.
 				best := -1
@@ -65,7 +66,10 @@ func TestIncrementalSummaryMatchesRebuild(t *testing.T) {
 					if s.Selected {
 						continue
 					}
-					inc.ApplyDelta(applyUpdateWithDelta(sel, s, opts.Update, true))
+					if r := applyUpdateWithDelta(sel, s, opts.Update, true); r.hasDelta {
+						inc.ApplyDelta(r.util, r.vec)
+						r.vec.Release()
+					}
 				}
 			}
 		})

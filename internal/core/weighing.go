@@ -68,7 +68,7 @@ func (c *Compressor) recalibrate(w *workload.Workload, states []*QueryState, res
 
 	// Fresh working copies of the unselected remainder (W_u).
 	type uState struct {
-		vec  features.Vector
+		vec  features.SparseVec
 		util float64
 	}
 	var wu []*uState
@@ -84,17 +84,18 @@ func (c *Compressor) recalibrate(w *workload.Workload, states []*QueryState, res
 	total := 0.0
 	for len(remaining) > 0 {
 		// Summary features over the current W_u.
-		summary := features.Vector{}
+		var summary features.SparseVec
 		for _, u := range wu {
 			summary.AddScaled(u.vec, u.util)
 		}
 		bestPos, bestB := -1, -1.0
 		for pos, idx := range remaining {
-			b := utility[idx] + features.WeightedJaccard(states[idx].OrigVec, summary)
+			b := utility[idx] + states[idx].OrigVec.WeightedJaccard(summary)
 			if b > bestB+1e-9 { // epsilon tie-break, see selectGreedy
 				bestB, bestPos = b, pos
 			}
 		}
+		summary.Release()
 		idx := remaining[bestPos]
 		remaining = append(remaining[:bestPos], remaining[bestPos+1:]...)
 		benefit[idx] = bestB
@@ -103,7 +104,7 @@ func (c *Compressor) recalibrate(w *workload.Workload, states []*QueryState, res
 		// covered features, as during selection.
 		chosenVec := states[idx].OrigVec
 		for _, u := range wu {
-			sim := features.WeightedJaccard(chosenVec, u.vec)
+			sim := chosenVec.WeightedJaccard(u.vec)
 			u.util -= u.util * sim
 			u.vec.ZeroShared(chosenVec)
 		}

@@ -192,13 +192,13 @@ func Fig7(env *Env) ([]*Table, error) {
 	}
 	candSim := func(i, j int) float64 { return features.SetJaccard(candSets[i], candSets[j]) }
 	jacSim := func(i, j int) float64 {
-		return features.Jaccard(s.ruleStates[i].OrigVec, s.ruleStates[j].OrigVec)
+		return s.ruleStates[i].OrigVec.Jaccard(s.ruleStates[j].OrigVec)
 	}
 	ruleSim := func(i, j int) float64 {
-		return features.WeightedJaccard(s.ruleStates[i].OrigVec, s.ruleStates[j].OrigVec)
+		return s.ruleStates[i].OrigVec.WeightedJaccard(s.ruleStates[j].OrigVec)
 	}
 	statsSim := func(i, j int) float64 {
-		return features.WeightedJaccard(s.statsStates[i].OrigVec, s.statsStates[j].OrigVec)
+		return s.statsStates[i].OrigVec.WeightedJaccard(s.statsStates[j].OrigVec)
 	}
 
 	t := &Table{

@@ -1,0 +1,75 @@
+package features
+
+import "math"
+
+// This file is the map-based reference oracle for the SparseVec kernels:
+// straightforward implementations over Vector that accumulate in
+// ascending interned-ID order — the same canonical order the merge-join
+// kernels use — so oracle and production agree bit-for-bit, not just
+// within tolerance. Tests (the fuzz oracle in this package, the pinned
+// pipeline-equivalence test in internal/core) are the only intended
+// callers; none of this is on a production path.
+//
+// Note the deliberate difference from the legacy WeightedJaccard above:
+// that one canonicalises by sorting the collected min/max values
+// (DetSum), which produces a different ulp-level rounding than
+// ascending-ID accumulation. The oracle exists precisely to pin the
+// ascending-ID regime.
+
+// RefWeightedJaccard is WeightedJaccard over map vectors with
+// ascending-ID accumulation. Entry-for-entry it matches
+// SparseVec.WeightedJaccard: keys only in a contribute min(aw,0) and
+// max(aw,0), keys only in b contribute bw to the max sum, and either
+// operand being empty yields 0.
+func RefWeightedJaccard(a, b Vector, in *Interner) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var minSum, maxSum float64
+	for id := 0; id < in.Len(); id++ {
+		k := in.Key(uint32(id))
+		aw, aok := a[k]
+		bw, bok := b[k]
+		switch {
+		case aok && bok:
+			minSum += math.Min(aw, bw)
+			maxSum += math.Max(aw, bw)
+		case aok:
+			minSum += math.Min(aw, 0)
+			maxSum += math.Max(aw, 0)
+		case bok:
+			maxSum += bw
+		}
+	}
+	if maxSum == 0 {
+		return 0
+	}
+	return minSum / maxSum
+}
+
+// RefSummarySimilarity is the staged map computation of S(q, V′)
+// (ExcludeFromSummary then Jaccard) with the final similarity summed in
+// ascending-ID order; it matches the fused SummarySimilarity bit-for-bit.
+func RefSummarySimilarity(q, v Vector, qUtil, totalUtil float64, in *Interner) float64 {
+	out := v.Clone()
+	out.SubClamped(q.Clone().Scale(qUtil))
+	reduced := totalUtil - qUtil
+	if reduced <= 0 {
+		return 0
+	}
+	out.Scale(totalUtil / reduced)
+	return RefWeightedJaccard(q, out, in)
+}
+
+// RefSum sums a map vector in ascending-ID order, matching
+// SparseVec.Sum (unlike Vector.Sum, which canonicalises by value via
+// DetSum).
+func RefSum(v Vector, in *Interner) float64 {
+	var s float64
+	for id := 0; id < in.Len(); id++ {
+		if w, ok := v[in.Key(uint32(id))]; ok {
+			s += w
+		}
+	}
+	return s
+}

@@ -2,6 +2,20 @@
 // indexable-column extraction, rule-based and statistics-based column
 // weighting, normalisation, the weighted-Jaccard similarity measure, and
 // workload summary features (Definition 11).
+//
+// Two vector representations coexist, with two determinism regimes
+// (DESIGN.md §11):
+//
+//   - Vector (this file) is the map-shaped cold-path form: extraction
+//     output, display, and the test-only reference oracle. Map iteration
+//     order is randomized, so any float reduction over a Vector must
+//     canonicalise first — DetSum sorts the collected values before
+//     summing. Keep using DetSum for map-shaped sums.
+//   - SparseVec (sparse.go) is the hot-path form: parallel ids/weights
+//     slices sorted ascending by interned ID (intern.go). Merge-join
+//     kernels iterate in ascending-ID order, which IS the canonical
+//     order, so their sums are bit-identical by construction and need no
+//     DetSum-style sort.
 package features
 
 import (

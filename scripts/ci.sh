@@ -83,6 +83,7 @@ cmp "$fm_dir/tune_plain.txt" "$fm_dir/tune_chaos.txt"
 echo "== fuzz smoke =="
 go test -fuzz 'FuzzSplitStatements' -fuzztime "${FUZZTIME:-10s}" -run '^$' ./internal/workload
 go test -fuzz 'FuzzParse' -fuzztime "${FUZZTIME:-10s}" -run '^$' ./internal/sqlparser
+go test -fuzz 'FuzzSparseVecOps' -fuzztime "${FUZZTIME:-10s}" -run '^$' ./internal/features
 
 if [ "${1:-}" = "--no-bench" ]; then
     echo "CI OK (benchmarks skipped)"
@@ -96,5 +97,14 @@ go test -bench '^(BenchmarkCompress|BenchmarkTune)$' -benchmem \
     -benchtime "${BENCHTIME:-3x}" -run '^$' . | tee "$bench_out"
 go run ./scripts/benchjson <"$bench_out" >BENCH_parallel.json
 echo "wrote BENCH_parallel.json"
+
+echo "== vector benchmarks =="
+vec_out=$(mktemp)
+trap 'rm -f "$bench_out" "$vec_out" "$metrics_out"; rm -rf "$fm_dir"' EXIT
+go test -bench '^(BenchmarkJaccard|BenchmarkSummaryDelta)$' -benchmem \
+    -benchtime "${BENCHTIME:-3x}" -run '^$' \
+    ./internal/features ./internal/core | tee "$vec_out"
+go run ./scripts/benchjson <"$vec_out" >BENCH_vectors.json
+echo "wrote BENCH_vectors.json"
 
 echo "CI OK"
