@@ -23,7 +23,9 @@ import (
 	"isum/internal/faults"
 	"isum/internal/features"
 	"isum/internal/parallel"
+	"isum/internal/shard"
 	"isum/internal/telemetry"
+	"isum/internal/workload"
 )
 
 func main() {
@@ -34,6 +36,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	parallelism := flag.Int("parallelism", 0,
 		"worker goroutines for compression and tuning hot paths (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+	shards := flag.Int("shards", 0,
+		"shard count for the advisors' workload costing (0/1 = single partition, bit-exact with recorded results)")
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
 	var ff faults.Flags
@@ -63,6 +67,8 @@ func main() {
 	}
 	parallel.SetTelemetry(trun.Registry)
 	features.SetTelemetry(trun.Registry)
+	shard.SetTelemetry(trun.Registry)
+	workload.SetTelemetry(trun.Registry)
 
 	ctx, cancel := ff.Context()
 	defer cancel()
@@ -72,7 +78,7 @@ func main() {
 	}
 	cfg := experiments.Config{
 		Scale: *sf, Seed: *seed, Fast: *fast,
-		Parallelism: *parallelism, Telemetry: trun.Registry,
+		Parallelism: *parallelism, Shards: *shards, Telemetry: trun.Registry,
 		Ctx: ctx, Retry: ff.Policy(), Injector: inj,
 	}
 	env := experiments.NewEnv(cfg)

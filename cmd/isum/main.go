@@ -25,6 +25,7 @@ import (
 	"isum/internal/faults"
 	"isum/internal/features"
 	"isum/internal/parallel"
+	"isum/internal/shard"
 	"isum/internal/telemetry"
 	"isum/internal/workload"
 )
@@ -41,6 +42,10 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	parallelism := flag.Int("parallelism", 0,
 		"worker goroutines for compression hot paths (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+	shards := flag.Int("shards", 0,
+		"shard count for sharded compression (0/1 = single partition); shards are hashed by template and merged deterministically")
+	cons := flag.Bool("cons", false,
+		"hash-cons queries by template before selection: one state per distinct template, utilities pooled per Algorithm 4")
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
 	var ff faults.Flags
@@ -54,6 +59,8 @@ func main() {
 	reg := trun.Registry
 	parallel.SetTelemetry(reg)
 	features.SetTelemetry(reg)
+	shard.SetTelemetry(reg)
+	workload.SetTelemetry(reg)
 	ctx, cancel := ff.Context()
 	defer cancel()
 
@@ -114,6 +121,8 @@ func main() {
 		fatal(fmt.Errorf("unknown variant %q", *variant))
 	}
 	opts.Parallelism = *parallelism
+	opts.Shards = *shards
+	opts.ConsTemplates = *cons
 	opts.Telemetry = reg
 
 	comp := core.New(opts)

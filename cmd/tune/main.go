@@ -24,6 +24,7 @@ import (
 	"isum/internal/faults"
 	"isum/internal/features"
 	"isum/internal/parallel"
+	"isum/internal/shard"
 	"isum/internal/telemetry"
 	"isum/internal/workload"
 )
@@ -42,6 +43,8 @@ func main() {
 	configOut := flag.String("config-out", "", "save the recommended configuration as JSON")
 	parallelism := flag.Int("parallelism", 0,
 		"worker goroutines for what-if calls (0 = GOMAXPROCS, 1 = serial); recommendations are identical at any setting")
+	shards := flag.Int("shards", 0,
+		"shard count for workload costing (0/1 = single partition, bit-exact); shards are hashed by template and folded in fixed order")
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
 	var ff faults.Flags
@@ -58,6 +61,8 @@ func main() {
 	reg := trun.Registry
 	parallel.SetTelemetry(reg)
 	features.SetTelemetry(reg)
+	shard.SetTelemetry(reg)
+	workload.SetTelemetry(reg)
 	ctx, cancel := ff.Context()
 	defer cancel()
 	g, err := benchmarks.FromName(*bench, *sf, *seed)
@@ -101,6 +106,7 @@ func main() {
 	}
 	opts.MaxIndexes = *maxIndexes
 	opts.Parallelism = *parallelism
+	opts.Shards = *shards
 	opts.Telemetry = reg
 	if *storageMult > 0 {
 		opts.StorageBudget = int64(*storageMult * float64(g.Cat.TotalSizeBytes()))

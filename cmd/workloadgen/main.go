@@ -16,12 +16,15 @@ import (
 	"isum/internal/faults"
 	"isum/internal/features"
 	"isum/internal/parallel"
+	"isum/internal/shard"
 	"isum/internal/telemetry"
+	"isum/internal/workload"
 )
 
 func main() {
-	bench := flag.String("benchmark", "tpch", "benchmark: tpch, tpcds, dsb, realm")
+	bench := flag.String("benchmark", "tpch", "benchmark: tpch, tpcds, dsb, realm, scalem")
 	n := flag.Int("n", 0, "number of query instances (default: paper's Table 2 size)")
+	shards := flag.Int("shards", 0, "report the template-hash shard balance a sharded compression at this shard count would see")
 	sf := flag.Float64("sf", 10, "scale factor")
 	seed := flag.Int64("seed", 1, "generation seed")
 	out := flag.String("out", "", "output file (default stdout)")
@@ -39,6 +42,8 @@ func main() {
 	reg := trun.Registry
 	parallel.SetTelemetry(reg)
 	features.SetTelemetry(reg)
+	shard.SetTelemetry(reg)
+	workload.SetTelemetry(reg)
 	ctx, cancel := ff.Context()
 	defer cancel()
 
@@ -47,7 +52,7 @@ func main() {
 		fatal(err)
 	}
 	if *n == 0 {
-		defaults := map[string]int{"TPC-H": 2200, "TPC-DS": 9100, "DSB": 520, "Real-M": 473}
+		defaults := map[string]int{"TPC-H": 2200, "TPC-DS": 9100, "DSB": 520, "Real-M": 473, "Scale-M": 100000}
 		*n = defaults[g.Name]
 	}
 	sp := reg.Start("workloadgen/generate")
@@ -97,6 +102,20 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "%s: %d queries, %d templates, %d tables\n",
 		g.Name, w.Len(), w.NumTemplates(), w.TablesReferenced())
+	if *shards > 1 {
+		parts := shard.Partition(w.Len(), *shards, func(i int) string { return w.Queries[i].TemplateID })
+		min, max := w.Len(), 0
+		for _, part := range parts {
+			if len(part) < min {
+				min = len(part)
+			}
+			if len(part) > max {
+				max = len(part)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "shard balance at -shards %d: min %d, max %d queries per shard\n",
+			*shards, min, max)
+	}
 	if err := trun.Close(); err != nil {
 		fatal(err)
 	}

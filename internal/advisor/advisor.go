@@ -69,6 +69,14 @@ type Options struct {
 	// results are merged and weighted sums reduced in input order (see
 	// DESIGN.md, "Concurrency model").
 	Parallelism int
+	// Shards, when > 1, partitions workload costing by the stable template
+	// hash (shard.Partition) and fans the shards out across the
+	// Parallelism workers, folding per-shard sums in fixed shard order.
+	// Deterministic at any parallelism, but a different floating-point
+	// association than the single-partition reduction — recommendations
+	// may differ in the last ulps from the 0/1 path, which stays
+	// bit-exact with previous releases.
+	Shards int
 	// Telemetry receives the advisor's metrics and phase spans (candidate
 	// selection, merging, per-round enumeration — see DESIGN.md §8). nil,
 	// the default, disables instrumentation; recommendations are identical
@@ -240,7 +248,7 @@ func (a *Advisor) costDetachedOnCancel(ctx context.Context, res *Result, w *work
 		res.Partial = true
 		ctx = context.Background() //lint:allow ctx deliberate detach: recost the partial result after cancellation (DESIGN.md §9)
 	}
-	c, err := a.o.WorkloadCostCtx(ctx, w, cfg, a.opts.Parallelism)
+	c, err := a.workloadCostCtx(ctx, w, cfg)
 	if err == nil {
 		return c, nil
 	}
@@ -249,7 +257,7 @@ func (a *Advisor) costDetachedOnCancel(ctx context.Context, res *Result, w *work
 	}
 	res.Partial = true
 	//lint:allow ctx deliberate detach: recost the partial result after cancellation (DESIGN.md §9)
-	return a.o.WorkloadCostCtx(context.Background(), w, cfg, a.opts.Parallelism)
+	return a.workloadCostCtx(context.Background(), w, cfg)
 }
 
 // isCancel reports whether err stems from context cancellation or deadline

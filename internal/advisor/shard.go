@@ -1,0 +1,59 @@
+package advisor
+
+import (
+	"context"
+
+	"isum/internal/index"
+	"isum/internal/parallel"
+	"isum/internal/shard"
+	"isum/internal/workload"
+)
+
+// workloadCostCtx computes the weighted workload cost, routing through
+// the sharded path when Options.Shards > 1: queries are partitioned by
+// the stable template hash (the same partition compression uses), each
+// shard's weighted sum is reduced serially in ascending query order on
+// one worker, and the per-shard sums are folded in fixed shard order.
+// The fold order is deterministic at any parallelism, but the grouping
+// changes the floating-point association, so sharded totals can differ
+// from the unsharded path in the last ulps — which is why 0/1 keeps the
+// optimizer's single-partition reduction bit-exact.
+func (a *Advisor) workloadCostCtx(ctx context.Context, w *workload.Workload, cfg *index.Configuration) (float64, error) {
+	if a.opts.Shards <= 1 {
+		return a.o.WorkloadCostCtx(ctx, w, cfg, a.opts.Parallelism)
+	}
+	parts := shard.Partition(len(w.Queries), a.opts.Shards, func(i int) string {
+		return w.Queries[i].TemplateID
+	})
+	type sc struct {
+		v   float64
+		err error
+	}
+	sums, err := parallel.Map(ctx, parallel.Workers(a.opts.Parallelism), len(parts), func(s int) sc {
+		var total float64
+		for _, i := range parts[s] {
+			q := w.Queries[i]
+			wt := q.Weight
+			if wt <= 0 {
+				wt = 1
+			}
+			c, err := a.o.CostContext(ctx, q, cfg)
+			if err != nil {
+				return sc{err: err}
+			}
+			total += wt * c
+		}
+		return sc{v: total}
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, r := range sums {
+		if r.err != nil {
+			return 0, r.err
+		}
+		total += r.v
+	}
+	return total, nil
+}

@@ -120,7 +120,9 @@ func (g *Generator) workloadFromTemplateIndices(tIdx []int, seed int64) (*worklo
 }
 
 // FromName returns the named benchmark generator ("tpch", "tpcds", "dsb",
-// "realm"; case-insensitive, dashes ignored).
+// "realm", "scalem"; case-insensitive, dashes ignored). "scalem" is the
+// template-expanded scale generator at its default template count; use
+// ScaleM directly for other operating points.
 func FromName(name string, sf float64, seed int64) (*Generator, error) {
 	switch normalizeName(name) {
 	case "tpch":
@@ -131,8 +133,10 @@ func FromName(name string, sf float64, seed int64) (*Generator, error) {
 		return DSB(sf), nil
 	case "realm":
 		return RealM(seed), nil
+	case "scalem":
+		return ScaleM(seed, ScaleMDefaultTemplates), nil
 	default:
-		return nil, fmt.Errorf("benchmarks: unknown benchmark %q (want tpch, tpcds, dsb, or realm)", name)
+		return nil, fmt.Errorf("benchmarks: unknown benchmark %q (want tpch, tpcds, dsb, realm, or scalem)", name)
 	}
 }
 

@@ -23,7 +23,7 @@ func RealM(seed int64) *Generator {
 	return &Generator{
 		Name:      "Real-M",
 		Cat:       cat,
-		Templates: realmTemplates(rng, tables),
+		Templates: realmTemplates(rng, tables, realmTemplateN),
 	}
 }
 
@@ -110,14 +110,15 @@ func realmCatalog(rng *rand.Rand) (*catalog.Catalog, []realmTable) {
 	return cat, tables
 }
 
-// realmTemplates builds 456 templates. Hot tables appear in most templates
+// realmTemplates builds n templates (456 for Real-M itself; the Scale-M
+// generator asks for thousands). Hot tables appear in most templates
 // (directly or as join hubs); cold tables appear rarely, mirroring real
 // workloads' hot/cold access skew.
-func realmTemplates(rng *rand.Rand, tables []realmTable) []Template {
+func realmTemplates(rng *rand.Rand, tables []realmTable, n int) []Template {
 	var out []Template
 	hubFor := func(fk string) string { return strings.TrimPrefix(fk, "fk_") }
 
-	for i := 0; i < realmTemplateN; i++ {
+	for i := 0; i < n; i++ {
 		// 70% of templates centre on a hot table, the rest on the tail.
 		var base realmTable
 		if rng.Float64() < 0.7 {

@@ -1,0 +1,73 @@
+package benchmarks
+
+import "testing"
+
+func TestScaleMTemplateCount(t *testing.T) {
+	g := ScaleM(1, 1500)
+	if got := g.NumTemplates(); got != 1500 {
+		t.Fatalf("NumTemplates = %d, want 1500", got)
+	}
+	if g.Name != "Scale-M" {
+		t.Fatalf("Name = %q", g.Name)
+	}
+	if def := ScaleM(1, 0); def.NumTemplates() != ScaleMDefaultTemplates {
+		t.Fatalf("default template count = %d, want %d", def.NumTemplates(), ScaleMDefaultTemplates)
+	}
+}
+
+// TestScaleMDeterministicAndDuplicateHeavy pins the scale workload's two
+// contracts: same (seed, templates, n) → byte-identical SQL, and
+// template-expansion produces the duplicate-heavy shape hash-consing
+// collapses (n instances over far fewer distinct templates).
+func TestScaleMDeterministicAndDuplicateHeavy(t *testing.T) {
+	const templates, n = 200, 2000
+	g1 := ScaleM(3, templates)
+	g2 := ScaleM(3, templates)
+	w1, err := g1.Workload(n, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := g2.Workload(n, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Len() != n || w2.Len() != n {
+		t.Fatalf("lengths %d, %d; want %d", w1.Len(), w2.Len(), n)
+	}
+	for i := range w1.Queries {
+		if w1.Queries[i].Text != w2.Queries[i].Text {
+			t.Fatalf("query %d differs across identical seeds:\n%s\n%s", i, w1.Queries[i].Text, w2.Queries[i].Text)
+		}
+	}
+
+	nt := w1.NumTemplates()
+	if nt > templates {
+		t.Fatalf("%d distinct templates from a %d-template generator", nt, templates)
+	}
+	// Round-robin instancing must leave every emitted query a duplicate of
+	// a ~n/templates-strong group: distinct templates ≈ the generator's
+	// template count, nowhere near n.
+	if nt < templates/2 {
+		t.Fatalf("only %d distinct templates after normalisation (want close to %d) — templates collide", nt, templates)
+	}
+	groups := w1.TemplateGroups()
+	maxGroup := 0
+	for _, g := range groups {
+		if len(g.Indices) > maxGroup {
+			maxGroup = len(g.Indices)
+		}
+	}
+	if maxGroup < n/templates {
+		t.Fatalf("largest template group %d, want ≥ %d", maxGroup, n/templates)
+	}
+}
+
+func TestFromNameScaleM(t *testing.T) {
+	g, err := FromName("scale-m", 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTemplates() != ScaleMDefaultTemplates {
+		t.Fatalf("FromName scalem templates = %d, want %d", g.NumTemplates(), ScaleMDefaultTemplates)
+	}
+}

@@ -98,7 +98,7 @@ func (c *Compressor) CompressContext(ctx context.Context, w *workload.Workload, 
 		root.SetAttr("k", k)
 	}
 
-	states, err := BuildStatesContext(ctx, w, c.opts)
+	states, repIdx, err := c.buildUniverse(ctx, w)
 	if err != nil {
 		if isCancel(err) {
 			res.Partial = true
@@ -107,18 +107,49 @@ func (c *Compressor) CompressContext(ctx context.Context, w *workload.Workload, 
 		}
 		return nil, err
 	}
-	sg := reg.Start("core/select-greedy")
-	err = c.selectGreedy(ctx, states, k, res)
-	sg.SetAttr("selected", len(res.Indices))
-	sg.End()
+	// Template hash-consing may have collapsed the universe below k.
+	if k > len(states) {
+		k = len(states)
+	}
+	if c.opts.Shards > 1 {
+		sh := reg.Start("core/select-sharded")
+		err = c.selectSharded(ctx, states, k, res)
+		sh.SetAttr("selected", len(res.Indices))
+		sh.End()
+	} else {
+		sg := reg.Start("core/select-greedy")
+		err = c.selectGreedy(ctx, states, k, res)
+		sg.SetAttr("selected", len(res.Indices))
+		sg.End()
+	}
 	if err != nil {
 		return nil, err
 	}
 	sw := reg.Start("core/weigh")
 	res.Weights = c.weigh(w, states, res)
 	sw.End()
+	if repIdx != nil {
+		// Consed indices are template-state positions; translate back to
+		// workload positions (each template's representative instance).
+		for i, g := range res.Indices {
+			res.Indices[i] = repIdx[g]
+		}
+	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// buildUniverse builds the selection universe: one state per query, or —
+// with ConsTemplates — one state per distinct template plus the mapping
+// from template-state position back to the representative query's
+// workload position (nil when consing is off, i.e. states are already in
+// workload positions).
+func (c *Compressor) buildUniverse(ctx context.Context, w *workload.Workload) ([]*QueryState, []int, error) {
+	if c.opts.ConsTemplates {
+		return BuildConsedStatesContext(ctx, w, c.opts)
+	}
+	states, err := BuildStatesContext(ctx, w, c.opts)
+	return states, nil, err
 }
 
 // CompressedWorkload runs Compress and materialises the weighted compressed
@@ -165,6 +196,24 @@ func isCancel(err error) bool {
 // — it was already decided — and abandons the state updates, which only
 // feed rounds that will never run.
 func (c *Compressor) selectGreedy(ctx context.Context, states []*QueryState, k int, res *Result) error {
+	var ss *SummaryState
+	if c.opts.Algorithm != AllPairs {
+		ss = BuildSummary(states)
+	}
+	return c.greedyLoop(ctx, states, k, res, ss, nil)
+}
+
+// greedyLoop is the greedy round engine behind both the single-partition
+// path (selectGreedy) and the sharded refinement pass (selectSharded). ss
+// is the starting summary over the unselected states (nil only for
+// AllPairs); eligible, when non-nil, restricts *selection* to the marked
+// positions while the post-selection update sweep still maintains every
+// state — this is what lets the cross-shard refinement re-rank the
+// per-shard winners against summaries spanning the whole workload. When
+// the eligible candidates are exhausted but ineligible live states
+// remain, the loop returns with fewer than k selections rather than
+// resetting features that are not actually spent.
+func (c *Compressor) greedyLoop(ctx context.Context, states []*QueryState, k int, res *Result, ss *SummaryState, eligible []bool) error {
 	workers := parallel.Workers(c.opts.Parallelism)
 	summary := c.opts.Algorithm != AllPairs
 	incremental := summary && !c.opts.RebuildSummary
@@ -182,10 +231,6 @@ func (c *Compressor) selectGreedy(ctx context.Context, states []*QueryState, k i
 		resets = reg.Counter("core/greedy/feature_resets")
 	}
 
-	var ss *SummaryState
-	if summary {
-		ss = BuildSummary(states)
-	}
 	// live counts unselected states whose vectors still carry weight, so
 	// the all-exhausted check is a counter read instead of an O(n) scan
 	// every round. Selections and emptying updates decrement it;
@@ -208,6 +253,9 @@ func (c *Compressor) selectGreedy(ctx context.Context, states []*QueryState, k i
 		}
 		benefits, err := parallel.Map(ctx, workers, len(states), func(i int) float64 {
 			s := states[i]
+			if eligible != nil && !eligible[i] {
+				return ineligible
+			}
 			if s.Selected || s.Vec.AllZero() {
 				return ineligible
 			}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+
+	"isum/internal/features"
+	"isum/internal/parallel"
+	"isum/internal/workload"
+)
+
+// BuildConsedStatesContext is the template hash-consing state builder
+// (DESIGN.md §12): instead of one state per query it builds one state per
+// distinct template, so all instances of a template share one feature
+// extraction and one SparseVec. The returned repIdx maps each template
+// state's position to its representative query's workload position (the
+// template's first instance).
+//
+// Instances of one template differ only in literal bindings, so their
+// feature vectors are identical up to selectivity estimates of the bound
+// literals; the representative's extraction stands in for the group. The
+// group state's utility is the *sum* of its instances' normalised
+// utilities U(q) = Δ(q)/ΣΔ — Algorithm 4's template-based utility pooling
+// applied before selection instead of after — so a template selected by
+// the greedy loop carries the combined weight of every query it
+// represents. ΣΔ still ranges over all queries and is reduced serially in
+// query-index order, making utilities bit-identical at any parallelism.
+//
+// On a workload with no repeated templates this is BuildStatesContext
+// with extra bookkeeping; on template-heavy million-query workloads it
+// collapses the greedy universe by orders of magnitude.
+func BuildConsedStatesContext(ctx context.Context, w *workload.Workload, opts Options) ([]*QueryState, []int, error) {
+	sp := opts.Telemetry.Start("core/build-consed-states")
+	defer sp.End()
+	groups := w.TemplateGroups()
+	sp.SetAttr("queries", w.Len())
+	sp.SetAttr("templates", len(groups))
+
+	workers := parallel.Workers(opts.Parallelism)
+	deltas, err := parallel.Map(ctx, workers, w.Len(), func(i int) float64 {
+		return delta(w.Queries[i], opts.Utility)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var totalDelta float64
+	for _, d := range deltas {
+		totalDelta += d
+	}
+
+	ex := opts.extractor(w.Catalog)
+	in := opts.Interner
+	if in == nil {
+		in = features.NewInterner()
+	}
+	vecs := make([]features.Vector, len(groups))
+	err = parallel.ForEach(ctx, workers, len(groups), func(g int) {
+		vecs[g] = ex.Features(w.Queries[groups[g].Indices[0]])
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	in.AddVectors(vecs)
+	sp.SetAttr("features", in.Len())
+
+	states := make([]*QueryState, len(groups))
+	repIdx := make([]int, len(groups))
+	err = parallel.ForEach(ctx, workers, len(groups), func(g int) {
+		rep := groups[g].Indices[0]
+		repIdx[g] = rep
+		sv := in.FromMap(vecs[g])
+		states[g] = &QueryState{
+			Index:    g,
+			Query:    w.Queries[rep],
+			Vec:      sv.Clone(),
+			OrigVec:  sv,
+			Interner: in,
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for g, grp := range groups {
+		var u float64
+		if totalDelta > 0 {
+			for _, i := range grp.Indices {
+				u += deltas[i] / totalDelta
+			}
+		}
+		states[g].Utility = u
+		states[g].OrigUtility = u
+	}
+	workload.RecordConsed(len(groups), w.Len()-len(groups))
+	return states, repIdx, nil
+}

@@ -95,6 +95,27 @@ type Options struct {
 	// identical at any setting: benefits are computed in parallel but
 	// reduced serially in query order (see DESIGN.md, "Concurrency model").
 	Parallelism int
+	// Shards, when > 1, runs sharded compression (DESIGN.md §12): the
+	// query states are partitioned by a stable hash of TemplateID, each
+	// shard is compressed independently (shards fan out across the
+	// Parallelism workers), and the per-shard winners are re-ranked by a
+	// cross-shard refinement pass against the merged shard summaries.
+	// Shard summaries are merged in fixed shard order and refinement
+	// candidates are sorted by workload position, so the output is
+	// byte-reproducible at any Parallelism. 0 or 1 disables sharding and
+	// keeps the exact single-partition path.
+	Shards int
+	// ConsTemplates enables template hash-consing (DESIGN.md §12): queries
+	// are interned by TemplateID before the greedy loop, so all instances
+	// of one template share one feature extraction and one state whose
+	// utility is the sum over the instances (Algorithm 4's pooling applied
+	// up front). Result.Indices refer to each template's first instance.
+	// This collapses template-heavy million-query workloads by orders of
+	// magnitude; on workloads with no repeated templates it is the
+	// identity. Off by default: consing changes selection granularity from
+	// queries to templates, so per-instance selection semantics (and k ≥ n
+	// meaning "every query") only hold with it disabled.
+	ConsTemplates bool
 	// Interner, when non-nil, is the feature dictionary BuildStates interns
 	// extracted vectors into, letting callers keep feature IDs stable
 	// across repeated compressions of overlapping workloads (the

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"isum/internal/parallel"
+	"isum/internal/shard"
+)
+
+// shardOverSelect is the per-shard over-selection factor: each shard
+// nominates up to shardOverSelect*k candidates for the cross-shard
+// refinement pool, bounding every shard's greedy at shardOverSelect*k
+// rounds. Within-shard greedy ranks against shard-local summaries, so a
+// query the global greedy wants can sit below rank k in its shard; the
+// slack keeps the refinement pool a superset of the global selection in
+// practice (pinned by the sharded-vs-unsharded oracle test), though no
+// finite factor can guarantee it for adversarial workloads — coverage
+// gaps cost selection fidelity (bounded by the 1%-benefit test), never
+// determinism.
+const shardOverSelect = 3
+
+// selectSharded is the sharded greedy driver (DESIGN.md §12). The states
+// are partitioned by a stable hash of TemplateID (shard.Partition, so
+// every instance of a template lands in one shard), each shard runs an
+// independent greedy selection of up to k winners, and a cross-shard
+// refinement pass re-runs greedy selection with candidacy restricted to
+// the union of shard winners — against summary features merged over the
+// whole workload in fixed shard order.
+//
+// Determinism: the partition is a pure function of the template IDs;
+// shards mutate disjoint state sets, so the fan-out is race-free and its
+// scheduling cannot change any shard's output; the candidate pool is
+// sorted by workload position and the merged summary is folded shard 0,
+// 1, 2, ... regardless of completion order. The refinement loop then
+// reuses greedyLoop's serial index-ordered argmax. The result is
+// byte-reproducible at any Parallelism and any GOMAXPROCS.
+//
+// Anytime: cancellation during the fan-out or refinement degrades to a
+// merged best-so-far — refinement selections first, then per-shard
+// winners round-robin in fixed shard order — with res.Partial set,
+// mirroring the unsharded contract.
+func (c *Compressor) selectSharded(ctx context.Context, states []*QueryState, k int, res *Result) error {
+	reg := c.opts.Telemetry
+	parts := shard.Partition(len(states), c.opts.Shards, func(i int) string {
+		return states[i].Query.TemplateID
+	})
+	workers := parallel.Workers(c.opts.Parallelism)
+
+	// Fan the shards out across the worker pool. Each shard compresses its
+	// own state subset with a single-partition sub-compressor: inner
+	// parallelism 1 (the shards are the unit of parallelism — nesting
+	// would oversubscribe the pool) and no telemetry registry (spans must
+	// only start from the orchestration goroutine; per-shard stats go
+	// through shard.RecordRun's atomic counters instead). Shard results
+	// carry global state positions: selectGreedy records QueryState.Index,
+	// which partitioning does not rewrite.
+	fsp := reg.Start("core/shard-fanout")
+	fsp.SetAttr("shards", len(parts))
+	fsp.SetAttr("workers", workers)
+	sub := *c
+	sub.opts.Shards = 0
+	sub.opts.Parallelism = 1
+	sub.opts.Telemetry = nil
+	shardRes := make([]*Result, len(parts))
+	shardErr := make([]error, len(parts))
+	ferr := parallel.ForEach(ctx, workers, len(parts), func(s int) {
+		part := parts[s]
+		r := &Result{}
+		shardRes[s] = r
+		if len(part) == 0 {
+			return
+		}
+		shardStates := make([]*QueryState, len(part))
+		for j, i := range part {
+			shardStates[j] = states[i]
+		}
+		kS := shardOverSelect * k
+		if kS > len(part) {
+			kS = len(part)
+		}
+		begin := time.Now() //lint:allow determinism shard/compress_nanos histogram only; selection never reads the clock
+		shardErr[s] = sub.selectGreedy(ctx, shardStates, kS, r)
+		shard.RecordRun(float64(time.Since(begin).Nanoseconds()))
+	})
+	fsp.End()
+	if ferr != nil && !isCancel(ferr) {
+		return ferr
+	}
+	cancelled := ferr != nil
+	for _, e := range shardErr {
+		if e != nil && !isCancel(e) {
+			return e // contained worker panic, reported in fixed shard order
+		}
+	}
+
+	// Candidate pool: the union of shard winners (disjoint by
+	// construction), in canonical workload-position order.
+	var pool []int
+	for _, r := range shardRes {
+		if r == nil {
+			cancelled = true // shard never ran before cancellation
+			continue
+		}
+		if r.Partial {
+			cancelled = true
+		}
+		pool = append(pool, r.Indices...)
+	}
+	sort.Ints(pool)
+
+	msp := reg.Start("core/shard-merge")
+	defer msp.End()
+	msp.SetAttr("candidates", len(pool))
+
+	// The shard loops mutated their states in place; restore originals so
+	// refinement starts from the same universe the unsharded path sees.
+	// If cancellation lands mid-restore the states are unusable for
+	// refinement (weighing only reads Orig fields, so it is unaffected)
+	// and we fall through to the round-robin fill.
+	rerr := parallel.ForEach(ctx, workers, len(states), func(i int) {
+		st := states[i]
+		st.Vec.Release()
+		st.Vec = st.OrigVec.Clone()
+		st.Utility = st.OrigUtility
+		st.Selected = false
+	})
+	if rerr != nil {
+		if !isCancel(rerr) {
+			return rerr
+		}
+		cancelled = true
+	}
+
+	if rerr == nil && len(pool) > 0 {
+		// Merged summary: per-shard summaries over original contributions,
+		// combined with the fused vector kernels in fixed shard order —
+		// byte-identical no matter how the fan-out was scheduled.
+		var ss *SummaryState
+		if c.opts.Algorithm != AllPairs {
+			merged := &SummaryState{}
+			for _, part := range parts {
+				shardSum := &SummaryState{}
+				for _, i := range part {
+					st := states[i]
+					shardSum.V.AddScaled(st.OrigVec, st.OrigUtility)
+					shardSum.TotalUtility += st.OrigUtility
+				}
+				merged.V.Add(shardSum.V)
+				merged.TotalUtility += shardSum.TotalUtility
+				shardSum.V.Release()
+			}
+			shard.RecordMergeOps(len(parts))
+			ss = merged
+		}
+
+		// Bounded cross-shard refinement: at most k greedy rounds, argmax
+		// restricted to the pool, update sweeps spanning all states.
+		eligible := make([]bool, len(states))
+		for _, i := range pool {
+			eligible[i] = true
+		}
+		refine := &Result{}
+		if err := c.greedyLoop(ctx, states, k, refine, ss, eligible); err != nil {
+			return err
+		}
+		shard.RecordRefineRounds(refine.Rounds)
+		msp.SetAttr("refine_rounds", refine.Rounds)
+		res.Indices = refine.Indices
+		res.SelectionBenefits = refine.SelectionBenefits
+		res.Rounds = refine.Rounds
+		if refine.Partial {
+			cancelled = true
+		}
+	}
+
+	// Anytime fill: top up a short (cancelled) selection with per-shard
+	// winners, round-robin over rounds then shards so the order is fixed.
+	// Their benefits are the shard-local conditional benefits.
+	if cancelled && len(res.Indices) < k {
+		chosen := make(map[int]bool, len(res.Indices))
+		for _, i := range res.Indices {
+			chosen[i] = true
+		}
+	fill:
+		for r := 0; ; r++ {
+			any := false
+			for _, sr := range shardRes {
+				if sr == nil || r >= len(sr.Indices) {
+					continue
+				}
+				any = true
+				idx := sr.Indices[r]
+				if chosen[idx] {
+					continue
+				}
+				chosen[idx] = true
+				res.Indices = append(res.Indices, idx)
+				res.SelectionBenefits = append(res.SelectionBenefits, sr.SelectionBenefits[r])
+				if len(res.Indices) >= k {
+					break fill
+				}
+			}
+			if !any {
+				break
+			}
+		}
+	}
+	res.Partial = cancelled
+	return nil
+}

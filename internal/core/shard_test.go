@@ -1,0 +1,245 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"isum/internal/benchmarks"
+	"isum/internal/cost"
+	"isum/internal/faults"
+)
+
+// relClose reports whether a and b agree to within rel relative tolerance
+// (absolute for tiny magnitudes).
+func relClose(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m < 1e-12 {
+		return d < 1e-12
+	}
+	return d/m <= rel
+}
+
+// TestShardedMatchesUnsharded pins the sharded path's fidelity contract
+// (DESIGN.md §12): on every generator, shard counts 1, 2 and 8, and
+// parallelism 1 and 4 all select the same indices in the same order over
+// the same number of rounds as the single-partition path, with bitwise
+// identical weights. Selection benefits are compared within 1e-9 relative
+// tolerance: the merged summary folds per shard rather than per state, so
+// the floating-point sums associate differently at the last ulps (the
+// benefitEps argmax tie-break absorbs exactly this).
+func TestShardedMatchesUnsharded(t *testing.T) {
+	const n, k = 60, 12
+	for _, genName := range []string{"tpch", "tpcds", "dsb", "realm"} {
+		w := generatorWorkload(t, genName, n)
+		base := New(DefaultOptions()).Compress(w, k)
+		if len(base.Indices) == 0 {
+			t.Fatalf("%s: unsharded baseline selected nothing", genName)
+		}
+		for _, shards := range []int{1, 2, 8} {
+			for _, par := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%s/shards=%d/parallelism=%d", genName, shards, par), func(t *testing.T) {
+					opts := DefaultOptions()
+					opts.Shards = shards
+					opts.Parallelism = par
+					got := New(opts).Compress(w, k)
+					if got.Partial {
+						t.Fatal("background sharded compress must not be partial")
+					}
+					if !reflect.DeepEqual(got.Indices, base.Indices) {
+						t.Fatalf("selection diverged:\n got %v\nwant %v", got.Indices, base.Indices)
+					}
+					for i := range got.Indices {
+						if got.Weights[i] != base.Weights[i] {
+							t.Fatalf("weight %d: got %x (%v), unsharded %x (%v)", i,
+								math.Float64bits(got.Weights[i]), got.Weights[i],
+								math.Float64bits(base.Weights[i]), base.Weights[i])
+						}
+						if !relClose(got.SelectionBenefits[i], base.SelectionBenefits[i], 1e-9) {
+							t.Fatalf("benefit %d: got %v, unsharded %v", i,
+								got.SelectionBenefits[i], base.SelectionBenefits[i])
+						}
+					}
+					if got.Rounds != base.Rounds {
+						t.Fatalf("rounds: got %d, unsharded %d", got.Rounds, base.Rounds)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardedDeterministicAcrossParallelism pins byte-reproducibility of
+// the sharded path itself: the same shard count must produce bit-identical
+// results (indices, weights, benefits) no matter how many workers execute
+// the fan-out — the fixed-order merge is what the determinism argument
+// rests on.
+func TestShardedDeterministicAcrossParallelism(t *testing.T) {
+	w := generatorWorkload(t, "tpcds", 80)
+	opts := DefaultOptions()
+	opts.Shards = 4
+	opts.Parallelism = 1
+	ref := New(opts).Compress(w, 16)
+	for _, par := range []int{2, 4, 8} {
+		o := opts
+		o.Parallelism = par
+		got := New(o).Compress(w, 16)
+		if len(got.Indices) != len(ref.Indices) {
+			t.Fatalf("parallelism=%d: %d selections vs %d", par, len(got.Indices), len(ref.Indices))
+		}
+		for i := range got.Indices {
+			if got.Indices[i] != ref.Indices[i] ||
+				math.Float64bits(got.Weights[i]) != math.Float64bits(ref.Weights[i]) ||
+				math.Float64bits(got.SelectionBenefits[i]) != math.Float64bits(ref.SelectionBenefits[i]) {
+				t.Fatalf("parallelism=%d diverged at %d: got (%d, %x, %x) want (%d, %x, %x)",
+					par, i, got.Indices[i], math.Float64bits(got.Weights[i]), math.Float64bits(got.SelectionBenefits[i]),
+					ref.Indices[i], math.Float64bits(ref.Weights[i]), math.Float64bits(ref.SelectionBenefits[i]))
+			}
+		}
+	}
+}
+
+// TestShardedBenefitWithinOnePercent is the quality acceptance pin at a
+// paper-scale operating point: total selection benefit of the sharded
+// path stays within 1% of the unsharded selection.
+func TestShardedBenefitWithinOnePercent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale workload")
+	}
+	w := generatorWorkload(t, "realm", 400)
+	const k = 20
+	sum := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	base := New(DefaultOptions()).Compress(w, k)
+	opts := DefaultOptions()
+	opts.Shards = 8
+	opts.Parallelism = 4
+	got := New(opts).Compress(w, k)
+	bb, gb := sum(base.SelectionBenefits), sum(got.SelectionBenefits)
+	if bb <= 0 {
+		t.Fatalf("unsharded total benefit %v", bb)
+	}
+	if math.Abs(gb-bb)/bb > 0.01 {
+		t.Fatalf("sharded total benefit %v deviates more than 1%% from unsharded %v", gb, bb)
+	}
+}
+
+// TestShardedAnytime sweeps deterministic cancellation budgets over the
+// sharded pipeline and pins the anytime contract (DESIGN.md §9): never an
+// error, never nil, Partial set on truncated runs, indices unique and in
+// range, weights parallel and normalised for whatever was selected.
+func TestShardedAnytime(t *testing.T) {
+	w := generatorWorkload(t, "tpch", 40)
+	opts := DefaultOptions()
+	opts.Shards = 4
+	opts.Parallelism = 1
+	const k = 8
+
+	full := New(opts).Compress(w, k)
+	if full.Partial {
+		t.Fatal("background sharded compress must not be partial")
+	}
+	if len(full.Indices) != k {
+		t.Fatalf("full run selected %d, want %d", len(full.Indices), k)
+	}
+
+	sawMidRun := false
+	for budget := int64(0); budget <= 4096; budget += 16 {
+		res, err := New(opts).CompressContext(newCountdownCtx(budget), w, k)
+		if err != nil {
+			t.Fatalf("budget %d: cancellation must not be an error: %v", budget, err)
+		}
+		if res == nil {
+			t.Fatalf("budget %d: nil result", budget)
+		}
+		if !res.Partial && len(res.Indices) != k {
+			t.Fatalf("budget %d: non-partial result with %d selections", budget, len(res.Indices))
+		}
+		if res.Partial && len(res.Indices) > 0 && len(res.Indices) < k {
+			sawMidRun = true
+		}
+		seen := make(map[int]bool, len(res.Indices))
+		for _, idx := range res.Indices {
+			if idx < 0 || idx >= w.Len() {
+				t.Fatalf("budget %d: index %d out of range", budget, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("budget %d: duplicate index %d in %v", budget, idx, res.Indices)
+			}
+			seen[idx] = true
+		}
+		if len(res.Weights) != len(res.Indices) || len(res.SelectionBenefits) != len(res.Indices) {
+			t.Fatalf("budget %d: weights/benefits not parallel to indices (%d, %d, %d)",
+				budget, len(res.Indices), len(res.Weights), len(res.SelectionBenefits))
+		}
+		if len(res.Weights) > 0 {
+			var sum float64
+			for _, wt := range res.Weights {
+				if wt < 0 {
+					t.Fatalf("budget %d: negative weight %v", budget, wt)
+				}
+				sum += wt
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("budget %d: weights sum to %v", budget, sum)
+			}
+		}
+	}
+	if !sawMidRun {
+		t.Fatal("budget sweep never produced a non-empty partial prefix — cut points not exercised")
+	}
+}
+
+// TestShardedChaosByteIdentical runs the full pipeline — chaotic cost
+// filling with retries, then sharded compression — and pins that the
+// result is byte-identical to the fault-free run: injected faults absorbed
+// by retry must not leak into shard selection.
+func TestShardedChaosByteIdentical(t *testing.T) {
+	gen := benchmarks.TPCDS(10)
+	build := func(chaos bool) *Result {
+		w, err := gen.Workload(80, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := cost.NewOptimizer(gen.Cat)
+		if chaos {
+			o.SetInjector(faults.NewInjector(faults.Config{Seed: 42, ErrorRate: 0.3}))
+			o.SetRetryPolicy(cost.RetryPolicy{
+				MaxAttempts: 30, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond,
+			})
+		}
+		if err := o.FillCostsCtx(context.Background(), w, 1); err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.Shards = 4
+		opts.Parallelism = 4
+		return New(opts).Compress(w, 16)
+	}
+	plain := build(false)
+	chaotic := build(true)
+	if len(plain.Indices) != len(chaotic.Indices) {
+		t.Fatalf("chaos changed selection count: %d vs %d", len(chaotic.Indices), len(plain.Indices))
+	}
+	for i := range plain.Indices {
+		if plain.Indices[i] != chaotic.Indices[i] ||
+			math.Float64bits(plain.Weights[i]) != math.Float64bits(chaotic.Weights[i]) ||
+			math.Float64bits(plain.SelectionBenefits[i]) != math.Float64bits(chaotic.SelectionBenefits[i]) {
+			t.Fatalf("chaos run diverged at %d: (%d, %x, %x) vs (%d, %x, %x)", i,
+				chaotic.Indices[i], math.Float64bits(chaotic.Weights[i]), math.Float64bits(chaotic.SelectionBenefits[i]),
+				plain.Indices[i], math.Float64bits(plain.Weights[i]), math.Float64bits(plain.SelectionBenefits[i]))
+		}
+	}
+}

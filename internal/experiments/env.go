@@ -34,6 +34,12 @@ type Config struct {
 	// hot paths (0 = GOMAXPROCS, 1 = serial). Experiment outputs are
 	// identical at any setting; this only trades wall-clock for cores.
 	Parallelism int
+	// Shards, when > 1, routes the advisors' workload costing through the
+	// template-hash sharded reduction (advisor.Options.Shards). Off by
+	// default: the sharded fold is deterministic but associates the
+	// floating-point sum differently, and recorded experiment results pin
+	// the single-partition reduction.
+	Shards int
 	// Telemetry, when non-nil, collects pipeline metrics and phase spans
 	// across every experiment: optimizers are constructed against it and
 	// Run appends a per-figure phase breakdown (elapsed time plus counter
@@ -174,6 +180,7 @@ func (e *Env) AdvisorOptions(name string) (advisor.Options, error) {
 	opts.MaxIndexes = 30
 	opts.StorageBudget = 3 * g.Cat.TotalSizeBytes()
 	opts.Parallelism = e.Cfg.Parallelism
+	opts.Shards = e.Cfg.Shards
 	opts.Telemetry = e.Cfg.Telemetry
 	return opts, nil
 }

@@ -1,0 +1,107 @@
+// Package shard deterministically partitions workloads for sharded
+// compression (DESIGN.md §12). The partition is a pure function of each
+// item's key — a stable FNV-1a hash, independent of item order, shard
+// scheduling, or GOMAXPROCS — so a sharded run always sees the same
+// shards and a fixed-order merge of their outputs is byte-reproducible.
+package shard
+
+import (
+	"sync/atomic"
+
+	"isum/internal/telemetry"
+)
+
+// fnv-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash returns the stable 64-bit FNV-1a hash of key used by Partition.
+// Exported so callers (CLIs, tests) can report which shard a template
+// lands in without re-deriving the partition.
+func Hash(key string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Partition assigns each of n items to one of `shards` partitions by the
+// stable hash of its key and returns the per-shard index lists, each in
+// ascending index order. Items with equal keys (e.g. instances of one
+// query template) always land in the same shard, so per-shard greedy
+// selection sees every instance of the templates it owns. Shards may
+// come back empty; shards <= 1 puts everything in a single partition.
+func Partition(n, shards int, key func(i int) string) [][]int {
+	if shards < 1 {
+		shards = 1
+	}
+	parts := make([][]int, shards)
+	if shards == 1 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		parts[0] = all
+		return parts
+	}
+	for i := 0; i < n; i++ {
+		s := int(Hash(key(i)) % uint64(shards))
+		parts[s] = append(parts[s], i)
+	}
+	return parts
+}
+
+// shardMetrics are the package's registered telemetry handles; nil when
+// telemetry is disabled (the default), so the record helpers cost one
+// atomic pointer load.
+type shardMetrics struct {
+	runs         *telemetry.Counter   // shard/runs: per-shard greedy compressions executed
+	mergeOps     *telemetry.Counter   // shard/merge_ops: shard summaries folded into the merged summary
+	refineRounds *telemetry.Counter   // shard/refine_rounds: cross-shard refinement rounds
+	compressNs   *telemetry.Histogram // shard/compress_nanos: wall time of one shard's compression
+}
+
+var stel atomic.Pointer[shardMetrics]
+
+// SetTelemetry registers the package's metrics on reg; nil disables
+// them. Call once at startup, alongside parallel.SetTelemetry.
+func SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		stel.Store(nil)
+		return
+	}
+	stel.Store(&shardMetrics{
+		runs:         reg.Counter("shard/runs"),
+		mergeOps:     reg.Counter("shard/merge_ops"),
+		refineRounds: reg.Counter("shard/refine_rounds"),
+		compressNs:   reg.Histogram("shard/compress_nanos", telemetry.DurationBuckets),
+	})
+}
+
+// RecordRun reports one per-shard compression taking ns nanoseconds.
+// Safe to call from worker goroutines (counters and histograms are
+// atomic); no-op while telemetry is disabled.
+func RecordRun(ns float64) {
+	if m := stel.Load(); m != nil {
+		m.runs.Inc()
+		m.compressNs.Observe(ns)
+	}
+}
+
+// RecordMergeOps reports n shard-summary merge operations.
+func RecordMergeOps(n int) {
+	if m := stel.Load(); m != nil {
+		m.mergeOps.Add(int64(n))
+	}
+}
+
+// RecordRefineRounds reports n cross-shard refinement rounds.
+func RecordRefineRounds(n int) {
+	if m := stel.Load(); m != nil {
+		m.refineRounds.Add(int64(n))
+	}
+}

@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"isum/internal/telemetry"
+)
+
+func TestHashStable(t *testing.T) {
+	// FNV-1a reference values must never change: the partition (and with
+	// it every sharded result) is derived from them.
+	cases := map[string]uint64{
+		"":     14695981039346656037,
+		"a":    0xaf63dc4c8601ec8c,
+		"tmpl": Hash("tmpl"),
+	}
+	for k, want := range cases {
+		if got := Hash(k); got != want {
+			t.Fatalf("Hash(%q) = %#x, want %#x", k, got, want)
+		}
+	}
+	if Hash("tmpl") == Hash("tmpl2") {
+		t.Fatal("distinct keys collided in the test vectors")
+	}
+}
+
+func TestPartitionSingleShard(t *testing.T) {
+	for _, shards := range []int{-3, 0, 1} {
+		parts := Partition(5, shards, func(i int) string { return fmt.Sprint(i) })
+		if len(parts) != 1 {
+			t.Fatalf("shards=%d: got %d partitions", shards, len(parts))
+		}
+		if !reflect.DeepEqual(parts[0], []int{0, 1, 2, 3, 4}) {
+			t.Fatalf("shards=%d: got %v", shards, parts[0])
+		}
+	}
+}
+
+func TestPartitionDeterministicAndComplete(t *testing.T) {
+	keys := make([]string, 100)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("template-%d", i%17)
+	}
+	key := func(i int) string { return keys[i] }
+
+	first := Partition(len(keys), 8, key)
+	if !reflect.DeepEqual(Partition(len(keys), 8, key), first) {
+		t.Fatal("partition is not deterministic")
+	}
+
+	seen := make(map[int]int)
+	for s, part := range first {
+		last := -1
+		for _, i := range part {
+			if i <= last {
+				t.Fatalf("shard %d not in ascending order: %v", s, part)
+			}
+			last = i
+			seen[i]++
+		}
+	}
+	if len(seen) != len(keys) {
+		t.Fatalf("partition covers %d of %d items", len(seen), len(keys))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d assigned %d times", i, n)
+		}
+	}
+}
+
+func TestPartitionGroupsEqualKeys(t *testing.T) {
+	// All instances of a template must land in the same shard, for every
+	// shard count.
+	keys := []string{"a", "b", "a", "c", "b", "a", "c", "c", "b"}
+	for _, shards := range []int{2, 3, 8, 64} {
+		parts := Partition(len(keys), shards, func(i int) string { return keys[i] })
+		byKey := map[string]int{}
+		for s, part := range parts {
+			for _, i := range part {
+				if prev, ok := byKey[keys[i]]; ok && prev != s {
+					t.Fatalf("shards=%d: key %q split across shards %d and %d", shards, keys[i], prev, s)
+				}
+				byKey[keys[i]] = s
+			}
+		}
+	}
+}
+
+func TestPartitionAllowsEmptyShards(t *testing.T) {
+	// One distinct key, many shards: everything lands in one shard and
+	// the rest stay empty (and present).
+	parts := Partition(6, 16, func(int) string { return "only" })
+	if len(parts) != 16 {
+		t.Fatalf("got %d partitions, want 16", len(parts))
+	}
+	nonEmpty := 0
+	for _, p := range parts {
+		if len(p) > 0 {
+			nonEmpty++
+			if len(p) != 6 {
+				t.Fatalf("owning shard has %d items, want 6", len(p))
+			}
+		}
+	}
+	if nonEmpty != 1 {
+		t.Fatalf("%d non-empty shards, want 1", nonEmpty)
+	}
+}
+
+func TestTelemetryCounters(t *testing.T) {
+	reg := telemetry.New()
+	SetTelemetry(reg)
+	defer SetTelemetry(nil)
+
+	RecordRun(1500)
+	RecordRun(2500)
+	RecordMergeOps(4)
+	RecordRefineRounds(7)
+
+	snap := reg.Snapshot()
+	wantCounters := map[string]int64{
+		"shard/runs":          2,
+		"shard/merge_ops":     4,
+		"shard/refine_rounds": 7,
+	}
+	for name, want := range wantCounters {
+		got, ok := snap.Counters[name]
+		if !ok {
+			t.Fatalf("counter %s not registered", name)
+		}
+		if got != want {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
+	}
+	hv, ok := snap.Histograms["shard/compress_nanos"]
+	if !ok {
+		t.Fatal("histogram shard/compress_nanos not registered")
+	}
+	if hv.Count != 2 {
+		t.Fatalf("shard/compress_nanos observed %d, want 2", hv.Count)
+	}
+
+	// Disabled telemetry must be a no-op, not a panic.
+	SetTelemetry(nil)
+	RecordRun(1)
+	RecordMergeOps(1)
+	RecordRefineRounds(1)
+}

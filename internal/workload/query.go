@@ -39,6 +39,11 @@ type Query struct {
 type Workload struct {
 	Queries []*Query
 	Catalog *catalog.Catalog
+
+	// tidx caches the per-template aggregation (counts and instance
+	// groups); see templates.go. Lazily built, invalidated by Append and
+	// by any length change to Queries.
+	tidx *templateIndex
 }
 
 // New builds a workload by parsing and analysing each SQL string against the
@@ -117,18 +122,6 @@ func (w *Workload) WeightedSubset(ids []int, weights []float64) *Workload {
 	}
 	return out
 }
-
-// TemplateCounts returns the number of queries per template.
-func (w *Workload) TemplateCounts() map[string]int {
-	out := make(map[string]int)
-	for _, q := range w.Queries {
-		out[q.TemplateID]++
-	}
-	return out
-}
-
-// NumTemplates returns the number of distinct templates.
-func (w *Workload) NumTemplates() int { return len(w.TemplateCounts()) }
 
 // TablesReferenced returns the number of distinct base tables referenced
 // anywhere in the workload.

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"sync/atomic"
+
+	"isum/internal/telemetry"
+)
+
+// TemplateGroup is one distinct template and the positions of its
+// instances in the workload, in ascending order. Groups are listed in
+// first-occurrence order, so the grouping is a pure function of the
+// workload — no map-iteration randomness.
+type TemplateGroup struct {
+	// TemplateID is the shared fingerprint (see Fingerprint).
+	TemplateID string
+	// Indices are the instances' positions in Workload.Queries, ascending.
+	Indices []int
+}
+
+// templateIndex is the cached per-workload template aggregation. It is
+// (re)built lazily on first use and considered valid while the workload
+// length is unchanged; Append invalidates it explicitly. The compression
+// paths (template hash-consing, recalibrated weighing) query templates
+// once per build, so caching turns repeated O(n) scans into one.
+type templateIndex struct {
+	built  int // len(Queries) when the index was built
+	counts map[string]int
+	groups []TemplateGroup
+}
+
+// templates returns the cached template index, rebuilding it when the
+// workload has grown or shrunk since it was built. Not safe for
+// concurrent first use: callers that share a workload across goroutines
+// must touch TemplateCounts/TemplateGroups once before fanning out (the
+// compression pipeline does this on the orchestration goroutine).
+func (w *Workload) templates() *templateIndex {
+	if w.tidx != nil && w.tidx.built == len(w.Queries) {
+		return w.tidx
+	}
+	idx := &templateIndex{
+		built:  len(w.Queries),
+		counts: make(map[string]int),
+	}
+	pos := make(map[string]int)
+	for i, q := range w.Queries {
+		idx.counts[q.TemplateID]++
+		g, ok := pos[q.TemplateID]
+		if !ok {
+			g = len(idx.groups)
+			pos[q.TemplateID] = g
+			idx.groups = append(idx.groups, TemplateGroup{TemplateID: q.TemplateID})
+		}
+		idx.groups[g].Indices = append(idx.groups[g].Indices, i)
+	}
+	w.tidx = idx
+	return idx
+}
+
+// TemplateCounts returns the number of queries per template. The map is
+// cached on the workload and shared between calls — treat it as
+// read-only.
+func (w *Workload) TemplateCounts() map[string]int {
+	return w.templates().counts
+}
+
+// NumTemplates returns the number of distinct templates.
+func (w *Workload) NumTemplates() int { return len(w.templates().counts) }
+
+// TemplateGroups returns the distinct templates in first-occurrence
+// order, each with its instances' positions ascending. The slice is
+// cached on the workload and shared between calls — treat it as
+// read-only. This is the grouping the hash-consing path collapses a
+// workload by: one state per group, weights aggregated over
+// group.Indices.
+func (w *Workload) TemplateGroups() []TemplateGroup {
+	return w.templates().groups
+}
+
+// Append adds queries to the workload and invalidates the cached
+// template index. Mutating w.Queries directly is still possible (the
+// cache re-validates against the length), but Append also invalidates
+// on same-length replacement patterns and is the supported way to grow
+// a workload that has already been template-indexed.
+func (w *Workload) Append(qs ...*Query) {
+	w.Queries = append(w.Queries, qs...)
+	w.tidx = nil
+}
+
+// tmplMetrics are the package's registered telemetry handles; nil when
+// telemetry is disabled (the default).
+type tmplMetrics struct {
+	consed  *telemetry.Counter // workload/templates/consed: distinct templates interned by hash-consing
+	deduped *telemetry.Counter // workload/templates/deduped: duplicate-template queries collapsed away
+}
+
+var wtel atomic.Pointer[tmplMetrics]
+
+// SetTelemetry registers the package's metrics on reg; nil disables
+// them. Call once at startup, alongside parallel.SetTelemetry and
+// features.SetTelemetry.
+func SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		wtel.Store(nil)
+		return
+	}
+	wtel.Store(&tmplMetrics{
+		consed:  reg.Counter("workload/templates/consed"),
+		deduped: reg.Counter("workload/templates/deduped"),
+	})
+}
+
+// RecordConsed reports one hash-consing pass: `templates` distinct
+// template states built and `deduped` duplicate queries collapsed into
+// them. No-op while telemetry is disabled.
+func RecordConsed(templates, deduped int) {
+	if m := wtel.Load(); m != nil {
+		m.consed.Add(int64(templates))
+		m.deduped.Add(int64(deduped))
+	}
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"isum/internal/telemetry"
+)
+
+func templateTestWorkload(t *testing.T) *Workload {
+	t.Helper()
+	// Queries 0, 2 and 4 share a template (same structure, different
+	// literals); 1 and 3 are distinct.
+	w, err := New(tpchMiniCatalog(), []string{
+		"SELECT l_orderkey FROM lineitem WHERE l_suppkey = 1",
+		"SELECT l_quantity FROM lineitem WHERE l_quantity > 5 ORDER BY l_quantity",
+		"SELECT l_orderkey FROM lineitem WHERE l_suppkey = 7",
+		"SELECT l_orderkey, l_quantity FROM lineitem WHERE l_suppkey < 3 AND l_quantity = 2",
+		"SELECT l_orderkey FROM lineitem WHERE l_suppkey = 99",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestTemplateGroupsOrderAndMembership(t *testing.T) {
+	w := templateTestWorkload(t)
+	groups := w.TemplateGroups()
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3: %+v", len(groups), groups)
+	}
+	// First-occurrence order with ascending instance positions.
+	if !reflect.DeepEqual(groups[0].Indices, []int{0, 2, 4}) {
+		t.Fatalf("group 0 indices %v, want [0 2 4]", groups[0].Indices)
+	}
+	if !reflect.DeepEqual(groups[1].Indices, []int{1}) || !reflect.DeepEqual(groups[2].Indices, []int{3}) {
+		t.Fatalf("singleton groups wrong: %+v", groups[1:])
+	}
+	counts := w.TemplateCounts()
+	if counts[groups[0].TemplateID] != 3 {
+		t.Fatalf("shared template count %d, want 3", counts[groups[0].TemplateID])
+	}
+	if w.NumTemplates() != 3 {
+		t.Fatalf("NumTemplates %d, want 3", w.NumTemplates())
+	}
+}
+
+func TestTemplateIndexCached(t *testing.T) {
+	w := templateTestWorkload(t)
+	c1 := w.TemplateCounts()
+	g1 := w.TemplateGroups()
+	// Same backing data on repeat calls: the aggregation ran once.
+	if &c1 != &c1 || reflect.ValueOf(w.TemplateCounts()).Pointer() != reflect.ValueOf(c1).Pointer() {
+		t.Fatal("TemplateCounts rebuilt the map on a second call")
+	}
+	if len(g1) > 0 && &w.TemplateGroups()[0] != &g1[0] {
+		t.Fatal("TemplateGroups rebuilt the slice on a second call")
+	}
+}
+
+func TestAppendInvalidatesTemplateIndex(t *testing.T) {
+	w := templateTestWorkload(t)
+	if w.NumTemplates() != 3 {
+		t.Fatalf("NumTemplates %d, want 3", w.NumTemplates())
+	}
+	// Append another instance of the shared template.
+	w2, err := New(tpchMiniCatalog(), []string{"SELECT l_orderkey FROM lineitem WHERE l_suppkey = 123"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(w2.Queries...)
+	if w.NumTemplates() != 3 {
+		t.Fatalf("after append: NumTemplates %d, want 3", w.NumTemplates())
+	}
+	groups := w.TemplateGroups()
+	if !reflect.DeepEqual(groups[0].Indices, []int{0, 2, 4, 5}) {
+		t.Fatalf("after append: group 0 indices %v, want [0 2 4 5]", groups[0].Indices)
+	}
+	counts := w.TemplateCounts()
+	if counts[groups[0].TemplateID] != 4 {
+		t.Fatalf("after append: shared template count %d, want 4", counts[groups[0].TemplateID])
+	}
+}
+
+func TestDirectMutationRevalidatesOnLengthChange(t *testing.T) {
+	w := templateTestWorkload(t)
+	_ = w.TemplateGroups()
+	// Legacy direct-append path: the cache re-validates against length.
+	w.Queries = append(w.Queries, w.Queries[1])
+	if got := w.TemplateCounts()[w.Queries[1].TemplateID]; got != 2 {
+		t.Fatalf("after direct append: count %d, want 2", got)
+	}
+}
+
+func TestRecordConsedTelemetry(t *testing.T) {
+	reg := telemetry.New()
+	SetTelemetry(reg)
+	defer SetTelemetry(nil)
+
+	RecordConsed(120, 880)
+	RecordConsed(10, 0)
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["workload/templates/consed"]; got != 130 {
+		t.Fatalf("workload/templates/consed = %d, want 130", got)
+	}
+	if got := snap.Counters["workload/templates/deduped"]; got != 880 {
+		t.Fatalf("workload/templates/deduped = %d, want 880", got)
+	}
+
+	SetTelemetry(nil)
+	RecordConsed(1, 1) // must be a no-op, not a panic
+}

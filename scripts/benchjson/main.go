@@ -1,8 +1,10 @@
 // Command benchjson converts `go test -bench` output on stdin to a JSON
-// report on stdout, pairing each benchmark's parallelism=1 and
-// parallelism=max variants into a speedup figure. scripts/ci.sh uses it to
-// write BENCH_parallel.json so the perf trajectory of the parallel
-// pipeline is tracked in-repo.
+// report on stdout, pairing each benchmark's baseline and optimised
+// variants into a speedup figure. Recognised pairs, per benchmark base
+// name: parallelism=1 vs parallelism=max, workers=1 vs workers=4, and
+// cons=off vs cons=on. scripts/ci.sh uses it to write BENCH_parallel.json
+// and BENCH_shard.json so the perf trajectory of the parallel and sharded
+// pipelines is tracked in-repo.
 //
 // Benchmark lines that fail to parse are reported on stderr instead of
 // being dropped silently, and an input containing zero parseable
@@ -83,7 +85,8 @@ func run(in io.Reader, out, warn io.Writer) error {
 		return errors.New("no benchmark lines parsed; refusing to write an empty report")
 	}
 
-	// Pair <base>/parallelism=1 with <base>/parallelism=max.
+	// Pair each base's baseline variant with its optimised counterpart:
+	// parallelism=1/parallelism=max, workers=1/workers=4, cons=off/cons=on.
 	serial := map[string]float64{}
 	parallel := map[string]float64{}
 	for _, r := range rep.Benchmarks {
@@ -92,9 +95,9 @@ func run(in io.Reader, out, warn io.Writer) error {
 			continue
 		}
 		switch variant {
-		case "parallelism=1":
+		case "parallelism=1", "workers=1", "cons=off":
 			serial[base] = r.NsPerOp
-		case "parallelism=max":
+		case "parallelism=max", "workers=4", "cons=on":
 			parallel[base] = r.NsPerOp
 		}
 	}
@@ -104,9 +107,9 @@ func run(in io.Reader, out, warn io.Writer) error {
 		}
 	}
 	if rep.Gomaxprocs <= 1 {
-		rep.Note = "single-core runner: parallelism=max degenerates to the serial path, speedups ~1.0x by construction; the >=1.5x target applies to GOMAXPROCS >= 2"
+		rep.Note = "single-core runner: parallelism=max/workers=4 degenerate to the serial path, those speedups are ~1.0x by construction (cons=off/cons=on pairs are unaffected); the parallel speedup targets apply to GOMAXPROCS >= 2"
 	} else {
-		rep.Note = "speedup = ns/op at parallelism=1 divided by ns/op at parallelism=max"
+		rep.Note = "speedup = baseline ns/op (parallelism=1, workers=1, cons=off) divided by optimised ns/op (parallelism=max, workers=4, cons=on)"
 	}
 
 	enc := json.NewEncoder(out)

@@ -14,6 +14,10 @@ BenchmarkCompress/parallelism=1-8   	      10	 100000000 ns/op
 BenchmarkCompress/parallelism=max-8 	      40	  25000000 ns/op
 BenchmarkTune/parallelism=1-8       	       5	 200000000 ns/op
 BenchmarkTune/parallelism=max-8     	      10	 100000000 ns/op
+BenchmarkCompressSharded/workers=1-8	       3	 600000000 ns/op
+BenchmarkCompressSharded/workers=4-8	       9	 200000000 ns/op
+BenchmarkCompressConsed/cons=off-8  	       1	8000000000 ns/op
+BenchmarkCompressConsed/cons=on-8   	      20	 100000000 ns/op
 PASS
 `
 
@@ -29,8 +33,8 @@ func TestRun(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
-	if len(rep.Benchmarks) != 4 {
-		t.Fatalf("parsed %d benchmarks, want 4", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 8 {
+		t.Fatalf("parsed %d benchmarks, want 8", len(rep.Benchmarks))
 	}
 	if rep.Gomaxprocs != 8 {
 		t.Errorf("gomaxprocs = %d, want 8", rep.Gomaxprocs)
@@ -40,6 +44,12 @@ func TestRun(t *testing.T) {
 	}
 	if got := rep.Speedups["BenchmarkTune"]; got != 2 {
 		t.Errorf("BenchmarkTune speedup = %v, want 2", got)
+	}
+	if got := rep.Speedups["BenchmarkCompressSharded"]; got != 3 {
+		t.Errorf("BenchmarkCompressSharded speedup = %v, want 3", got)
+	}
+	if got := rep.Speedups["BenchmarkCompressConsed"]; got != 80 {
+		t.Errorf("BenchmarkCompressConsed speedup = %v, want 80", got)
 	}
 }
 
@@ -56,8 +66,8 @@ func TestRunWarnsOnUnparsedLines(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Benchmarks) != 4 {
-		t.Errorf("parsed %d benchmarks, want the 4 valid ones", len(rep.Benchmarks))
+	if len(rep.Benchmarks) != 8 {
+		t.Errorf("parsed %d benchmarks, want the 8 valid ones", len(rep.Benchmarks))
 	}
 }
 

@@ -41,13 +41,21 @@ go test -race -run 'TestRegistryUnderForEach' ./internal/telemetry
 echo "== telemetry smoke run =="
 metrics_out=$(mktemp)
 trap 'rm -f "$metrics_out"' EXIT
-go run ./cmd/isum -benchmark tpch -n 60 -k 8 -trace -metrics-out "$metrics_out" >/dev/null
+# -shards 2 -cons exercises the sharded + hash-consed path so its
+# counters (shard/*, workload/templates/*) appear in the export.
+go run ./cmd/isum -benchmark tpch -n 60 -k 8 -shards 2 -cons -trace -metrics-out "$metrics_out" >/dev/null
 # -names-from closes the code/export loop: every literal metric name
-# registered by internal/cost must actually appear in the smoke export.
+# registered by internal/cost and internal/shard must actually appear in
+# the smoke export.
 go run ./scripts/metricscheck \
     -require cost/whatif/calls \
     -require core/greedy/rounds \
+    -require shard/runs \
+    -require shard/merge_ops \
+    -require workload/templates/consed \
+    -require workload/templates/deduped \
     -names-from internal/cost \
+    -names-from internal/shard \
     "$metrics_out"
 
 echo "== failure-model smoke =="
@@ -90,6 +98,20 @@ if [ "${1:-}" = "--no-bench" ]; then
     exit 0
 fi
 
+# The recorded parallel/sharded numbers are only meaningful on a
+# multi-core runner: at GOMAXPROCS=1 every parallelism=max / workers=4
+# variant silently degenerates to the serial path and the speedup figures
+# read ~1.0x. Refuse to record that unless explicitly overridden (set
+# ALLOW_SINGLE_CORE_BENCH=1 to record single-core numbers; benchjson
+# stamps the report's gomaxprocs and note so they cannot be mistaken for
+# multi-core results).
+maxprocs=$(go run ./scripts/printmaxprocs)
+if [ "$maxprocs" -lt 2 ] && [ -z "${ALLOW_SINGLE_CORE_BENCH:-}" ]; then
+    echo "benchmark step requires GOMAXPROCS >= 2 (got $maxprocs);" >&2
+    echo "set ALLOW_SINGLE_CORE_BENCH=1 to record single-core numbers anyway" >&2
+    exit 1
+fi
+
 echo "== parallel benchmarks =="
 bench_out=$(mktemp)
 trap 'rm -f "$bench_out" "$metrics_out"; rm -rf "$fm_dir"' EXIT
@@ -97,6 +119,16 @@ go test -bench '^(BenchmarkCompress|BenchmarkTune)$' -benchmem \
     -benchtime "${BENCHTIME:-3x}" -run '^$' . | tee "$bench_out"
 go run ./scripts/benchjson <"$bench_out" >BENCH_parallel.json
 echo "wrote BENCH_parallel.json"
+
+echo "== sharded-scale benchmarks =="
+# One iteration by default: the cons=off baseline runs the greedy loop
+# over all 10^5 per-query states and takes tens of seconds per op.
+shard_out=$(mktemp)
+trap 'rm -f "$bench_out" "$shard_out" "$metrics_out"; rm -rf "$fm_dir"' EXIT
+go test -bench '^(BenchmarkCompressSharded|BenchmarkCompressConsed)$' -benchmem \
+    -benchtime "${SHARD_BENCHTIME:-1x}" -run '^$' -timeout 30m . | tee "$shard_out"
+go run ./scripts/benchjson <"$shard_out" >BENCH_shard.json
+echo "wrote BENCH_shard.json"
 
 echo "== vector benchmarks =="
 vec_out=$(mktemp)

@@ -1,0 +1,14 @@
+// Command printmaxprocs prints the effective GOMAXPROCS (honouring the
+// environment override) and exits. scripts/ci.sh uses it to gate the
+// benchmark steps: parallel speedup figures recorded at GOMAXPROCS=1 are
+// serial runs in disguise.
+package main
+
+import (
+	"fmt"
+	"runtime"
+)
+
+func main() {
+	fmt.Println(runtime.GOMAXPROCS(0))
+}

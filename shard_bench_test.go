@@ -1,0 +1,98 @@
+package isum_test
+
+// Million-query-scale benchmarks for the sharded/hash-consed compression
+// path, recorded to BENCH_shard.json by scripts/ci.sh. Two pairs:
+//
+//   - BenchmarkCompressSharded workers=1 vs workers=4: wall-clock of the
+//     shards=8 path on a 10⁵-query template-expanded Scale-M workload.
+//     On a GOMAXPROCS≥2 runner the 4-worker variant should be ≥2× faster;
+//     on a single-core runner both degenerate to serial and show parity
+//     (the ci.sh bench gate refuses to record that silently).
+//   - BenchmarkCompressConsed cons=off vs cons=on: the single-core
+//     speedup of template hash-consing itself — the same workload
+//     collapses from 10⁵ per-query states to ~2×10³ per-template states
+//     before the greedy loop runs.
+//
+// Run just these pairs with:
+//
+//	go test -bench '^(BenchmarkCompressSharded|BenchmarkCompressConsed)$' -benchtime 1x
+
+import (
+	"sync"
+	"testing"
+
+	"isum/internal/benchmarks"
+	"isum/internal/core"
+	"isum/internal/cost"
+	"isum/internal/workload"
+)
+
+const (
+	scaleBenchQueries   = 100_000
+	scaleBenchTemplates = 2_000
+	scaleBenchK         = 40
+)
+
+var scaleBench struct {
+	once sync.Once
+	w    *workload.Workload
+	err  error
+}
+
+// scaleBenchWorkload builds (once per test binary) the 10⁵-query Scale-M
+// workload with costs filled — the setup is minutes of parsing and
+// costing, shared across benchmark variants and iterations.
+func scaleBenchWorkload(b *testing.B) *workload.Workload {
+	b.Helper()
+	scaleBench.once.Do(func() {
+		gen := benchmarks.ScaleM(1, scaleBenchTemplates)
+		w, err := gen.Workload(scaleBenchQueries, 1)
+		if err != nil {
+			scaleBench.err = err
+			return
+		}
+		cost.NewOptimizer(gen.Cat).FillCosts(w)
+		scaleBench.w = w
+	})
+	if scaleBench.err != nil {
+		b.Fatal(scaleBench.err)
+	}
+	return scaleBench.w
+}
+
+func BenchmarkCompressSharded(b *testing.B) {
+	w := scaleBenchWorkload(b)
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=4", 4}} {
+		opts := core.DefaultOptions()
+		opts.ConsTemplates = true
+		opts.Shards = 8
+		opts.Parallelism = v.workers
+		comp := core.New(opts)
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				comp.Compress(w, scaleBenchK)
+			}
+		})
+	}
+}
+
+func BenchmarkCompressConsed(b *testing.B) {
+	w := scaleBenchWorkload(b)
+	for _, v := range []struct {
+		name string
+		cons bool
+	}{{"cons=off", false}, {"cons=on", true}} {
+		opts := core.DefaultOptions()
+		opts.ConsTemplates = v.cons
+		opts.Parallelism = 1
+		comp := core.New(opts)
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				comp.Compress(w, scaleBenchK)
+			}
+		})
+	}
+}
