@@ -28,6 +28,8 @@ import (
 	"isum/internal/workload"
 )
 
+var logger = telemetry.NewLogger(os.Stderr)
+
 func main() {
 	fast := flag.Bool("fast", false, "use reduced workload sizes (minutes, not hours)")
 	sf := flag.Float64("sf", 10, "benchmark scale factor")
@@ -61,7 +63,7 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 
-	trun, err := tf.Open()
+	trun, err := tf.Open(logger)
 	if err != nil {
 		fatal(err)
 	}
@@ -91,15 +93,16 @@ func main() {
 		start := time.Now() //lint:allow determinism per-figure elapsed reporting; results never read the clock
 		if err := experiments.Run(env, id, w); err != nil {
 			if faults.IsCancellation(err) {
-				fmt.Fprintf(os.Stderr, "experiments: %s: deadline reached, stopping (partial output above)\n", id)
+				logger.Warn("deadline reached, stopping (partial output above)", "experiment", id)
 				if cerr := trun.Close(); cerr != nil {
-					fmt.Fprintln(os.Stderr, "experiments:", cerr)
+					logger.Error("closing telemetry", "err", cerr)
 				}
 				os.Exit(faults.ExitPartial)
 			}
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		logger.Info("experiment done", "id", id,
+			"elapsed", time.Since(start).Round(time.Millisecond).String())
 	}
 	if err := trun.Close(); err != nil {
 		fatal(err)
@@ -107,6 +110,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
+	logger.Error("fatal", "err", err)
 	os.Exit(faults.ExitFailed)
 }

@@ -25,6 +25,8 @@ import (
 	"isum/internal/workload"
 )
 
+var logger = telemetry.NewLogger(os.Stderr)
+
 func main() {
 	bench := flag.String("benchmark", "tpch", "benchmark catalog: tpch, tpcds, dsb, realm")
 	sf := flag.Float64("sf", 10, "scale factor")
@@ -40,7 +42,7 @@ func main() {
 	ff.Register(flag.CommandLine)
 	flag.Parse()
 
-	trun, err := tf.Open()
+	trun, err := tf.Open(logger)
 	if err != nil {
 		fatal(err)
 	}
@@ -80,7 +82,7 @@ func main() {
 			if !faults.IsCancellation(err) {
 				fatal(err)
 			}
-			fmt.Fprintln(os.Stderr, "inspect: deadline reached while filling costs")
+			logger.Warn("deadline reached while filling costs")
 		}
 	}
 
@@ -140,12 +142,13 @@ func main() {
 	// Per-query benefit diagnostics.
 	copts := core.DefaultOptions()
 	copts.Telemetry = reg
+	copts.Progress = trun.ProgressFunc()
 	states, err := core.BuildStatesContext(ctx, w, copts)
 	if err != nil {
 		if !faults.IsCancellation(err) {
 			fatal(err)
 		}
-		fmt.Fprintln(os.Stderr, "inspect: deadline reached; stopping after the template overview")
+		logger.Warn("deadline reached; stopping after the template overview")
 		if err := trun.Close(); err != nil {
 			fatal(err)
 		}
@@ -214,6 +217,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "inspect:", err)
+	logger.Error("fatal", "err", err)
 	os.Exit(faults.ExitFailed)
 }

@@ -10,8 +10,12 @@
 //	isum -benchmark tpch -in tpch.json -k 20 -variant isum-s -out small.json
 //
 // Telemetry: -trace prints the phase tree (build-states, per-round greedy
-// spans) to stderr, -metrics-out writes the JSON metrics+span export, and
-// -pprof-dir captures cpu/heap profiles around the run (DESIGN.md §8).
+// spans) to stderr, -metrics-out writes the JSON metrics+span export,
+// -trace-out writes Perfetto-loadable trace-event JSON, -pprof-dir
+// captures cpu/heap profiles around the run (DESIGN.md §8), and
+// -debug-addr serves /metrics, /healthz, /progress, and /debug/pprof live
+// while the run is in flight; -progress streams rate-limited progress
+// lines to stderr (DESIGN.md §13).
 package main
 
 import (
@@ -29,6 +33,8 @@ import (
 	"isum/internal/telemetry"
 	"isum/internal/workload"
 )
+
+var logger = telemetry.NewLogger(os.Stderr)
 
 func main() {
 	bench := flag.String("benchmark", "tpch", "benchmark catalog: tpch, tpcds, dsb, realm")
@@ -52,7 +58,7 @@ func main() {
 	ff.Register(flag.CommandLine)
 	flag.Parse()
 
-	trun, err := tf.Open()
+	trun, err := tf.Open(logger)
 	if err != nil {
 		fatal(err)
 	}
@@ -102,7 +108,7 @@ func main() {
 			// Deadline hit while filling costs: fall through — compression
 			// under the expired context returns an empty best-so-far result
 			// and the binary exits with the partial code.
-			fmt.Fprintln(os.Stderr, "isum: deadline reached while filling costs")
+			logger.Warn("deadline reached while filling costs")
 		}
 	}
 
@@ -124,6 +130,7 @@ func main() {
 	opts.Shards = *shards
 	opts.ConsTemplates = *cons
 	opts.Telemetry = reg
+	opts.Progress = trun.ProgressFunc()
 
 	comp := core.New(opts)
 	cw, res, err := comp.CompressedWorkloadContext(ctx, w, *k)
@@ -142,22 +149,25 @@ func main() {
 	if err := cw.Save(f); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "%s selected %d/%d queries in %v\n",
-		comp.Name(), cw.Len(), w.Len(), res.Elapsed.Round(1000))
+	logger.Info("compressed workload",
+		"variant", comp.Name(), "selected", cw.Len(), "of", w.Len(),
+		"elapsed", res.Elapsed.Round(1000).String())
 	for i, idx := range res.Indices {
-		fmt.Fprintf(os.Stderr, "  #%-4d weight %.4f  benefit %.4f\n",
-			idx, res.Weights[i], res.SelectionBenefits[i])
+		logger.Info("selection",
+			"query", idx,
+			"weight", fmt.Sprintf("%.4f", res.Weights[i]),
+			"benefit", fmt.Sprintf("%.4f", res.SelectionBenefits[i]))
 	}
 	if err := trun.Close(); err != nil {
 		fatal(err)
 	}
 	if res.Partial {
-		fmt.Fprintf(os.Stderr, "isum: deadline reached after %d greedy rounds; output is the best-so-far selection\n", res.Rounds)
+		logger.Warn("deadline reached; output is the best-so-far selection", "rounds", res.Rounds)
 		os.Exit(faults.ExitPartial)
 	}
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "isum:", err)
+	logger.Error("fatal", "err", err)
 	os.Exit(faults.ExitFailed)
 }

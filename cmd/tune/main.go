@@ -8,8 +8,10 @@
 //
 // Telemetry: -trace prints the tuning phase tree (candidate selection,
 // merging, per-round enumeration with what-if call deltas) to stderr,
-// -metrics-out writes the JSON metrics+span export, and -pprof-dir
-// captures cpu/heap profiles around the run (DESIGN.md §8).
+// -metrics-out writes the JSON metrics+span export, -trace-out writes
+// Perfetto-loadable trace-event JSON, -pprof-dir captures cpu/heap
+// profiles around the run (DESIGN.md §8), -debug-addr serves the live
+// debug plane, and -progress streams progress lines (DESIGN.md §13).
 package main
 
 import (
@@ -28,6 +30,8 @@ import (
 	"isum/internal/telemetry"
 	"isum/internal/workload"
 )
+
+var logger = telemetry.NewLogger(os.Stderr)
 
 func main() {
 	bench := flag.String("benchmark", "tpch", "benchmark catalog: tpch, tpcds, dsb, realm")
@@ -54,7 +58,7 @@ func main() {
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required"))
 	}
-	trun, err := tf.Open()
+	trun, err := tf.Open(logger)
 	if err != nil {
 		fatal(err)
 	}
@@ -108,6 +112,7 @@ func main() {
 	opts.Parallelism = *parallelism
 	opts.Shards = *shards
 	opts.Telemetry = reg
+	opts.Progress = trun.ProgressFunc()
 	if *storageMult > 0 {
 		opts.StorageBudget = int64(*storageMult * float64(g.Cat.TotalSizeBytes()))
 	}
@@ -122,7 +127,7 @@ func main() {
 	}
 	partial := res.Partial
 	if partial {
-		fmt.Fprintf(os.Stderr, "tune: deadline reached after %d enumeration rounds; recommendation is the best-so-far configuration\n", res.Rounds)
+		logger.Warn("deadline reached; recommendation is the best-so-far configuration", "rounds", res.Rounds)
 	}
 
 	fmt.Printf("recommended %d indexes in %v (%d optimizer calls, %d configs explored)\n",
@@ -156,7 +161,7 @@ func main() {
 			}
 		case faults.IsCancellation(err):
 			partial = true
-			fmt.Fprintln(os.Stderr, "tune: deadline reached before the evaluation workload could be costed")
+			logger.Warn("deadline reached before the evaluation workload could be costed")
 		default:
 			fatal(err)
 		}
@@ -170,6 +175,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tune:", err)
+	logger.Error("fatal", "err", err)
 	os.Exit(faults.ExitFailed)
 }

@@ -8,7 +8,6 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
 
 	"isum/internal/benchmarks"
@@ -20,6 +19,8 @@ import (
 	"isum/internal/telemetry"
 	"isum/internal/workload"
 )
+
+var logger = telemetry.NewLogger(os.Stderr)
 
 func main() {
 	bench := flag.String("benchmark", "tpch", "benchmark: tpch, tpcds, dsb, realm, scalem")
@@ -35,7 +36,7 @@ func main() {
 	ff.Register(flag.CommandLine)
 	flag.Parse()
 
-	trun, err := tf.Open()
+	trun, err := tf.Open(logger)
 	if err != nil {
 		fatal(err)
 	}
@@ -76,7 +77,7 @@ func main() {
 		// Deadline hit: still emit the generated queries (costs stay zero so
 		// downstream tools can re-fill them) and exit with the partial code.
 		partial = true
-		fmt.Fprintln(os.Stderr, "workloadgen: deadline reached while filling costs; emitting zero-cost log")
+		logger.Warn("deadline reached while filling costs; emitting zero-cost log")
 	}
 
 	f := os.Stdout
@@ -100,8 +101,9 @@ func main() {
 			fatal(err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "%s: %d queries, %d templates, %d tables\n",
-		g.Name, w.Len(), w.NumTemplates(), w.TablesReferenced())
+	logger.Info("generated workload",
+		"benchmark", g.Name, "queries", w.Len(),
+		"templates", w.NumTemplates(), "tables", w.TablesReferenced())
 	if *shards > 1 {
 		parts := shard.Partition(w.Len(), *shards, func(i int) string { return w.Queries[i].TemplateID })
 		min, max := w.Len(), 0
@@ -113,8 +115,7 @@ func main() {
 				max = len(part)
 			}
 		}
-		fmt.Fprintf(os.Stderr, "shard balance at -shards %d: min %d, max %d queries per shard\n",
-			*shards, min, max)
+		logger.Info("shard balance", "shards", *shards, "min", min, "max", max)
 	}
 	if err := trun.Close(); err != nil {
 		fatal(err)
@@ -125,6 +126,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "workloadgen:", err)
+	logger.Error("fatal", "err", err)
 	os.Exit(faults.ExitFailed)
 }

@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"isum/internal/cost"
@@ -84,6 +85,15 @@ type Options struct {
 	// optimizer with NewOptimizerWithTelemetry on a shared one) to see
 	// what-if call deltas attributed to each tuning phase.
 	Telemetry *telemetry.Registry
+	// Progress, when non-nil, receives streaming progress events while
+	// tuning runs (DESIGN.md §13): per candidate-selection stride
+	// ("advisor/candidates", emitted from worker goroutines — the
+	// function must be safe for concurrent use) and per enumeration
+	// round ("advisor/enumerate", with the configuration size and the
+	// cumulative weighted gain). Observational only: recommendations
+	// are identical with or without a sink, and nil costs a pointer
+	// check per emission site.
+	Progress telemetry.ProgressFunc
 }
 
 // DefaultOptions returns the standard DTA-style configuration.
@@ -297,8 +307,18 @@ func (a *Advisor) selectCandidates(ctx context.Context, w *workload.Workload, re
 	// probed is bumped from worker closures — counters are atomics, so
 	// this is the one advisor metric safely updated off the span path.
 	probed := a.opts.Telemetry.Counter("advisor/candidates/probed")
+	progress := a.opts.Progress
+	var processed atomic.Int64 // progress counter; workers emit, so Progress must be concurrency-safe
 	perQuery, mapErr := parallel.Map(ctx, parallel.Workers(a.opts.Parallelism), len(w.Queries),
 		func(i int) *queryCandidates {
+			if progress != nil {
+				defer func() {
+					progress(telemetry.ProgressEvent{
+						Phase: "advisor/candidates",
+						Done:  int(processed.Add(1)), Total: len(w.Queries),
+					})
+				}()
+			}
 			q := w.Queries[i]
 			base, err := a.o.CostContext(ctx, q, nil)
 			if err != nil {
@@ -536,6 +556,7 @@ func (a *Advisor) enumerate(ctx context.Context, w *workload.Workload, cands []s
 	}
 	reg := a.opts.Telemetry
 	roundsCtr := reg.Counter("advisor/enumerate/rounds")
+	var gainSum float64
 	for {
 		if a.opts.MaxIndexes > 0 && cfg.Len() >= a.opts.MaxIndexes {
 			break
@@ -620,6 +641,14 @@ func (a *Advisor) enumerate(ctx context.Context, w *workload.Workload, cands []s
 		}
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
 		res.Rounds++
+		if a.opts.Progress != nil {
+			gainSum += bestGain
+			a.opts.Progress(telemetry.ProgressEvent{
+				Phase: "advisor/enumerate", Round: res.Rounds,
+				Done: cfg.Len(), Total: a.opts.MaxIndexes,
+				Benefit: gainSum, Shards: a.opts.Shards,
+			})
+		}
 		if reg != nil {
 			rsp.SetAttr("chosen", chosen.ix.ID())
 			rsp.SetAttr("gain", bestGain)

@@ -27,6 +27,9 @@ var fixtureCases = []struct {
 	{"concurrency/clean", "fixture/internal/parallel"},
 	{"telemetry/flagged", "fixture/telemetry/flagged"},
 	{"telemetry/clean", "fixture/telemetry/clean"},
+	{"telemetry/printflagged", "fixture/internal/printer"},
+	{"telemetry/printallowed", "fixture/internal/printallowed"},
+	{"telemetry/printclean", "fixture/internal/telemetry"},
 	{"anytime/flagged", "fixture/internal/core"},
 	{"anytime/clean", "fixture/internal/core/clean"},
 	{"allow/flagged", "fixture/allow/flagged"},

@@ -8,16 +8,20 @@ import (
 	"strconv"
 )
 
-// TelemetryAnalyzer guards PR 2's observability conventions (DESIGN.md
-// §8): a span opened by a Start/StartSpan-style call must be ended in
+// TelemetryAnalyzer guards the observability conventions (DESIGN.md §8,
+// §13): a span opened by a Start/StartSpan-style call must be ended in
 // the same function (defer preferred; an explicit End on every path also
 // counts — the check requires at least one End on the span variable),
-// and metric/span name literals must follow the area/sub/name convention
-// that scripts/metricscheck validates on exports, so names in code can
-// never drift from names CI asserts on.
+// metric/span name literals must follow the area/sub/name convention
+// that scripts/metricscheck validates on exports, and library packages
+// under internal/ never print diagnostics directly — fmt.Print* and
+// writes to os.Stderr/os.Stdout are reserved for cmd/ binaries (which
+// own the slog logger) and internal/telemetry itself (which implements
+// the sinks). Libraries report through metrics, spans, progress events,
+// and errors.
 var TelemetryAnalyzer = &Analyzer{
 	ID:  "telemetry",
-	Doc: "spans ended in the function that starts them; metric names follow area/sub/name",
+	Doc: "spans ended in the function that starts them; metric names follow area/sub/name; no bare fmt/os.Stderr output in internal/ libraries",
 	Run: runTelemetry,
 }
 
@@ -36,6 +40,10 @@ var metricMethods = map[string]bool{
 }
 
 func runTelemetry(pass *Pass) {
+	// cmd/ mains own the process logger; internal/telemetry implements the
+	// output sinks. Everything else under internal/ must stay silent.
+	checkOutput := pathHasSegment(pass.Path, "internal") &&
+		!pathHasSeq(pass.Path, "internal/telemetry")
 	for _, file := range pass.Files {
 		forEachFunc(file, func(fs funcScope) { checkSpanPairing(pass, fs) })
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -44,9 +52,60 @@ func runTelemetry(pass *Pass) {
 				return true
 			}
 			checkMetricName(pass, call)
+			if checkOutput {
+				checkBareOutput(pass, call)
+			}
 			return true
 		})
 	}
+}
+
+// fmtPrinters are the fmt functions that write to stdout unconditionally.
+var fmtPrinters = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+// fmtWriters are the fmt functions whose first argument selects the
+// writer; they are flagged only when that argument is os.Stderr/os.Stdout.
+var fmtWriters = map[string]bool{"Fprint": true, "Fprintf": true, "Fprintln": true}
+
+// checkBareOutput flags direct process-output calls in internal/ library
+// code: fmt.Print*, fmt.Fprint* targeting os.Stderr/os.Stdout, and
+// os.Stderr/os.Stdout method calls (Write, WriteString). Diagnostics
+// belong to the binaries' slog logger (telemetry.NewLogger); libraries
+// emit progress events and metrics instead (DESIGN.md §13).
+func checkBareOutput(pass *Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if fmtPrinters[sel.Sel.Name] && selIsPkgMember(pass.Info, sel, "fmt", sel.Sel.Name) {
+		pass.Reportf(call.Pos(), "fmt.%s writes to stdout from library code; return an error or use the telemetry progress/logging plane (DESIGN.md §13)", sel.Sel.Name)
+		return
+	}
+	if fmtWriters[sel.Sel.Name] && selIsPkgMember(pass.Info, sel, "fmt", sel.Sel.Name) && len(call.Args) > 0 {
+		if stream := osStdStream(pass, call.Args[0]); stream != "" {
+			pass.Reportf(call.Pos(), "fmt.%s to %s from library code; binaries own the logger (telemetry.NewLogger) — emit progress events or return an error instead", sel.Sel.Name, stream)
+		}
+		return
+	}
+	// os.Stderr.Write / os.Stdout.WriteString and friends.
+	if stream := osStdStream(pass, sel.X); stream != "" {
+		pass.Reportf(call.Pos(), "%s.%s from library code; binaries own the logger (telemetry.NewLogger) — emit progress events or return an error instead", stream, sel.Sel.Name)
+	}
+}
+
+// osStdStream reports whether the expression denotes the os.Stderr or
+// os.Stdout package variable, returning its name ("" otherwise).
+func osStdStream(pass *Pass, x ast.Expr) string {
+	sel, ok := ast.Unparen(x).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	for _, name := range []string{"Stderr", "Stdout"} {
+		if selIsPkgMember(pass.Info, sel, "os", name) {
+			return "os." + name
+		}
+	}
+	return ""
 }
 
 // checkMetricName validates string-literal names passed to Registry

@@ -1,0 +1,14 @@
+// Package printallowed shows the escape hatch: a //lint:allow telemetry
+// directive with a reason suppresses the bare-output finding, e.g. for a
+// crash dump that must reach stderr even if the logger is wedged.
+package printallowed
+
+import (
+	"fmt"
+	"os"
+)
+
+// DumpPanic writes a last-gasp diagnostic straight to stderr.
+func DumpPanic(v any) {
+	fmt.Fprintf(os.Stderr, "panic state: %v\n", v) //lint:allow telemetry crash-path dump must not depend on a live logger
+}

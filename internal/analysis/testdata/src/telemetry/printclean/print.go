@@ -1,0 +1,16 @@
+// Package telemetry is loaded under fixture/internal/telemetry: the
+// telemetry package implements the output sinks, so it may write to
+// stderr directly and the bare-output check exempts it by path.
+package telemetry
+
+import (
+	"fmt"
+	"os"
+)
+
+// WriteTrace prints the span tree to stderr on -trace.
+func WriteTrace(lines []string) {
+	for _, l := range lines {
+		fmt.Fprintln(os.Stderr, l)
+	}
+}

@@ -1,0 +1,36 @@
+// Package printer exercises the bare-output check: loaded under
+// fixture/internal/printer, so every direct stdout/stderr write must be
+// flagged, while writes to caller-provided io.Writers stay legal.
+package printer
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Announce prints straight to stdout.
+func Announce(n int) {
+	fmt.Println("selected", n)
+}
+
+// Complain prints formatted output to stderr.
+func Complain(err error) {
+	fmt.Fprintf(os.Stderr, "failed: %v\n", err)
+}
+
+// RawStderr bypasses fmt entirely.
+func RawStderr(msg string) {
+	os.Stderr.WriteString(msg)
+}
+
+// RawStdout writes bytes to stdout.
+func RawStdout(b []byte) {
+	os.Stdout.Write(b)
+}
+
+// Report writes to a caller-chosen writer — the legal pattern; not
+// flagged even though it uses fmt.
+func Report(w io.Writer, n int) {
+	fmt.Fprintf(w, "selected %d\n", n)
+}

@@ -128,6 +128,12 @@ func (c *Compressor) CompressContext(ctx context.Context, w *workload.Workload, 
 	sw := reg.Start("core/weigh")
 	res.Weights = c.weigh(w, states, res)
 	sw.End()
+	c.opts.Progress.Emit(telemetry.ProgressEvent{
+		Phase:  "core/weigh",
+		Done:   len(res.Indices),
+		Total:  len(res.Indices),
+		Shards: c.opts.Shards,
+	})
 	if repIdx != nil {
 		// Consed indices are template-state positions; translate back to
 		// workload positions (each template's representative instance).
@@ -236,6 +242,8 @@ func (c *Compressor) greedyLoop(ctx context.Context, states []*QueryState, k int
 	// every round. Selections and emptying updates decrement it;
 	// feature resets recount it.
 	live := countLive(states)
+	progress := c.opts.Progress
+	var benefitSum float64
 	ineligible := math.Inf(-1)
 	for len(res.Indices) < k {
 		if ctx.Err() != nil {
@@ -317,6 +325,17 @@ func (c *Compressor) greedyLoop(ctx context.Context, states []*QueryState, k int
 		res.Indices = append(res.Indices, best.Index)
 		res.SelectionBenefits = append(res.SelectionBenefits, bestBenefit)
 		res.Rounds++
+		if progress != nil {
+			benefitSum += bestBenefit
+			progress(telemetry.ProgressEvent{
+				Phase:   "core/greedy",
+				Round:   res.Rounds,
+				Done:    len(res.Indices),
+				Total:   k,
+				Benefit: benefitSum,
+				Shards:  c.opts.Shards,
+			})
+		}
 		if reg != nil {
 			rsp.SetAttr("selected", best.Index)
 			rsp.SetAttr("benefit", bestBenefit)

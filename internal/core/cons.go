@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"sync/atomic"
 
 	"isum/internal/features"
 	"isum/internal/parallel"
+	"isum/internal/telemetry"
 	"isum/internal/workload"
 )
 
@@ -53,12 +55,23 @@ func BuildConsedStatesContext(ctx context.Context, w *workload.Workload, opts Op
 		in = features.NewInterner()
 	}
 	vecs := make([]features.Vector, len(groups))
+	var built atomic.Int64 // progress stride counter; workers emit, so Progress must be concurrency-safe
 	err = parallel.ForEach(ctx, workers, len(groups), func(g int) {
 		vecs[g] = ex.Features(w.Queries[groups[g].Indices[0]])
+		if opts.Progress != nil {
+			if d := built.Add(1); d%progressStride == 0 {
+				opts.Progress(telemetry.ProgressEvent{
+					Phase: "core/build-consed-states", Done: int(d), Total: len(groups),
+				})
+			}
+		}
 	})
 	if err != nil {
 		return nil, nil, err
 	}
+	opts.Progress.Emit(telemetry.ProgressEvent{
+		Phase: "core/build-consed-states", Done: len(groups), Total: len(groups),
+	})
 	in.AddVectors(vecs)
 	sp.SetAttr("features", in.Len())
 

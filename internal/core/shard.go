@@ -3,10 +3,12 @@ package core
 import (
 	"context"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"isum/internal/parallel"
 	"isum/internal/shard"
+	"isum/internal/telemetry"
 )
 
 // shardOverSelect is the per-shard over-selection factor: each shard
@@ -63,6 +65,13 @@ func (c *Compressor) selectSharded(ctx context.Context, states []*QueryState, k 
 	sub.opts.Shards = 0
 	sub.opts.Parallelism = 1
 	sub.opts.Telemetry = nil
+	// Like spans, per-round progress stays off inside shard workers — the
+	// fan-out reports shard completions instead (one event per finished
+	// shard, emitted from the workers; ProgressFunc is concurrency-safe by
+	// contract).
+	sub.opts.Progress = nil
+	progress := c.opts.Progress
+	var shardsDone atomic.Int64
 	shardRes := make([]*Result, len(parts))
 	shardErr := make([]error, len(parts))
 	ferr := parallel.ForEach(ctx, workers, len(parts), func(s int) {
@@ -83,6 +92,12 @@ func (c *Compressor) selectSharded(ctx context.Context, states []*QueryState, k 
 		begin := time.Now() //lint:allow determinism shard/compress_nanos histogram only; selection never reads the clock
 		shardErr[s] = sub.selectGreedy(ctx, shardStates, kS, r)
 		shard.RecordRun(float64(time.Since(begin).Nanoseconds()))
+		if progress != nil {
+			progress(telemetry.ProgressEvent{
+				Phase: "core/shard-fanout", Done: int(shardsDone.Add(1)),
+				Total: len(parts), Shards: len(parts),
+			})
+		}
 	})
 	fsp.End()
 	if ferr != nil && !isCancel(ferr) {
@@ -140,7 +155,7 @@ func (c *Compressor) selectSharded(ctx context.Context, states []*QueryState, k 
 		var ss *SummaryState
 		if c.opts.Algorithm != AllPairs {
 			merged := &SummaryState{}
-			for _, part := range parts {
+			for s, part := range parts {
 				shardSum := &SummaryState{}
 				for _, i := range part {
 					st := states[i]
@@ -150,6 +165,10 @@ func (c *Compressor) selectSharded(ctx context.Context, states []*QueryState, k 
 				merged.V.Add(shardSum.V)
 				merged.TotalUtility += shardSum.TotalUtility
 				shardSum.V.Release()
+				progress.Emit(telemetry.ProgressEvent{
+					Phase: "core/shard-merge", Done: s + 1,
+					Total: len(parts), Shards: len(parts),
+				})
 			}
 			shard.RecordMergeOps(len(parts))
 			ss = merged

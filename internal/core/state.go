@@ -3,11 +3,18 @@ package core
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 
 	"isum/internal/features"
 	"isum/internal/parallel"
+	"isum/internal/telemetry"
 	"isum/internal/workload"
 )
+
+// progressStride is how many per-query units a worker sweep completes
+// between progress emissions — coarse enough that emission cost is
+// invisible next to feature extraction, fine enough for a live rate.
+const progressStride = 1024
 
 // QueryState is the mutable per-query state of a greedy run: the current
 // (possibly updated) feature vector and utility, plus the originals for
@@ -93,14 +100,25 @@ func BuildStatesContext(ctx context.Context, w *workload.Workload, opts Options)
 	deltas := make([]float64, len(w.Queries))
 	vecs := make([]features.Vector, len(w.Queries))
 	workers := parallel.Workers(opts.Parallelism)
+	var built atomic.Int64 // progress stride counter; workers emit, so Progress must be concurrency-safe
 	err := parallel.ForEach(ctx, workers, len(w.Queries), func(i int) {
 		q := w.Queries[i]
 		deltas[i] = delta(q, opts.Utility)
 		vecs[i] = ex.Features(q)
+		if opts.Progress != nil {
+			if d := built.Add(1); d%progressStride == 0 {
+				opts.Progress(telemetry.ProgressEvent{
+					Phase: "core/build-states", Done: int(d), Total: len(w.Queries),
+				})
+			}
+		}
 	})
 	if err != nil {
 		return nil, err
 	}
+	opts.Progress.Emit(telemetry.ProgressEvent{
+		Phase: "core/build-states", Done: len(w.Queries), Total: len(w.Queries),
+	})
 	in.AddVectors(vecs)
 	sp.SetAttr("features", in.Len())
 	err = parallel.ForEach(ctx, workers, len(w.Queries), func(i int) {

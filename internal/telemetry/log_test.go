@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDeterministicLoggerGolden pins the logfmt shape the CLIs emit
+// (minus the time attribute, which the deterministic variant drops so
+// tests can compare bytes).
+func TestDeterministicLoggerGolden(t *testing.T) {
+	var sb strings.Builder
+	log := NewDeterministicLogger(&sb)
+	log.Info("compressed workload", "variant", "ISUM", "selected", 20, "of", 1000)
+	log.Warn("deadline reached; output is the best-so-far selection", "rounds", 7)
+	const golden = `level=INFO msg="compressed workload" variant=ISUM selected=20 of=1000
+level=WARN msg="deadline reached; output is the best-so-far selection" rounds=7
+`
+	if sb.String() != golden {
+		t.Errorf("log output mismatch\n got: %q\nwant: %q", sb.String(), golden)
+	}
+}
+
+// TestLoggerIncludesTime: the production logger keeps the timestamp; only
+// the deterministic variant strips it.
+func TestLoggerIncludesTime(t *testing.T) {
+	var sb strings.Builder
+	NewLogger(&sb).Info("x")
+	if !strings.Contains(sb.String(), "time=") {
+		t.Errorf("production logger output lacks time attr: %q", sb.String())
+	}
+	var db strings.Builder
+	NewDeterministicLogger(&db).Info("x")
+	if strings.Contains(db.String(), "time=") {
+		t.Errorf("deterministic logger output carries time attr: %q", db.String())
+	}
+}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MetricName maps a registry name in the repo's area/sub/name convention
+// onto a legal Prometheus/OpenMetrics identifier: '/' and '-' become '_'.
+// The mapping is injective over names accepted by isumlint's
+// MetricNamePattern modulo '-'/'_' (no registered name mixes them), and
+// scripts/metricscheck uses this same function to cross-check the JSON
+// export against a live /metrics scrape.
+func MetricName(name string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '/' || r == '-' {
+			return '_'
+		}
+		return r
+	}, name)
+}
+
+// omFloat formats a sample value the way the exposition format expects:
+// shortest round-trip representation, integers without an exponent.
+func omFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteOpenMetrics writes every metric in the OpenMetrics / Prometheus
+// text exposition format: one family per metric, sorted by exposition
+// name, each with # HELP (carrying the registry-side name) and # TYPE
+// lines, terminated by # EOF. Counters gain the conventional _total
+// suffix; histograms are emitted with cumulative le-labelled buckets
+// (the registry stores per-bucket counts) plus _sum and _count. The
+// output is byte-deterministic for fixed metric values — pinned by the
+// golden test. A nil registry writes only the # EOF terminator.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "# EOF\n")
+		return err
+	}
+	s := r.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		om := MetricName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s isum counter %s\n# TYPE %s counter\n%s_total %d\n",
+			om, name, om, om, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		om := MetricName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s isum gauge %s\n# TYPE %s gauge\n%s %s\n",
+			om, name, om, om, omFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		hv := s.Histograms[name]
+		om := MetricName(name)
+		if _, err := fmt.Fprintf(w, "# HELP %s isum histogram %s\n# TYPE %s histogram\n",
+			om, name, om); err != nil {
+			return err
+		}
+		var cum int64
+		for i, b := range hv.Bounds {
+			cum += hv.Buckets[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", om, omFloat(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += hv.Buckets[len(hv.Buckets)-1] // overflow
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+			om, cum, om, omFloat(hv.Sum), om, hv.Count); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}

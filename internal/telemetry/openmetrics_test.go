@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOpenMetricsGolden pins the /metrics exposition byte for byte:
+// families sorted by name, # HELP carrying the registry-side name,
+// counters with the _total suffix, histograms with cumulative le
+// buckets, a # EOF terminator. scripts/metricscheck parses exactly this.
+func TestOpenMetricsGolden(t *testing.T) {
+	reg := New()
+	reg.Counter("cost/whatif/calls").Add(42)
+	reg.Counter("advisor/enumerate/rounds").Add(3)
+	reg.Gauge("core/compress/k").Set(10)
+	h := reg.Histogram("core/greedy/argmax_nanos", []float64{1000, 1000000})
+	h.Observe(500)
+	h.Observe(2500)
+	h.Observe(5e6)
+
+	var sb strings.Builder
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `# HELP advisor_enumerate_rounds isum counter advisor/enumerate/rounds
+# TYPE advisor_enumerate_rounds counter
+advisor_enumerate_rounds_total 3
+# HELP cost_whatif_calls isum counter cost/whatif/calls
+# TYPE cost_whatif_calls counter
+cost_whatif_calls_total 42
+# HELP core_compress_k isum gauge core/compress/k
+# TYPE core_compress_k gauge
+core_compress_k 10
+# HELP core_greedy_argmax_nanos isum histogram core/greedy/argmax_nanos
+# TYPE core_greedy_argmax_nanos histogram
+core_greedy_argmax_nanos_bucket{le="1000"} 1
+core_greedy_argmax_nanos_bucket{le="1e+06"} 2
+core_greedy_argmax_nanos_bucket{le="+Inf"} 3
+core_greedy_argmax_nanos_sum 5.003e+06
+core_greedy_argmax_nanos_count 3
+# EOF
+`
+	if sb.String() != golden {
+		t.Errorf("exposition mismatch\n got:\n%s\nwant:\n%s", sb.String(), golden)
+	}
+}
+
+// TestOpenMetricsNilRegistry: the disabled path still emits a valid
+// (empty) document so a scrape of an idle debug server parses.
+func TestOpenMetricsNilRegistry(t *testing.T) {
+	var reg *Registry
+	var sb strings.Builder
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "# EOF\n" {
+		t.Errorf("nil registry exposition = %q, want \"# EOF\\n\"", sb.String())
+	}
+}
+
+func TestMetricName(t *testing.T) {
+	cases := map[string]string{
+		"cost/whatif/calls":        "cost_whatif_calls",
+		"core/build-states/nanos":  "core_build_states_nanos",
+		"shard/merge/refine-calls": "shard_merge_refine_calls",
+		"plain":                    "plain",
+	}
+	for in, want := range cases {
+		if got := MetricName(in); got != want {
+			t.Errorf("MetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Handler returns the debug-plane HTTP handler — the exact surface a
+// future cmd/isumd mounts:
+//
+//	GET /metrics      OpenMetrics/Prometheus text exposition of reg
+//	GET /healthz      liveness ("ok")
+//	GET /progress     JSON snapshot of the progress Tracker
+//	GET /debug/pprof/ net/http/pprof profiles
+//
+// reg and tr may be nil; the endpoints then serve valid empty documents.
+func Handler(reg *Registry, tr *Tracker) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WriteOpenMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := tr.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running debug HTTP server bound to one telemetry session.
+type Server struct {
+	srv  *http.Server
+	ln   net.Listener
+	errc chan error
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Serve binds addr (host:port; port 0 picks a free port) and serves the
+// debug plane in the background until Close. It exists only behind the
+// -debug-addr flag: without the flag no Server is created and the
+// process runs zero extra goroutines (pinned by TestNoFlagsNoGoroutines).
+func Serve(addr string, reg *Registry, tr *Tracker) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		srv:  &http.Server{Handler: Handler(reg, tr)},
+		ln:   ln,
+		errc: make(chan error, 1),
+	}
+	go func() { //lint:allow concurrency the debug server must accept while the pipeline runs; lifecycle is owned by Serve/Close, not the worker pool
+		s.errc <- s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close gracefully shuts the server down, waiting for in-flight scrapes
+// (bounded), and reaps the serve goroutine. Nil-safe and idempotent:
+// repeated calls return the first shutdown's error.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := s.srv.Shutdown(ctx)
+		if serveErr := <-s.errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+			err = serveErr
+		}
+		s.closeErr = err
+	})
+	return s.closeErr
+}

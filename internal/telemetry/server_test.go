@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := New()
+	reg.Counter("cost/whatif/calls").Add(7)
+	tr := NewTracker()
+	tr.Observe(ProgressEvent{Phase: "core/greedy", Done: 2, Total: 5})
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+	if !strings.Contains(body, "cost_whatif_calls_total 7") || !strings.HasSuffix(body, "# EOF\n") {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+
+	resp, body = get("/healthz")
+	if resp.StatusCode != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %s %q", resp.Status, body)
+	}
+
+	resp, body = get("/progress")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/progress status = %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/progress content-type = %q", ct)
+	}
+	var p struct {
+		Phase string `json:"phase"`
+		Done  int    `json:"done"`
+	}
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/progress body %q: %v", body, err)
+	}
+	if p.Phase != "core/greedy" || p.Done != 2 {
+		t.Errorf("/progress = %+v", p)
+	}
+
+	resp, _ = get("/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %s", resp.Status)
+	}
+}
+
+// TestHandlerNilBackends: a debug server with no registry and no tracker
+// (possible only in library use; the CLI allocates both behind
+// -debug-addr) still serves valid empty documents.
+func TestHandlerNilBackends(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	for path, want := range map[string]string{"/metrics": "# EOF\n", "/healthz": "ok\n"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || string(body) != want {
+			t.Errorf("%s = %s %q, want 200 %q", path, resp.Status, body, want)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var doc progressJSON
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Errorf("nil-tracker /progress %q: %v", body, err)
+	}
+}
+
+// TestServeLifecycle: Serve binds port 0, answers scrapes on the reported
+// address, and Close shuts down cleanly (double Close included).
+func TestServeLifecycle(t *testing.T) {
+	reg := New()
+	reg.Counter("shard/runs").Add(1)
+	s, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+	if addr == "" || strings.HasSuffix(addr, ":0") {
+		t.Fatalf("Addr() = %q, want a concrete port", addr)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "shard_runs_total 1") {
+		t.Errorf("scrape body:\n%s", body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still answering after Close")
+	}
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil Server Close: %v", err)
+	}
+	if nilSrv.Addr() != "" {
+		t.Errorf("nil Server Addr = %q", nilSrv.Addr())
+	}
+}

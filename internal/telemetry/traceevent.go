@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Chrome trace-event JSON (the format Perfetto and chrome://tracing
+// load): a top-level object with a traceEvents array of complete ("X")
+// events. Timestamps and durations are microseconds; ts is measured from
+// the earliest root span's start so traces from different runs align at
+// zero. encoding/json emits map keys sorted, so for pinned span
+// durations the document is byte-deterministic (golden test).
+type traceEventExport struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  int64             `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteTraceEvents writes the span forest as Chrome trace-event JSON —
+// the -trace-out export. Span attributes and counter deltas become event
+// args. A nil registry (or one with no spans) writes a valid empty
+// document.
+func (r *Registry) WriteTraceEvents(w io.Writer) error {
+	e := traceEventExport{TraceEvents: []traceEvent{}}
+	roots := r.Spans()
+	var epoch time.Time
+	for _, sp := range roots {
+		if epoch.IsZero() || sp.start.Before(epoch) {
+			epoch = sp.start
+		}
+	}
+	for _, sp := range roots {
+		appendTraceEvents(&e.TraceEvents, sp, epoch)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+func appendTraceEvents(out *[]traceEvent, sp *Span, epoch time.Time) {
+	cat, _, found := strings.Cut(sp.name, "/")
+	if !found {
+		cat = sp.name
+	}
+	ev := traceEvent{
+		Name: sp.name,
+		Cat:  cat,
+		Ph:   "X",
+		Ts:   sp.start.Sub(epoch).Microseconds(),
+		Dur:  sp.dur.Microseconds(),
+		Pid:  1,
+		Tid:  1,
+	}
+	if len(sp.attrs) > 0 || len(sp.deltas) > 0 {
+		ev.Args = make(map[string]string, len(sp.attrs)+len(sp.deltas))
+		for _, a := range sp.attrs {
+			ev.Args[a.Key] = a.Value
+		}
+		for name, d := range sp.deltas {
+			ev.Args["Δ"+name] = strconv.FormatInt(d, 10)
+		}
+	}
+	*out = append(*out, ev)
+	for _, c := range sp.children {
+		appendTraceEvents(out, c, epoch)
+	}
+}

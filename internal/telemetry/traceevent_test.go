@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTraceEventsGolden pins the -trace-out Chrome trace-event document:
+// complete ("X") events, microsecond ts relative to the earliest root,
+// attrs and Δ-prefixed counter deltas as args, pre-order span flattening.
+// Wall-clock fields are forced to fixed values; everything else is
+// deterministic (encoding/json sorts the args map).
+func TestTraceEventsGolden(t *testing.T) {
+	reg := New()
+	root := reg.Start("core/compress")
+	root.SetAttr("variant", "ISUM")
+	child := reg.Start("core/greedy/round")
+	reg.Counter("cost/whatif/calls").Add(8)
+	child.End()
+	root.End()
+	base := time.Unix(1700000000, 0)
+	root.start, root.dur = base, 2*time.Millisecond
+	child.start, child.dur = base.Add(500*time.Microsecond), 1*time.Millisecond
+
+	var sb strings.Builder
+	if err := reg.WriteTraceEvents(&sb); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "traceEvents": [
+    {
+      "name": "core/compress",
+      "cat": "core",
+      "ph": "X",
+      "ts": 0,
+      "dur": 2000,
+      "pid": 1,
+      "tid": 1,
+      "args": {
+        "variant": "ISUM",
+        "Δcost/whatif/calls": "8"
+      }
+    },
+    {
+      "name": "core/greedy/round",
+      "cat": "core",
+      "ph": "X",
+      "ts": 500,
+      "dur": 1000,
+      "pid": 1,
+      "tid": 1,
+      "args": {
+        "Δcost/whatif/calls": "8"
+      }
+    }
+  ]
+}
+`
+	if sb.String() != golden {
+		t.Errorf("trace-event export mismatch\n got:\n%s\nwant:\n%s", sb.String(), golden)
+	}
+}
+
+// TestTraceEventsEmpty: no spans (or a nil registry via the Run path)
+// still produce a loadable document.
+func TestTraceEventsEmpty(t *testing.T) {
+	reg := New()
+	var sb strings.Builder
+	if err := reg.WriteTraceEvents(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("empty export is not valid JSON: %v", err)
+	}
+	if doc.TraceEvents == nil || len(doc.TraceEvents) != 0 {
+		t.Errorf("empty export traceEvents = %v, want present and empty", doc.TraceEvents)
+	}
+}

@@ -86,6 +86,19 @@ type (
 	Telemetry = telemetry.Registry
 	// TelemetrySpan is one timed phase in the trace tree.
 	TelemetrySpan = telemetry.Span
+	// ProgressEvent is one streaming update from a running compression or
+	// tuning phase (CompressorOptions.Progress, AdvisorOptions.Progress —
+	// DESIGN.md §13).
+	ProgressEvent = telemetry.ProgressEvent
+	// ProgressFunc receives progress events; it must be safe for
+	// concurrent use and nil disables the bus at zero cost.
+	ProgressFunc = telemetry.ProgressFunc
+	// ProgressTracker folds progress events into the snapshot served by
+	// the debug server's /progress endpoint.
+	ProgressTracker = telemetry.Tracker
+	// DebugServer is the live debug HTTP server (/metrics in OpenMetrics
+	// form, /healthz, /progress, /debug/pprof).
+	DebugServer = telemetry.Server
 )
 
 // NewCatalog returns an empty catalog.
@@ -136,6 +149,21 @@ func NewTelemetry() *Telemetry { return telemetry.New() }
 // NewOptimizer).
 func NewOptimizerWithTelemetry(cat *Catalog, reg *Telemetry) *Optimizer {
 	return cost.NewOptimizerWithTelemetry(cat, cost.DefaultParams(), reg)
+}
+
+// NewProgressTracker returns an empty progress tracker; wire its Observe
+// method into CompressorOptions.Progress / AdvisorOptions.Progress and
+// serve it with ServeDebug to watch a run live.
+func NewProgressTracker() *ProgressTracker { return telemetry.NewTracker() }
+
+// ServeDebug starts the live debug HTTP server on addr (port 0 picks a
+// free port — read it back from Addr): GET /metrics serves reg in
+// OpenMetrics/Prometheus text exposition form, /healthz liveness,
+// /progress the tracker's JSON snapshot, and /debug/pprof the runtime
+// profiles. Either argument may be nil. Close the server to release the
+// port and its goroutine — see DESIGN.md §13.
+func ServeDebug(addr string, reg *Telemetry, tr *ProgressTracker) (*DebugServer, error) {
+	return telemetry.Serve(addr, reg, tr)
 }
 
 // DefaultOptions returns ISUM's default configuration (rule-based weights,

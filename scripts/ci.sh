@@ -58,9 +58,58 @@ go run ./scripts/metricscheck \
     -names-from internal/shard \
     "$metrics_out"
 
+echo "== debug-server smoke =="
+# Live observability plane (DESIGN.md §13): start a sharded compression
+# with -debug-addr on a kernel-chosen port, recover the address from the
+# "debug server listening" log line, scrape /healthz and /metrics
+# mid-run, validate the exposition with metricscheck, and assert the
+# process still exits cleanly afterwards.
+dbg_dir=$(mktemp -d)
+trap 'rm -rf "$dbg_dir"; rm -f "$metrics_out"' EXIT
+go build -o "$dbg_dir/" ./cmd/isum ./scripts/metricscheck
+"$dbg_dir/isum" -benchmark scalem -n 20000 -k 12 -shards 4 -cons \
+    -debug-addr 127.0.0.1:0 -progress \
+    >/dev/null 2>"$dbg_dir/stderr.log" &
+dbg_pid=$!
+dbg_addr=""
+for _ in $(seq 1 100); do
+    dbg_addr=$(sed -n 's/.*msg="debug server listening" addr=\([0-9.:]*\).*/\1/p' "$dbg_dir/stderr.log" | head -n1)
+    [ -n "$dbg_addr" ] && break
+    kill -0 "$dbg_pid" 2>/dev/null || { echo "isum exited before the debug server came up" >&2; cat "$dbg_dir/stderr.log" >&2; exit 1; }
+    sleep 0.1
+done
+if [ -z "$dbg_addr" ]; then
+    echo "never saw the debug-server listen line" >&2; cat "$dbg_dir/stderr.log" >&2; exit 1
+fi
+# Mid-run scrapes race the pipeline: a counter registers on first use, so
+# retry until the required families have appeared (or the run ends, in
+# which case the loop fails fast and we report the last error).
+scrape_ok=""
+for _ in $(seq 1 200); do
+    if "$dbg_dir/metricscheck" \
+        -healthz "http://$dbg_addr/healthz" \
+        -scrape "http://$dbg_addr/metrics" \
+        -require cost/whatif/calls \
+        >/dev/null 2>"$dbg_dir/scrape.err"; then
+        scrape_ok=1
+        break
+    fi
+    kill -0 "$dbg_pid" 2>/dev/null || break
+    sleep 0.05
+done
+if [ -z "$scrape_ok" ]; then
+    echo "mid-run scrape never passed metricscheck:" >&2
+    cat "$dbg_dir/scrape.err" >&2
+    exit 1
+fi
+wait "$dbg_pid" || { rc=$?; echo "isum exited $rc under the debug server" >&2; cat "$dbg_dir/stderr.log" >&2; exit "$rc"; }
+grep -q 'msg=progress' "$dbg_dir/stderr.log" || {
+    echo "-progress produced no progress lines" >&2; cat "$dbg_dir/stderr.log" >&2; exit 1
+}
+
 echo "== failure-model smoke =="
 fm_dir=$(mktemp -d)
-trap 'rm -rf "$fm_dir"; rm -f "$metrics_out"' EXIT
+trap 'rm -rf "$fm_dir" "$dbg_dir"; rm -f "$metrics_out"' EXIT
 go build -o "$fm_dir/" ./cmd/isum ./cmd/tune
 
 # Chaos determinism (DESIGN.md §9): a seeded fault-injected run with
@@ -114,7 +163,7 @@ fi
 
 echo "== parallel benchmarks =="
 bench_out=$(mktemp)
-trap 'rm -f "$bench_out" "$metrics_out"; rm -rf "$fm_dir"' EXIT
+trap 'rm -f "$bench_out" "$metrics_out"; rm -rf "$fm_dir" "$dbg_dir"' EXIT
 go test -bench '^(BenchmarkCompress|BenchmarkTune)$' -benchmem \
     -benchtime "${BENCHTIME:-3x}" -run '^$' . | tee "$bench_out"
 go run ./scripts/benchjson <"$bench_out" >BENCH_parallel.json
@@ -124,7 +173,7 @@ echo "== sharded-scale benchmarks =="
 # One iteration by default: the cons=off baseline runs the greedy loop
 # over all 10^5 per-query states and takes tens of seconds per op.
 shard_out=$(mktemp)
-trap 'rm -f "$bench_out" "$shard_out" "$metrics_out"; rm -rf "$fm_dir"' EXIT
+trap 'rm -f "$bench_out" "$shard_out" "$metrics_out"; rm -rf "$fm_dir" "$dbg_dir"' EXIT
 go test -bench '^(BenchmarkCompressSharded|BenchmarkCompressConsed)$' -benchmem \
     -benchtime "${SHARD_BENCHTIME:-1x}" -run '^$' -timeout 30m . | tee "$shard_out"
 go run ./scripts/benchjson <"$shard_out" >BENCH_shard.json
@@ -132,7 +181,7 @@ echo "wrote BENCH_shard.json"
 
 echo "== vector benchmarks =="
 vec_out=$(mktemp)
-trap 'rm -f "$bench_out" "$vec_out" "$metrics_out"; rm -rf "$fm_dir"' EXIT
+trap 'rm -f "$bench_out" "$vec_out" "$metrics_out"; rm -rf "$fm_dir" "$dbg_dir"' EXIT
 go test -bench '^(BenchmarkJaccard|BenchmarkSummaryDelta)$' -benchmem \
     -benchtime "${BENCHTIME:-3x}" -run '^$' \
     ./internal/features ./internal/core | tee "$vec_out"

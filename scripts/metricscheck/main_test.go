@@ -26,7 +26,7 @@ const validExport = `{
 
 func TestCheckValid(t *testing.T) {
 	path := write(t, validExport)
-	if err := check(path, []string{"cost/whatif/calls"}, nil); err != nil {
+	if _, err := checkJSON(path, []string{"cost/whatif/calls"}, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -46,7 +46,7 @@ func TestCheckRejects(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := check(write(t, tc.body), tc.require, nil)
+			_, err := checkJSON(write(t, tc.body), tc.require, nil)
 			if err == nil {
 				t.Fatal("check accepted bad export")
 			}
@@ -115,10 +115,10 @@ func TestNamesFrom(t *testing.T) {
   "histograms": [{"name": "core/greedy/argmax_nanos", "count": 3}],
   "spans": [{"name": "core/compress", "duration_ns": 1000}]
 }`
-	if err := check(write(t, full), nil, []string{dir}); err != nil {
+	if _, err := checkJSON(write(t, full), nil, []string{dir}); err != nil {
 		t.Fatal(err)
 	}
-	err := check(write(t, validExport), nil, []string{dir})
+	_, err := checkJSON(write(t, validExport), nil, []string{dir})
 	if err == nil {
 		t.Fatal("check accepted an export missing registered names")
 	}
@@ -130,7 +130,7 @@ func TestNamesFrom(t *testing.T) {
 	if strings.Contains(err.Error(), "cost/whatif/calls") {
 		t.Errorf("error %q lists a name the export does have", err)
 	}
-	if err := check(write(t, full), nil, []string{t.TempDir()}); err == nil {
+	if _, err := checkJSON(write(t, full), nil, []string{t.TempDir()}); err == nil {
 		t.Fatal("check accepted a -names-from dir with no metric names")
 	}
 }

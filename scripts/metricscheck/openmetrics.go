@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The OpenMetrics/Prometheus text exposition subset the debug server
+// emits (internal/telemetry/openmetrics.go): # HELP/# TYPE comment lines
+// per family, bare and {le="..."}-labelled samples, a mandatory # EOF
+// terminator. parseOpenMetrics validates structure — legal identifiers,
+// TYPE-before-samples, known types, parseable values, nothing after
+// # EOF — and returns the per-sample values for the require checks.
+
+// legalMetricName is the Prometheus metric-name charset. Sample names
+// may additionally carry the _total/_bucket/_sum/_count suffixes of
+// their family.
+var legalMetricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// sampleLine splits a sample into name, optional label block, and value.
+var sampleLine = regexp.MustCompile(`^([^\s{]+)(\{[^}]*\})? (\S+)$`)
+
+type omFamily struct {
+	typ     string // counter, gauge, histogram
+	samples int
+}
+
+type omExposition struct {
+	families map[string]*omFamily
+	// values maps full sample keys — "name_total", "name", or
+	// `name_bucket{le="+Inf"}` — to their parsed values.
+	values map[string]float64
+}
+
+// parseOpenMetrics reads one exposition document and validates it.
+func parseOpenMetrics(r io.Reader) (*omExposition, error) {
+	ex := &omExposition{families: map[string]*omFamily{}, values: map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	sawEOF := false
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if sawEOF {
+			return nil, fmt.Errorf("line %d: content after # EOF", n)
+		}
+		if line == "# EOF" {
+			sawEOF = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", n, err)
+			}
+			if !legalMetricName.MatchString(name) {
+				return nil, fmt.Errorf("line %d: illegal metric name %q", n, name)
+			}
+			if kind == "TYPE" {
+				switch rest {
+				case "counter", "gauge", "histogram":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", n, rest)
+				}
+				if f := ex.families[name]; f != nil && f.typ != "" {
+					return nil, fmt.Errorf("line %d: duplicate # TYPE for %q", n, name)
+				}
+				fam := ex.family(name)
+				if fam.samples > 0 {
+					return nil, fmt.Errorf("line %d: # TYPE %s after its samples", n, name)
+				}
+				fam.typ = rest
+			}
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("line %d: malformed sample %q", n, line)
+		}
+		name, labels, value := m[1], m[2], m[3]
+		if !legalMetricName.MatchString(name) {
+			return nil, fmt.Errorf("line %d: illegal sample name %q", n, name)
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: unparseable value %q: %w", n, value, err)
+		}
+		fam := ex.family(familyOf(name, ex.families))
+		if fam.typ == "" {
+			return nil, fmt.Errorf("line %d: sample %q before its # TYPE", n, name)
+		}
+		fam.samples++
+		ex.values[name+labels] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawEOF {
+		return nil, fmt.Errorf("missing # EOF terminator")
+	}
+	for name, f := range ex.families {
+		if f.samples == 0 {
+			return nil, fmt.Errorf("family %q declared but has no samples", name)
+		}
+	}
+	return ex, nil
+}
+
+// parseComment splits a "# HELP name text" / "# TYPE name type" line.
+func parseComment(line string) (kind, name, rest string, err error) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", "", fmt.Errorf("malformed comment %q", line)
+	}
+	kind, name = fields[1], fields[2]
+	if kind != "HELP" && kind != "TYPE" {
+		return "", "", "", fmt.Errorf("unknown comment kind %q", kind)
+	}
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	if kind == "TYPE" && rest == "" {
+		return "", "", "", fmt.Errorf("# TYPE %s missing a type", name)
+	}
+	return kind, name, rest, nil
+}
+
+func (ex *omExposition) family(name string) *omFamily {
+	f := ex.families[name]
+	if f == nil {
+		f = &omFamily{}
+		ex.families[name] = f
+	}
+	return f
+}
+
+// familyOf strips the exposition suffix a sample name carries relative
+// to its declared family: histogram samples end in _bucket/_sum/_count,
+// counter samples in _total. The declared families map disambiguates a
+// literal family name that happens to end in a suffix.
+func familyOf(sample string, declared map[string]*omFamily) string {
+	if _, ok := declared[sample]; ok {
+		return sample
+	}
+	for _, suf := range []string{"_total", "_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sample, suf); ok {
+			if _, ok := declared[base]; ok {
+				return base
+			}
+		}
+	}
+	return sample
+}
+
+// counterValue returns the exposition value of the registry counter name
+// (area/sub/name form), resolving the OpenMetrics rename and _total
+// suffix. The bool reports presence.
+func (ex *omExposition) counterValue(regName string, toOM func(string) string) (float64, bool) {
+	v, ok := ex.values[toOM(regName)+"_total"]
+	return v, ok
+}

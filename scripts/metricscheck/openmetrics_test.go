@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"isum/internal/telemetry"
+)
+
+const validExposition = `# HELP core_greedy_rounds isum counter core/greedy/rounds
+# TYPE core_greedy_rounds counter
+core_greedy_rounds_total 12
+# HELP features_intern_size isum gauge features/intern/size
+# TYPE features_intern_size gauge
+features_intern_size 33
+# HELP core_greedy_argmax_nanos isum histogram core/greedy/argmax_nanos
+# TYPE core_greedy_argmax_nanos histogram
+core_greedy_argmax_nanos_bucket{le="1000"} 0
+core_greedy_argmax_nanos_bucket{le="+Inf"} 3
+core_greedy_argmax_nanos_sum 4500
+core_greedy_argmax_nanos_count 3
+# EOF
+`
+
+func TestParseOpenMetricsValid(t *testing.T) {
+	om, err := parseOpenMetrics(strings.NewReader(validExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(om.families); got != 3 {
+		t.Fatalf("families = %d, want 3", got)
+	}
+	if v, ok := om.counterValue("core/greedy/rounds", telemetry.MetricName); !ok || v != 12 {
+		t.Fatalf("core/greedy/rounds = %v, %v; want 12, true", v, ok)
+	}
+	if om.values[`core_greedy_argmax_nanos_bucket{le="+Inf"}`] != 3 {
+		t.Fatal("histogram +Inf bucket not captured")
+	}
+}
+
+func TestParseOpenMetricsRejects(t *testing.T) {
+	cases := []struct{ name, body, want string }{
+		{"missing EOF", "# TYPE x counter\nx_total 1\n", "# EOF"},
+		{"content after EOF", "# TYPE x counter\nx_total 1\n# EOF\nx_total 2\n", "after # EOF"},
+		{"illegal name", "# TYPE 0bad counter\n0bad_total 1\n# EOF\n", "illegal metric name"},
+		{"unknown type", "# TYPE x summary\nx 1\n# EOF\n", "unknown metric type"},
+		{"sample before TYPE", "x_total 1\n# TYPE x counter\n# EOF\n", "before its # TYPE"},
+		{"bad value", "# TYPE x counter\nx_total banana\n# EOF\n", "unparseable value"},
+		{"duplicate TYPE", "# TYPE x counter\n# TYPE x gauge\nx 1\n# EOF\n", "duplicate # TYPE"},
+		{"no samples", "# TYPE x counter\n# EOF\n", "no samples"},
+		{"malformed comment", "# NOPE x counter\n# EOF\n", "unknown comment kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseOpenMetrics(strings.NewReader(tc.body))
+			if err == nil {
+				t.Fatal("parser accepted bad exposition")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckExpositionRequire(t *testing.T) {
+	if _, err := checkExposition(strings.NewReader(validExposition), "t",
+		[]string{"core/greedy/rounds"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := checkExposition(strings.NewReader(validExposition), "t",
+		[]string{"shard/runs"})
+	if err == nil || !strings.Contains(err.Error(), "shard_runs_total") {
+		t.Fatalf("missing-require error = %v, want mention of shard_runs_total", err)
+	}
+	zero := "# TYPE z counter\nz_total 0\n# EOF\n"
+	if _, err := checkExposition(strings.NewReader(zero), "t", []string{"z"}); err == nil {
+		t.Fatal("accepted a zero-valued required counter")
+	}
+}
+
+// TestRegistryRoundTrip pins the encoder/validator pair: whatever the
+// registry emits must parse clean and cross-check against its own JSON
+// export.
+func TestRegistryRoundTrip(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("core/greedy/rounds").Add(5)
+	reg.Gauge("features/intern/size").Set(12)
+	reg.Histogram("core/greedy/argmax_nanos", nil).Observe(5e3)
+	var sb strings.Builder
+	if err := reg.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	om, err := checkExposition(strings.NewReader(sb.String()), "roundtrip",
+		[]string{"core/greedy/rounds"})
+	if err != nil {
+		t.Fatalf("registry's own exposition failed validation: %v\n%s", err, sb.String())
+	}
+	var jb strings.Builder
+	if err := reg.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := checkJSONBytes([]byte(jb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := crossCheck(ex, om); err != nil {
+		t.Fatalf("cross-check failed on same-registry dumps: %v", err)
+	}
+}
+
+// checkJSONBytes is the test-side shim over the export schema so the
+// round-trip test need not write a temp file.
+func checkJSONBytes(data []byte) (*export, error) {
+	var ex export
+	if err := json.Unmarshal(data, &ex); err != nil {
+		return nil, err
+	}
+	return &ex, nil
+}
+
+func TestCrossCheckMissing(t *testing.T) {
+	om, err := parseOpenMetrics(strings.NewReader(validExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := &export{Counters: []counter{{Name: "shard/runs", Value: 3}}}
+	err = crossCheck(ex, om)
+	if err == nil || !strings.Contains(err.Error(), "shard/runs") {
+		t.Fatalf("crossCheck = %v, want missing shard/runs", err)
+	}
+}
+
+func TestCheckHealthz(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Write([]byte("ok\n"))
+			return
+		}
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+	if err := checkHealthz(srv.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkHealthz(srv.URL + "/nope"); err == nil {
+		t.Fatal("accepted a 404 healthz")
+	}
+}
+
+func TestCheckExpositionURL(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("cost/whatif/calls").Add(7)
+	srv := httptest.NewServer(telemetry.Handler(reg, nil))
+	defer srv.Close()
+	if _, err := checkExpositionURL(srv.URL+"/metrics", []string{"cost/whatif/calls"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := checkExpositionURL(srv.URL+"/metrics", []string{"never/registered/name"}); err == nil {
+		t.Fatal("accepted a scrape missing a required counter")
+	}
+}
