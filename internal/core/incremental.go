@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"isum/internal/catalog"
 	"isum/internal/features"
 	"isum/internal/workload"
@@ -44,16 +46,57 @@ func NewIncremental(cat *catalog.Catalog, opts Options, k int) *Incremental {
 	}
 }
 
+// RestoreIncremental returns an incremental compressor whose pool and
+// seen count are restored from previously captured state (e.g. a durable
+// snapshot). pool may be nil for an empty pool; it is adopted as-is, so
+// callers hand over ownership. To reproduce a never-crashed run exactly,
+// opts.Interner must also be restored to the dictionary the original run
+// had built (internal/durable snapshots it for this reason).
+func RestoreIncremental(cat *catalog.Catalog, opts Options, k int, pool *workload.Workload, seen int) *Incremental {
+	ic := NewIncremental(cat, opts, k)
+	if pool != nil {
+		pool.Catalog = cat
+		ic.pool = pool
+	}
+	if seen > 0 {
+		ic.seen = seen
+	}
+	return ic
+}
+
 // Observe folds a batch of queries (with costs filled) into the pool and
 // returns the compression result of the recompression step.
 func (ic *Incremental) Observe(batch []*workload.Query) *Result {
-	ic.seen += len(batch)
+	res, err := ic.ObserveContext(context.Background(), batch)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ObserveContext is Observe with the anytime contract (DESIGN.md §9):
+// when ctx is cancelled or its deadline expires mid-recompression, the
+// best-so-far selection over pool ∪ batch becomes the new pool — a valid
+// weighted compressed workload, never an error — and the returned Result
+// has Partial set. When cancellation strikes before any selection was
+// made, the previous pool is kept unchanged (the batch still counts as
+// seen: it was observed, merely not folded into a new selection). The
+// error is reserved for real failures (contained worker panics), which
+// leave the pool and seen count untouched.
+func (ic *Incremental) ObserveContext(ctx context.Context, batch []*workload.Query) (*Result, error) {
 	cand := &workload.Workload{Catalog: ic.cat}
 	cand.Queries = append(cand.Queries, ic.pool.Queries...)
 	cand.Queries = append(cand.Queries, batch...)
-	res := ic.comp.Compress(cand, ic.k)
+	res, err := ic.comp.CompressContext(ctx, cand, ic.k)
+	if err != nil {
+		return nil, err
+	}
+	ic.seen += len(batch)
+	if res.Partial && len(res.Indices) == 0 {
+		return res, nil
+	}
 	ic.pool = cand.WeightedSubset(res.Indices, res.Weights)
-	return res
+	return res, nil
 }
 
 // Pool returns the current compressed workload (copies are returned by

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -84,6 +85,41 @@ func TestIncrementalWeightsAccumulate(t *testing.T) {
 	}
 	if wTemplate <= wSingleton {
 		t.Fatalf("template representative should dominate: %f vs %f", wTemplate, wSingleton)
+	}
+}
+
+// ObserveContext honours the anytime contract: cancellation yields a
+// valid Partial result, never an error, and a cancellation that struck
+// before any selection keeps the previous pool intact.
+func TestObserveContextAnytime(t *testing.T) {
+	w := testWorkload(t)
+	ic := NewIncremental(w.Catalog, DefaultOptions(), 3)
+	ic.Observe(w.Queries[0:6])
+	before := ic.Pool()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ic.ObserveContext(ctx, w.Queries[6:12])
+	if err != nil {
+		t.Fatalf("cancellation must not be an error: %v", err)
+	}
+	if !res.Partial {
+		t.Fatal("cancelled recompression should be marked Partial")
+	}
+	if ic.Seen() != 12 {
+		t.Fatalf("seen = %d: the batch was observed even if not folded", ic.Seen())
+	}
+	if len(res.Indices) == 0 && ic.Pool() != before {
+		t.Fatal("empty partial selection must keep the previous pool")
+	}
+
+	// An uncancelled ObserveContext matches Observe exactly.
+	res2, err := ic.ObserveContext(context.Background(), w.Queries[12:16])
+	if err != nil || res2.Partial {
+		t.Fatalf("clean fold: %v partial=%v", err, res2.Partial)
+	}
+	if ic.Pool().Len() > 3 {
+		t.Fatalf("pool exceeded bound: %d", ic.Pool().Len())
 	}
 }
 

@@ -1,0 +1,52 @@
+package durable
+
+import (
+	"flag"
+	"fmt"
+)
+
+// Flags is the durable-store CLI surface shared by the cmd/ binaries:
+//
+//	-wal-dir=<dir>       persist observed batches to a WAL + snapshots in
+//	                     this directory; on start, recover the previous
+//	                     session's state from it (empty = in-memory only)
+//	-snapshot-every=<n>  write a snapshot every n observed batches
+//	                     (0 = only at clean shutdown)
+//	-fsync=<policy>      WAL durability: always | rotate | never
+//
+// Register the flags, then build Options with Build.
+type Flags struct {
+	Dir           string
+	SnapshotEvery int
+	Fsync         string
+}
+
+// Register installs the flags on fs (use flag.CommandLine in main).
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Dir, "wal-dir", "",
+		"durable store directory: WAL of observed batches + periodic snapshots, recovered on start (empty = in-memory only)")
+	fs.IntVar(&f.SnapshotEvery, "snapshot-every", 8,
+		"write a state snapshot every n observed batches (0 = only at clean shutdown)")
+	fs.StringVar(&f.Fsync, "fsync", "always",
+		"WAL fsync policy: always (per record), rotate (per segment), never")
+}
+
+// Enabled reports whether -wal-dir was given.
+func (f *Flags) Enabled() bool { return f.Dir != "" }
+
+// Build assembles store Options from the flags; the caller fills in the
+// catalog, compressor options, and pool size.
+func (f *Flags) Build() (Options, error) {
+	policy, err := ParseSyncPolicy(f.Fsync)
+	if err != nil {
+		return Options{}, fmt.Errorf("-fsync: %w", err)
+	}
+	if f.SnapshotEvery < 0 {
+		return Options{}, fmt.Errorf("-snapshot-every: must be >= 0, got %d", f.SnapshotEvery)
+	}
+	return Options{
+		Dir:           f.Dir,
+		Fsync:         policy,
+		SnapshotEvery: f.SnapshotEvery,
+	}, nil
+}

@@ -1,0 +1,659 @@
+// Package durable is the persistent workload store (DESIGN.md §14): an
+// append-only write-ahead log of observed query batches plus periodic
+// checksummed snapshots of incremental-compression state, so a tuning
+// session survives process death and a million-query history is a disk
+// problem, not a RAM problem.
+//
+// Layout of a store directory:
+//
+//	wal-<firstLSN>.log   append-only segments of CRC32C-framed batch records
+//	snap-<lsn>.snap      atomic snapshots (interner dictionary, weighted
+//	                     pool, seen count) covering the log through <lsn>
+//
+// Crash recovery loads the newest valid snapshot and replays the bounded
+// WAL suffix through core.Incremental. Torn, truncated, or bit-flipped
+// records are detected by checksum and recovery stops cleanly at the
+// last good record — never a panic, never an error for corruption. A
+// fault-free log recovers byte-identically to the never-crashed
+// in-memory run: the snapshot carries the feature-interner dictionary in
+// exact ID order and the pool's accumulated weights, and replay re-folds
+// the same batches at the same boundaries, so every downstream
+// merge-join accumulates in the same order (pinned by the oracle tests).
+package durable
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"isum/internal/catalog"
+	"isum/internal/core"
+	"isum/internal/features"
+	"isum/internal/telemetry"
+	"isum/internal/vfs"
+	"isum/internal/workload"
+)
+
+// SyncPolicy controls when the WAL fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs the segment after every appended record — the
+	// default: an Observe that returned has its batch on stable storage.
+	SyncAlways SyncPolicy = iota
+	// SyncRotate fsyncs only when a segment is sealed (rotation, Close).
+	// A crash can lose the tail of the current segment; recovery keeps
+	// the durable prefix.
+	SyncRotate
+	// SyncNever never fsyncs; the OS decides. Fastest, weakest.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the -fsync flag values always/rotate/never.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "rotate":
+		return SyncRotate, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, rotate, or never)", s)
+}
+
+// String returns the flag spelling of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncRotate:
+		return "rotate"
+	case SyncNever:
+		return "never"
+	default:
+		return "always"
+	}
+}
+
+// Options configure a durable store.
+type Options struct {
+	// Dir is the store directory (created if missing by Open).
+	Dir string
+	// Catalog is the schema the logged queries are analysed against; it
+	// must match the catalog of the original session or replayed queries
+	// will not re-analyse identically.
+	Catalog *catalog.Catalog
+	// Compressor configures the incremental recompression (typically
+	// core.DefaultOptions()). Its Interner field is owned by the store —
+	// any caller-set value is replaced by the store's persistent
+	// dictionary.
+	Compressor core.Options
+	// PoolSize is k, the bounded number of weighted representatives
+	// carried across batches (minimum 1).
+	PoolSize int
+	// Fsync is the WAL durability policy (default SyncAlways).
+	Fsync SyncPolicy
+	// SegmentBytes rotates the WAL once a segment exceeds this size
+	// (default 8 MiB).
+	SegmentBytes int64
+	// SnapshotEvery writes a snapshot after this many observed batches
+	// (0 = only on Close/WriteSnapshot).
+	SnapshotEvery int
+	// FS overrides the filesystem (default vfs.OSFS{}); chaos tests inject
+	// a deterministic fault filesystem here.
+	FS vfs.FS
+	// Telemetry receives the durable/* counters and gauges; nil disables
+	// instrumentation at zero cost.
+	Telemetry *telemetry.Registry
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.FS == nil {
+		out.FS = vfs.OSFS{}
+	}
+	if out.SegmentBytes <= 0 {
+		out.SegmentBytes = 8 << 20
+	}
+	if out.PoolSize < 1 {
+		out.PoolSize = 1
+	}
+	return out
+}
+
+// RecoveryInfo reports what recovery found and did.
+type RecoveryInfo struct {
+	// SnapshotLSN is the LSN covered by the loaded snapshot (0 = none).
+	SnapshotLSN uint64
+	// SnapshotsSkipped counts snapshots that failed validation and were
+	// passed over for an older one.
+	SnapshotsSkipped int
+	// Replayed counts WAL records applied after the snapshot.
+	Replayed int
+	// CorruptSkipped counts records dropped at a corrupt or torn tail.
+	CorruptSkipped int
+	// LSN is the last applied batch LSN; new appends continue at LSN+1.
+	LSN uint64
+	// Seen and PoolLen describe the recovered state.
+	Seen    int
+	PoolLen int
+	// Partial marks a recovery cut short by context cancellation: the
+	// state is a valid prefix, but Open refuses to append after one.
+	Partial bool
+	// Elapsed is the wall-clock recovery time.
+	Elapsed time.Duration
+}
+
+// storeTel bundles the durable/* metrics; all handles are nil-safe.
+type storeTel struct {
+	appended    *telemetry.Counter
+	replayed    *telemetry.Counter
+	corruptRecs *telemetry.Counter
+	segments    *telemetry.Counter
+	snapWritten *telemetry.Counter
+	snapLoaded  *telemetry.Counter
+	snapCorrupt *telemetry.Counter
+	lsn         *telemetry.Gauge
+	recoverNs   *telemetry.Gauge
+}
+
+func newStoreTel(reg *telemetry.Registry) *storeTel {
+	return &storeTel{
+		appended:    reg.Counter("durable/wal/appended"),
+		replayed:    reg.Counter("durable/wal/replayed"),
+		corruptRecs: reg.Counter("durable/wal/corrupt_skipped"),
+		segments:    reg.Counter("durable/wal/segments"),
+		snapWritten: reg.Counter("durable/snapshot/written"),
+		snapLoaded:  reg.Counter("durable/snapshot/loaded"),
+		snapCorrupt: reg.Counter("durable/snapshot/corrupt_skipped"),
+		lsn:         reg.Gauge("durable/lsn"),
+		recoverNs:   reg.Gauge("durable/recover/nanos"),
+	}
+}
+
+// Store is a durable incremental-compression session: Observe appends
+// the batch to the WAL, folds it into the bounded pool, and snapshots
+// periodically. One writer per directory; methods are serialised by an
+// internal mutex, but the single-writer invariant across processes is
+// the caller's to keep.
+type Store struct {
+	mu        sync.Mutex
+	opts      Options
+	fs        vfs.FS
+	ic        *core.Incremental
+	in        *features.Interner
+	w         *walWriter
+	lsn       uint64
+	sinceSnap int
+	tel       *storeTel
+	closed    bool
+}
+
+// recovered is the outcome of recoverState: the rebuilt session plus the
+// repair plan Open needs to linearise the log again after a corrupt tail.
+type recovered struct {
+	ic   *core.Incremental
+	in   *features.Interner
+	info *RecoveryInfo
+	// stopSeg/stopGood identify the segment (and the offset past its
+	// last good record) where replay stopped on corruption; laterSegs
+	// are the now-unreachable segments after it. Empty when the whole
+	// log validated.
+	stopSeg   string
+	stopGood  int64
+	laterSegs []string
+}
+
+// Recover rebuilds the compression state from a store directory without
+// opening it for writing — the read-only inspection path. Corruption is
+// never an error: a torn or bit-flipped tail yields the last-good
+// prefix, a missing directory yields an empty session. Cancellation of
+// ctx stops replay at a batch boundary with Partial set (the anytime
+// contract); the error is reserved for real failures (I/O errors on
+// intact files, contained worker panics during recompression).
+func Recover(ctx context.Context, opts Options) (*core.Incremental, *RecoveryInfo, error) {
+	o := opts.withDefaults()
+	rec, err := recoverState(ctx, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec.ic, rec.info, nil
+}
+
+// Open recovers the directory's state and opens it for appending: the
+// writer continues at the recovered LSN in a fresh segment, after
+// repairing any corrupt tail (truncating the bad suffix and removing
+// unreachable later segments) so the log reads linearly again. Unlike
+// Recover, Open fails on a cancelled context — appending after a partial
+// replay would fork the LSN sequence.
+func Open(ctx context.Context, opts Options) (*Store, *RecoveryInfo, error) {
+	o := opts.withDefaults()
+	if o.Dir == "" {
+		return nil, nil, fmt.Errorf("durable: empty store directory")
+	}
+	if o.Catalog == nil {
+		return nil, nil, fmt.Errorf("durable: nil catalog")
+	}
+	if err := o.FS.MkdirAll(o.Dir); err != nil {
+		return nil, nil, fmt.Errorf("durable: creating store dir: %w", err)
+	}
+	rec, err := recoverState(ctx, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec.info.Partial {
+		return nil, nil, fmt.Errorf("durable: recovery interrupted at LSN %d: %w", rec.info.LSN, ctx.Err())
+	}
+	if err := repairLog(o.FS, o.Dir, rec); err != nil {
+		return nil, nil, err
+	}
+	tel := newStoreTel(o.Telemetry)
+	w, err := openWalWriter(o.FS, o.Dir, rec.info.LSN+1, o.Fsync, o.SegmentBytes,
+		&counterHandle{inc: func() { tel.segments.Inc() }})
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &Store{
+		opts: o,
+		fs:   o.FS,
+		ic:   rec.ic,
+		in:   rec.in,
+		w:    w,
+		lsn:  rec.info.LSN,
+		tel:  tel,
+	}
+	tel.lsn.Set(float64(st.lsn))
+	st.gc()
+	return st, rec.info, nil
+}
+
+// recoverState does the shared recovery work: newest valid snapshot,
+// bounded replay, repair plan.
+func recoverState(ctx context.Context, o Options) (*recovered, error) {
+	start := time.Now() //lint:allow determinism recovery wall-clock reporting only; recovered state never reads the clock
+	tel := newStoreTel(o.Telemetry)
+	info := &RecoveryInfo{}
+	names, err := o.FS.ReadDir(o.Dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			names = nil
+		} else {
+			return nil, fmt.Errorf("durable: listing store dir: %w", err)
+		}
+	}
+	var snaps []string
+	var segs []string
+	for _, n := range names {
+		if _, ok := parseSnapName(n); ok {
+			snaps = append(snaps, n)
+		}
+		if _, ok := parseSegName(n); ok {
+			segs = append(segs, n)
+		}
+	}
+	// Newest snapshot first; fall through to older ones (and finally to
+	// an empty base) when validation or state rebuilding fails.
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+	in := features.NewInterner()
+	var pool *workload.Workload
+	for _, name := range snaps {
+		st, rerr := readSnapshot(o.FS, o.Dir, name)
+		if rerr != nil {
+			tel.snapCorrupt.Inc()
+			info.SnapshotsSkipped++
+			continue
+		}
+		cand := features.NewInterner()
+		if err := cand.RestoreKeys(st.keys); err != nil {
+			tel.snapCorrupt.Inc()
+			info.SnapshotsSkipped++
+			continue
+		}
+		p, perr := buildPool(o.Catalog, st.pool)
+		if perr != nil {
+			tel.snapCorrupt.Inc()
+			info.SnapshotsSkipped++
+			continue
+		}
+		in = cand
+		pool = p
+		info.SnapshotLSN = st.lsn
+		info.LSN = st.lsn
+		info.Seen = int(st.seen)
+		tel.snapLoaded.Inc()
+		break
+	}
+	copts := o.Compressor
+	copts.Interner = in
+	ic := core.RestoreIncremental(o.Catalog, copts, o.PoolSize, pool, info.Seen)
+
+	rec := &recovered{ic: ic, in: in, info: info}
+	sort.Slice(segs, func(i, j int) bool {
+		a, _ := parseSegName(segs[i])
+		b, _ := parseSegName(segs[j])
+		return a < b
+	})
+	lastApplied := info.SnapshotLSN
+	for i, name := range segs {
+		// Bounded replay: a segment is skippable when the next segment
+		// starts at or before the first LSN we still need.
+		if i+1 < len(segs) {
+			next, _ := parseSegName(segs[i+1])
+			if next <= lastApplied+1 {
+				continue
+			}
+		}
+		stop := false
+		var replayErr error
+		good, corrupt, serr := scanSegment(o.FS, filepath.Join(o.Dir, name), func(r segRecord) bool {
+			if r.lsn <= lastApplied {
+				return true
+			}
+			if r.lsn != lastApplied+1 {
+				// Sequence break: unreachable history — stop like corruption.
+				stop = true
+				return false
+			}
+			if ctx.Err() != nil {
+				info.Partial = true
+				return false
+			}
+			batch, berr := buildBatch(o.Catalog, r.queries)
+			if berr != nil {
+				stop = true
+				return false
+			}
+			res, oerr := ic.ObserveContext(ctx, batch)
+			if oerr != nil {
+				replayErr = oerr
+				return false
+			}
+			if res.Partial {
+				// Cancelled mid-recompress: the fold kept the previous
+				// pool or a valid best-so-far; stop without counting the
+				// record as applied so Open refuses to fork the log.
+				info.Partial = true
+				return false
+			}
+			lastApplied = r.lsn
+			info.Replayed++
+			tel.replayed.Inc()
+			return true
+		})
+		if serr != nil {
+			return nil, fmt.Errorf("durable: reading segment %s: %w", name, serr)
+		}
+		if replayErr != nil {
+			return nil, fmt.Errorf("durable: replaying segment %s: %w", name, replayErr)
+		}
+		if corrupt || stop {
+			info.CorruptSkipped++
+			tel.corruptRecs.Inc()
+			rec.stopSeg = name
+			rec.stopGood = good
+			rec.laterSegs = append(rec.laterSegs, segs[i+1:]...)
+			break
+		}
+		if info.Partial {
+			break
+		}
+	}
+	info.LSN = lastApplied
+	info.Seen = ic.Seen()
+	info.PoolLen = ic.Pool().Len()
+	info.Elapsed = time.Since(start)
+	tel.lsn.Set(float64(info.LSN))
+	tel.recoverNs.Set(float64(info.Elapsed.Nanoseconds()))
+	return rec, nil
+}
+
+// buildQuery re-analyses one persisted query against the catalog,
+// restoring its exact cost and weight. Invalid costs/weights mean the
+// record never came from a healthy writer.
+func buildQuery(cat *catalog.Catalog, r queryRec) (*workload.Query, error) {
+	if math.IsNaN(r.cost) || math.IsInf(r.cost, 0) || r.cost < 0 {
+		return nil, fmt.Errorf("durable: invalid cost %v", r.cost)
+	}
+	if math.IsNaN(r.weight) || math.IsInf(r.weight, 0) || r.weight < 0 {
+		return nil, fmt.Errorf("durable: invalid weight %v", r.weight)
+	}
+	q, err := workload.NewQuery(cat, r.id, r.text)
+	if err != nil {
+		return nil, err
+	}
+	q.Cost = r.cost
+	if r.weight > 0 {
+		q.Weight = r.weight
+	}
+	return q, nil
+}
+
+func buildBatch(cat *catalog.Catalog, recs []queryRec) ([]*workload.Query, error) {
+	out := make([]*workload.Query, 0, len(recs))
+	for _, r := range recs {
+		q, err := buildQuery(cat, r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+func buildPool(cat *catalog.Catalog, recs []queryRec) (*workload.Workload, error) {
+	qs, err := buildBatch(cat, recs)
+	if err != nil {
+		return nil, err
+	}
+	return &workload.Workload{Catalog: cat, Queries: qs}, nil
+}
+
+// repairLog truncates a corrupt tail in place (good prefix rewritten via
+// a temp file and atomic rename) and removes segments made unreachable
+// by the corruption, so the log reads linearly for every future
+// recovery. Without this, records appended after the crash would sit
+// beyond a permanently corrupt record and be silently lost.
+func repairLog(fs vfs.FS, dir string, rec *recovered) error {
+	if rec.stopSeg == "" {
+		return nil
+	}
+	path := filepath.Join(dir, rec.stopSeg)
+	if rec.stopGood <= headerSize {
+		if err := fs.Remove(path); err != nil {
+			return fmt.Errorf("durable: removing corrupt segment %s: %w", rec.stopSeg, err)
+		}
+	} else {
+		rc, err := fs.Open(path)
+		if err != nil {
+			return fmt.Errorf("durable: repairing %s: %w", rec.stopSeg, err)
+		}
+		prefix := make([]byte, rec.stopGood)
+		_, err = io.ReadFull(rc, prefix)
+		rc.Close()
+		if err != nil {
+			return fmt.Errorf("durable: repairing %s: %w", rec.stopSeg, err)
+		}
+		tmp := path + ".tmp"
+		f, err := fs.Create(tmp)
+		if err != nil {
+			return fmt.Errorf("durable: repairing %s: %w", rec.stopSeg, err)
+		}
+		if _, err := f.Write(prefix); err != nil {
+			f.Close()
+			_ = fs.Remove(tmp)
+			return fmt.Errorf("durable: repairing %s: %w", rec.stopSeg, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			_ = fs.Remove(tmp)
+			return fmt.Errorf("durable: repairing %s: %w", rec.stopSeg, err)
+		}
+		if err := f.Close(); err != nil {
+			_ = fs.Remove(tmp)
+			return fmt.Errorf("durable: repairing %s: %w", rec.stopSeg, err)
+		}
+		if err := fs.Rename(tmp, path); err != nil {
+			_ = fs.Remove(tmp)
+			return fmt.Errorf("durable: repairing %s: %w", rec.stopSeg, err)
+		}
+	}
+	for _, name := range rec.laterSegs {
+		if err := fs.Remove(filepath.Join(dir, name)); err != nil {
+			return fmt.Errorf("durable: removing unreachable segment %s: %w", name, err)
+		}
+	}
+	return fs.SyncDir(dir)
+}
+
+// Observe durably logs a batch and folds it into the pool. The batch is
+// on stable storage iff the append (and, under SyncAlways, its fsync)
+// succeeded; on an append error nothing was folded, and because the
+// failed record's bytes may or may not have reached the file, the WAL
+// writer is poisoned — every later Observe fails too, and the session
+// must be reopened, converging on whatever the log actually holds. A
+// fold cancelled by ctx follows the anytime contract (valid best-so-far
+// pool, Result.Partial, nil error). A snapshot error is reported but the
+// batch itself is already durable in the WAL. A real fold failure
+// (contained worker panic) leaves the record in the log but unapplied;
+// reopening the store converges.
+func (s *Store) Observe(ctx context.Context, batch []*workload.Query) (*core.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("durable: store is closed")
+	}
+	if len(batch) == 0 {
+		return &core.Result{}, nil
+	}
+	lsn, err := s.w.append(batch)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.ic.ObserveContext(ctx, batch)
+	if err != nil {
+		return nil, err
+	}
+	s.lsn = lsn
+	s.tel.appended.Inc()
+	s.tel.lsn.Set(float64(s.lsn))
+	s.sinceSnap++
+	if s.opts.SnapshotEvery > 0 && s.sinceSnap >= s.opts.SnapshotEvery {
+		if serr := s.writeSnapshotLocked(); serr != nil {
+			return res, serr
+		}
+	}
+	return res, nil
+}
+
+// Pool returns the current compressed pool (shared; treat as read-only).
+func (s *Store) Pool() *workload.Workload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ic.Pool()
+}
+
+// Seen returns the number of queries observed across all sessions.
+func (s *Store) Seen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ic.Seen()
+}
+
+// LSN returns the last durably applied batch LSN.
+func (s *Store) LSN() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lsn
+}
+
+// WriteSnapshot forces a snapshot of the current state.
+func (s *Store) WriteSnapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("durable: store is closed")
+	}
+	return s.writeSnapshotLocked()
+}
+
+func (s *Store) writeSnapshotLocked() error {
+	payload := encodeSnapshot(s.lsn, s.ic.Seen(), s.in, s.ic.Pool())
+	if _, err := writeSnapshot(s.fs, s.opts.Dir, payload); err != nil {
+		return err
+	}
+	s.tel.snapWritten.Inc()
+	s.sinceSnap = 0
+	s.gc()
+	return nil
+}
+
+// gc removes snapshots beyond the two newest and WAL segments whose
+// records are entirely covered by the oldest retained snapshot. Best
+// effort: removal failures leave extra files, never a broken store.
+func (s *Store) gc() {
+	names, err := s.fs.ReadDir(s.opts.Dir)
+	if err != nil {
+		return
+	}
+	var snapLSNs []uint64
+	for _, n := range names {
+		if lsn, ok := parseSnapName(n); ok {
+			snapLSNs = append(snapLSNs, lsn)
+		}
+	}
+	if len(snapLSNs) == 0 {
+		return
+	}
+	sort.Slice(snapLSNs, func(i, j int) bool { return snapLSNs[i] > snapLSNs[j] })
+	const keep = 2
+	cutoff := snapLSNs[0]
+	if len(snapLSNs) > 1 {
+		cutoff = snapLSNs[1]
+	}
+	for _, lsn := range snapLSNs {
+		if lsn < cutoff {
+			_ = s.fs.Remove(filepath.Join(s.opts.Dir, snapName(lsn)))
+		}
+	}
+	var segFirst []uint64
+	for _, n := range names {
+		if first, ok := parseSegName(n); ok {
+			segFirst = append(segFirst, first)
+		}
+	}
+	sort.Slice(segFirst, func(i, j int) bool { return segFirst[i] < segFirst[j] })
+	for i := 0; i+1 < len(segFirst); i++ {
+		// Removable iff every record (LSNs [first, nextFirst)) is ≤ cutoff.
+		if segFirst[i+1] <= cutoff+1 {
+			_ = s.fs.Remove(filepath.Join(s.opts.Dir, segName(segFirst[i])))
+		}
+	}
+}
+
+// Close seals the WAL segment and, when periodic snapshots are enabled
+// and batches arrived since the last one, writes a final snapshot so the
+// next Open replays nothing.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	if s.opts.SnapshotEvery > 0 && s.sinceSnap > 0 {
+		if err := s.writeSnapshotLocked(); err != nil {
+			firstErr = err
+		}
+	}
+	if err := s.w.close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,627 @@
+package durable_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"isum/internal/catalog"
+	"isum/internal/core"
+	"isum/internal/cost"
+	"isum/internal/durable"
+	"isum/internal/faults"
+	"isum/internal/workload"
+)
+
+// testCatalog mirrors the two-table schema the core tests compress.
+func testCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	o := catalog.NewTable("orders", 1000000)
+	o.AddColumn(&catalog.Column{Name: "o_orderkey", Type: catalog.TypeInt, DistinctCount: 1000000, Min: 1, Max: 1000000,
+		Hist: catalog.SyntheticHistogram(1, 1000000, 1000000, 1000000, 40, 0)})
+	o.AddColumn(&catalog.Column{Name: "o_custkey", Type: catalog.TypeInt, DistinctCount: 100000, Min: 1, Max: 100000,
+		Hist: catalog.SyntheticHistogram(1, 100000, 1000000, 100000, 40, 0)})
+	o.AddColumn(&catalog.Column{Name: "o_totalprice", Type: catalog.TypeDecimal, DistinctCount: 900000, Min: 1, Max: 500000,
+		Hist: catalog.SyntheticHistogram(1, 500000, 1000000, 900000, 40, 0)})
+	cat.AddTable(o)
+	c := catalog.NewTable("customer", 100000)
+	c.AddColumn(&catalog.Column{Name: "c_custkey", Type: catalog.TypeInt, DistinctCount: 100000, Min: 1, Max: 100000,
+		Hist: catalog.SyntheticHistogram(1, 100000, 100000, 100000, 20, 0)})
+	c.AddColumn(&catalog.Column{Name: "c_nationkey", Type: catalog.TypeInt, DistinctCount: 25, Min: 0, Max: 24,
+		Hist: catalog.SyntheticHistogram(0, 24, 100000, 25, 25, 0)})
+	cat.AddTable(c)
+	return cat
+}
+
+// testBatches builds a mixed workload with costs filled and splits it
+// into batches of three — the stream a durable session observes.
+func testBatches(t *testing.T, cat *catalog.Catalog) [][]*workload.Query {
+	t.Helper()
+	var sqls []string
+	for i := 0; i < 6; i++ {
+		sqls = append(sqls, fmt.Sprintf("SELECT o_totalprice FROM orders WHERE o_orderkey = %d", 100+i))
+	}
+	for i := 0; i < 6; i++ {
+		sqls = append(sqls, fmt.Sprintf("SELECT c_custkey FROM customer WHERE c_nationkey = %d", i))
+	}
+	for i := 0; i < 3; i++ {
+		sqls = append(sqls, fmt.Sprintf(
+			"SELECT o_totalprice FROM customer, orders WHERE c_custkey = o_custkey AND c_nationkey = %d", i))
+	}
+	w, err := workload.New(cat, sqls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost.NewOptimizer(cat).FillCosts(w)
+	var batches [][]*workload.Query
+	for i := 0; i < len(w.Queries); i += 3 {
+		end := i + 3
+		if end > len(w.Queries) {
+			end = len(w.Queries)
+		}
+		batches = append(batches, w.Queries[i:end])
+	}
+	return batches
+}
+
+// oraclePools folds the batches through a plain in-memory Incremental,
+// returning the pool after each prefix (index m = pool after m batches).
+func oraclePools(cat *catalog.Catalog, batches [][]*workload.Query, k int) []*workload.Workload {
+	ic := core.NewIncremental(cat, core.DefaultOptions(), k)
+	pools := []*workload.Workload{ic.Pool()}
+	for _, b := range batches {
+		ic.Observe(b)
+		pools = append(pools, ic.Pool())
+	}
+	return pools
+}
+
+// samePool asserts byte-identical pools: same queries in the same order
+// with bit-equal costs and accumulated weights.
+func samePool(t *testing.T, got, want *workload.Workload, msg string) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: pool len %d, want %d", msg, got.Len(), want.Len())
+	}
+	for i := range want.Queries {
+		g, w := got.Queries[i], want.Queries[i]
+		if g.ID != w.ID || g.Text != w.Text {
+			t.Fatalf("%s: query %d = (%d, %q), want (%d, %q)", msg, i, g.ID, g.Text, w.ID, w.Text)
+		}
+		if math.Float64bits(g.Cost) != math.Float64bits(w.Cost) {
+			t.Fatalf("%s: query %d cost %v != %v", msg, i, g.Cost, w.Cost)
+		}
+		if math.Float64bits(g.Weight) != math.Float64bits(w.Weight) {
+			t.Fatalf("%s: query %d weight %v != %v", msg, i, g.Weight, w.Weight)
+		}
+	}
+}
+
+func storeOpts(cat *catalog.Catalog, dir string, k int) durable.Options {
+	return durable.Options{
+		Dir:        dir,
+		Catalog:    cat,
+		Compressor: core.DefaultOptions(),
+		PoolSize:   k,
+	}
+}
+
+// A clean session must recover byte-identically to the never-crashed
+// in-memory run — the determinism pin the whole design hangs on.
+func TestStoreRoundTrip(t *testing.T) {
+	cat := testCatalog()
+	batches := testBatches(t, cat)
+	pools := oraclePools(cat, batches, 4)
+	ctx := context.Background()
+
+	dir := t.TempDir()
+	opts := storeOpts(cat, dir, 4)
+	opts.SnapshotEvery = 2
+	st, info, err := durable.Open(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LSN != 0 || info.Replayed != 0 {
+		t.Fatalf("fresh dir recovered %+v", info)
+	}
+	total := 0
+	for _, b := range batches {
+		if _, err := st.Observe(ctx, b); err != nil {
+			t.Fatal(err)
+		}
+		total += len(b)
+	}
+	samePool(t, st.Pool(), pools[len(batches)], "live store")
+	if st.Seen() != total {
+		t.Fatalf("seen = %d, want %d", st.Seen(), total)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ic, rinfo, err := durable.Recover(ctx, storeOpts(cat, dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePool(t, ic.Pool(), pools[len(batches)], "recovered")
+	if ic.Seen() != total {
+		t.Fatalf("recovered seen = %d, want %d", ic.Seen(), total)
+	}
+	if rinfo.LSN != uint64(len(batches)) {
+		t.Fatalf("recovered LSN = %d, want %d", rinfo.LSN, len(batches))
+	}
+	if rinfo.SnapshotLSN == 0 {
+		t.Fatal("expected a snapshot to cover the clean shutdown")
+	}
+	if rinfo.CorruptSkipped != 0 || rinfo.Partial {
+		t.Fatalf("clean log flagged: %+v", rinfo)
+	}
+}
+
+func TestRecoverMissingDir(t *testing.T) {
+	cat := testCatalog()
+	ic, info, err := durable.Recover(context.Background(),
+		storeOpts(cat, filepath.Join(t.TempDir(), "never-created"), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic.Pool().Len() != 0 || ic.Seen() != 0 || info.LSN != 0 {
+		t.Fatalf("missing dir should recover empty, got %+v", info)
+	}
+}
+
+// Kill the writer at every record boundary and mid-record, then recover:
+// the store must come back exactly as the in-memory oracle after the
+// batches that fully persisted, and the torn tail must be skipped
+// cleanly — never a panic, never an error.
+func TestCrashRecoveryAtEveryBoundary(t *testing.T) {
+	cat := testCatalog()
+	batches := testBatches(t, cat)
+	pools := oraclePools(cat, batches, 4)
+	ctx := context.Background()
+
+	// Reference run: record the byte offset after each durable append.
+	ref := faults.NewFaultyFS(nil, faults.FSConfig{}, nil)
+	opts := storeOpts(cat, t.TempDir(), 4)
+	opts.FS = ref
+	st, _, err := durable.Open(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var boundaries []int64
+	for _, b := range batches {
+		if _, err := st.Observe(ctx, b); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, ref.Written())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash points: exactly at each boundary (batch m durable, nothing of
+	// m+1), a torn frame (+5 bytes), and a torn payload (+12 bytes).
+	type crash struct {
+		limit int64
+		want  int // batches expected to survive
+	}
+	var crashes []crash
+	for m, b := range boundaries {
+		crashes = append(crashes, crash{b, m + 1})
+		if m+1 < len(batches) {
+			crashes = append(crashes, crash{b + 5, m + 1}, crash{b + 12, m + 1})
+		}
+	}
+	for _, c := range crashes {
+		dir := t.TempDir()
+		ffs := faults.NewFaultyFS(nil, faults.FSConfig{WriteLimit: c.limit}, nil)
+		copts := storeOpts(cat, dir, 4)
+		copts.FS = ffs
+		st, _, err := durable.Open(ctx, copts)
+		if err != nil {
+			t.Fatalf("limit %d: open: %v", c.limit, err)
+		}
+		survived := 0
+		for _, b := range batches {
+			if _, err := st.Observe(ctx, b); err != nil {
+				break
+			}
+			survived++
+		}
+		// No Close: the process "died". Recover from the real files.
+		ic, info, err := durable.Recover(ctx, storeOpts(cat, dir, 4))
+		if err != nil {
+			t.Fatalf("limit %d: recover: %v", c.limit, err)
+		}
+		if int(info.LSN) != c.want {
+			t.Fatalf("limit %d: recovered LSN %d, want %d (writer survived %d)",
+				c.limit, info.LSN, c.want, survived)
+		}
+		samePool(t, ic.Pool(), pools[c.want], fmt.Sprintf("limit %d", c.limit))
+	}
+}
+
+// After a mid-record crash, Open must repair the torn tail and continue
+// the session; the final state must equal the oracle over all batches.
+func TestCrashThenContinue(t *testing.T) {
+	cat := testCatalog()
+	batches := testBatches(t, cat)
+	pools := oraclePools(cat, batches, 4)
+	ctx := context.Background()
+
+	// Learn the second batch boundary, then crash 12 bytes into record 3.
+	ref := faults.NewFaultyFS(nil, faults.FSConfig{}, nil)
+	opts := storeOpts(cat, t.TempDir(), 4)
+	opts.FS = ref
+	st, _, err := durable.Open(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b2 int64
+	for i := 0; i < 2; i++ {
+		if _, err := st.Observe(ctx, batches[i]); err != nil {
+			t.Fatal(err)
+		}
+		b2 = ref.Written()
+	}
+	_ = st.Close()
+
+	dir := t.TempDir()
+	ffs := faults.NewFaultyFS(nil, faults.FSConfig{WriteLimit: b2 + 12}, nil)
+	copts := storeOpts(cat, dir, 4)
+	copts.FS = ffs
+	st, _, err = durable.Open(ctx, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed := -1
+	for i, b := range batches {
+		if _, err := st.Observe(ctx, b); err != nil {
+			crashed = i
+			break
+		}
+	}
+	if crashed != 2 {
+		t.Fatalf("crash at batch %d, want 2", crashed)
+	}
+
+	// Reopen for real: repair + replay, then feed the remaining batches.
+	st2, info, err := durable.Open(ctx, storeOpts(cat, dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LSN != 2 || info.CorruptSkipped != 1 {
+		t.Fatalf("repair info %+v, want LSN 2 with one skipped record", info)
+	}
+	for _, b := range batches[2:] {
+		if _, err := st2.Observe(ctx, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ic, _, err := durable.Recover(ctx, storeOpts(cat, dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePool(t, ic.Pool(), pools[len(batches)], "continued session")
+}
+
+// A corrupt newest snapshot must fall back to an older one (or a full
+// replay) and still recover the exact state.
+func TestSnapshotFallback(t *testing.T) {
+	cat := testCatalog()
+	batches := testBatches(t, cat)
+	pools := oraclePools(cat, batches, 4)
+	ctx := context.Background()
+
+	dir := t.TempDir()
+	opts := storeOpts(cat, dir, 4)
+	opts.SnapshotEvery = 1
+	st, _, err := durable.Open(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if _, err := st.Observe(ctx, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// GC keeps the store bounded: at most two snapshots survive.
+	var snaps []string
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".snap") {
+			snaps = append(snaps, e.Name())
+		}
+	}
+	if len(snaps) == 0 || len(snaps) > 2 {
+		t.Fatalf("snapshot GC kept %d files: %v", len(snaps), snaps)
+	}
+
+	// Flip one payload byte in the newest snapshot.
+	newest := filepath.Join(dir, snaps[len(snaps)-1])
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ic, info, err := durable.Recover(ctx, storeOpts(cat, dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SnapshotsSkipped != 1 {
+		t.Fatalf("skipped %d snapshots, want 1", info.SnapshotsSkipped)
+	}
+	samePool(t, ic.Pool(), pools[len(batches)], "snapshot fallback")
+}
+
+// Garbage appended to the live segment — the classic torn tail — is
+// skipped; Open then repairs it so the next session's appends land
+// beyond a clean tail.
+func TestTornTailRepair(t *testing.T) {
+	cat := testCatalog()
+	batches := testBatches(t, cat)
+	pools := oraclePools(cat, batches, 4)
+	ctx := context.Background()
+
+	dir := t.TempDir()
+	st, _, err := durable.Open(ctx, storeOpts(cat, dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches[:3] {
+		if _, err := st.Observe(ctx, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = st.Close()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".log") {
+			seg = filepath.Join(dir, e.Name())
+		}
+	}
+	f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("\x99\x99torn tail garbage")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ic, info, err := durable.Recover(ctx, storeOpts(cat, dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LSN != 3 || info.CorruptSkipped != 1 {
+		t.Fatalf("torn tail info %+v", info)
+	}
+	samePool(t, ic.Pool(), pools[3], "torn tail")
+
+	st2, _, err := durable.Open(ctx, storeOpts(cat, dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches[3:] {
+		if _, err := st2.Observe(ctx, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = st2.Close()
+	ic, _, err = durable.Recover(ctx, storeOpts(cat, dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePool(t, ic.Pool(), pools[len(batches)], "after repair")
+}
+
+// Silent single-bit corruption on the read path: recovery must stop at
+// the checksum failure and return a valid oracle prefix — never panic,
+// never error.
+func TestBitFlipRecoveryIsPrefix(t *testing.T) {
+	cat := testCatalog()
+	batches := testBatches(t, cat)
+	pools := oraclePools(cat, batches, 4)
+	ctx := context.Background()
+
+	dir := t.TempDir()
+	st, _, err := durable.Open(ctx, storeOpts(cat, dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if _, err := st.Observe(ctx, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = st.Close()
+
+	for seed := int64(1); seed <= 8; seed++ {
+		opts := storeOpts(cat, dir, 4)
+		opts.FS = faults.NewFaultyFS(nil, faults.FSConfig{Seed: seed, FlipBitRate: 0.3}, nil)
+		ic, info, err := durable.Recover(ctx, opts)
+		if err != nil {
+			t.Fatalf("seed %d: recover: %v", seed, err)
+		}
+		m := int(info.LSN)
+		if m > len(batches) {
+			t.Fatalf("seed %d: recovered LSN %d beyond log", seed, m)
+		}
+		samePool(t, ic.Pool(), pools[m], fmt.Sprintf("seed %d prefix %d", seed, m))
+	}
+}
+
+// An injected fsync failure poisons the session (the failed record's
+// durability is unknowable — fsyncgate), every later Observe fails, and
+// reopening converges on what the log actually holds: the applied
+// prefix, possibly plus the ambiguous batch.
+func TestSyncErrorPoisonsWriter(t *testing.T) {
+	cat := testCatalog()
+	batches := testBatches(t, cat)
+	pools := oraclePools(cat, batches, 4)
+	ctx := context.Background()
+
+	dir := t.TempDir()
+	opts := storeOpts(cat, dir, 4)
+	opts.FS = faults.NewFaultyFS(nil, faults.FSConfig{Seed: 3, SyncErrorRate: 0.5}, nil)
+	st, _, err := durable.Open(ctx, opts)
+	if err != nil {
+		// Directory fsync at open can be the injected victim; that is a
+		// legal failure mode for this test.
+		t.Skipf("open hit the injected sync error: %v", err)
+	}
+	applied := 0
+	failedAt := -1
+	for i, b := range batches {
+		if _, err := st.Observe(ctx, b); err != nil {
+			failedAt = i
+			break
+		}
+		applied++
+	}
+	if failedAt < 0 {
+		t.Fatal("expected an injected fsync failure at rate 0.5")
+	}
+	if got := int(st.LSN()); got != applied {
+		t.Fatalf("store LSN %d, applied %d", got, applied)
+	}
+	// Poisoned: the very next Observe must fail without touching state.
+	if _, err := st.Observe(ctx, batches[failedAt]); err == nil {
+		t.Fatal("poisoned writer accepted another batch")
+	}
+	if got := int(st.LSN()); got != applied {
+		t.Fatalf("poisoned Observe moved LSN to %d", got)
+	}
+
+	// Reopening converges on the log: the failed record's bytes reached
+	// the file (only its fsync was denied), so recovery may legally see
+	// applied or applied+1 batches — both are valid oracle states.
+	ic, info, err := durable.Recover(ctx, storeOpts(cat, dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := int(info.LSN)
+	if m != applied && m != applied+1 {
+		t.Fatalf("recovered LSN %d, want %d or %d", m, applied, applied+1)
+	}
+	samePool(t, ic.Pool(), pools[m], "post-fsync-failure recovery")
+}
+
+// A cancelled context makes Open fail cleanly (no partial writer) while
+// Recover honours the anytime contract.
+func TestOpenRefusesPartialRecovery(t *testing.T) {
+	cat := testCatalog()
+	batches := testBatches(t, cat)
+	ctx := context.Background()
+
+	dir := t.TempDir()
+	st, _, err := durable.Open(ctx, storeOpts(cat, dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if _, err := st.Observe(ctx, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = st.Close()
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := durable.Open(cancelled, storeOpts(cat, dir, 4)); err == nil {
+		t.Fatal("Open must refuse to append after a partial recovery")
+	}
+	ic, info, err := durable.Recover(cancelled, storeOpts(cat, dir, 4))
+	if err != nil {
+		t.Fatalf("Recover must be anytime: %v", err)
+	}
+	if !info.Partial {
+		t.Fatal("cancelled recovery should be marked partial")
+	}
+	if ic == nil || ic.Pool() == nil {
+		t.Fatal("partial recovery must still return a valid state")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want durable.SyncPolicy
+	}{{"always", durable.SyncAlways}, {"rotate", durable.SyncRotate}, {"never", durable.SyncNever}} {
+		got, err := durable.ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := durable.ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+// Segment rotation spreads the log across files and recovery stitches
+// them back together.
+func TestSegmentRotation(t *testing.T) {
+	cat := testCatalog()
+	batches := testBatches(t, cat)
+	pools := oraclePools(cat, batches, 4)
+	ctx := context.Background()
+
+	dir := t.TempDir()
+	opts := storeOpts(cat, dir, 4)
+	opts.SegmentBytes = 256 // force a rotation every batch or two
+	st, _, err := durable.Open(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if _, err := st.Observe(ctx, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = st.Close()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := 0
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".log") {
+			segs++
+		}
+	}
+	if segs < 2 {
+		t.Fatalf("expected rotation to produce multiple segments, got %d", segs)
+	}
+	ic, _, err := durable.Recover(ctx, storeOpts(cat, dir, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePool(t, ic.Pool(), pools[len(batches)], "rotated log")
+}

@@ -1,0 +1,390 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"isum/internal/telemetry"
+	"isum/internal/vfs"
+)
+
+// Filesystem fault injection for the durable store (DESIGN.md §14). A
+// FaultyFS wraps any vfs.FS and injects the failure modes a real
+// disk and kernel produce — short writes, fsync errors, bit-flipped
+// reads, and a hard crash horizon after a byte budget — so the WAL and
+// snapshot recovery paths are driven by tests through the exact code
+// the production store runs. Like the what-if injector, every decision
+// is a pure function of (seed, file name, per-file operation index),
+// never of time or call interleaving, so a chaos schedule replays
+// identically run after run.
+
+// ErrInjectedIO marks a transient filesystem failure produced by the
+// harness (short write, fsync error).
+var ErrInjectedIO = errors.New("faults: injected I/O failure")
+
+// ErrCrashed marks the crash horizon: the simulated process died and no
+// further writes reach the disk. Every write-side operation fails with
+// it once the budget is exhausted, mimicking a SIGKILL mid-write.
+var ErrCrashed = errors.New("faults: injected crash")
+
+// FSConfig sets the filesystem injection rates.
+type FSConfig struct {
+	// Seed keys every decision; same seed + same operation sequence →
+	// same faults.
+	Seed int64
+	// ShortWriteRate is the probability a Write persists only a prefix
+	// (at least one byte short) and then fails with ErrInjectedIO.
+	ShortWriteRate float64
+	// SyncErrorRate is the probability a Sync or SyncDir fails with
+	// ErrInjectedIO after doing nothing.
+	SyncErrorRate float64
+	// FlipBitRate is the probability a read-side operation flips one
+	// deterministic bit in the bytes it returns — silent corruption the
+	// checksums must catch.
+	FlipBitRate float64
+	// WriteLimit, when > 0, is the crash horizon: after this many bytes
+	// have been written across all files, the final write is truncated
+	// at the horizon (a torn record) and every later write-side call
+	// fails with ErrCrashed.
+	WriteLimit int64
+}
+
+// FaultyFS wraps a vfs.FS with deterministic fault injection. Safe
+// for concurrent use; per-file operation counters are the only mutable
+// state and are mutex-guarded.
+type FaultyFS struct {
+	base vfs.FS
+	cfg  FSConfig
+
+	mu      sync.Mutex
+	ops     map[string]uint64 // per-file operation index
+	written int64             // total bytes written (crash horizon)
+	crashed bool
+
+	shortWrites *telemetry.Counter // faults/fs/short_writes
+	syncErrors  *telemetry.Counter // faults/fs/sync_errors
+	bitFlips    *telemetry.Counter // faults/fs/bit_flips
+	crashes     *telemetry.Counter // faults/fs/crashes
+}
+
+// NewFaultyFS wraps base (nil = the real filesystem) with injection
+// configured by cfg, registering the faults/fs/* counters in reg (nil
+// gives the injector a private registry).
+func NewFaultyFS(base vfs.FS, cfg FSConfig, reg *telemetry.Registry) *FaultyFS {
+	if base == nil {
+		base = vfs.OSFS{}
+	}
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	return &FaultyFS{
+		base:        base,
+		cfg:         cfg,
+		ops:         make(map[string]uint64),
+		shortWrites: reg.Counter("faults/fs/short_writes"),
+		syncErrors:  reg.Counter("faults/fs/sync_errors"),
+		bitFlips:    reg.Counter("faults/fs/bit_flips"),
+		crashes:     reg.Counter("faults/fs/crashes"),
+	}
+}
+
+// Crashed reports whether the crash horizon has been reached.
+func (f *FaultyFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Written reports the total bytes written so far.
+func (f *FaultyFS) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// nextOp atomically returns the operation index for name and advances it.
+func (f *FaultyFS) nextOp(name string) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.ops[name]
+	f.ops[name] = n + 1
+	return n
+}
+
+// roll returns a uniform [0, 1) decision value for (file, op index, kind).
+func (f *FaultyFS) roll(name string, op uint64, salt uint64) float64 {
+	h := hash64(uint64(f.cfg.Seed) ^ salt)
+	h = hashString(h, filepath.Base(name))
+	h = hash64(h ^ op)
+	return float64(h>>11) / (1 << 53)
+}
+
+// Per-kind decision streams, disjoint from the what-if salts.
+const (
+	saltShortWrite uint64 = 0xd6e8feb86659fd93
+	saltSyncError  uint64 = 0xa5a5a5a5a5a5a5a5
+	saltBitFlip    uint64 = 0xc2b2ae3d27d4eb4f
+)
+
+// checkCrashed fails write-side calls after the horizon.
+func (f *FaultyFS) checkCrashed() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return fmt.Errorf("%w (after %d bytes)", ErrCrashed, f.written)
+	}
+	return nil
+}
+
+// Create implements vfs.FS.
+func (f *FaultyFS) Create(name string) (vfs.File, error) {
+	if err := f.checkCrashed(); err != nil {
+		return nil, err
+	}
+	base, err := f.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, name: name, base: base}, nil
+}
+
+// Open implements vfs.FS; reads pass through a bit-flipping reader
+// when FlipBitRate is set.
+func (f *FaultyFS) Open(name string) (io.ReadCloser, error) {
+	rc, err := f.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if f.cfg.FlipBitRate <= 0 {
+		return rc, nil
+	}
+	return &flippingReader{fs: f, name: name, base: rc}, nil
+}
+
+// ReadDir implements vfs.FS.
+func (f *FaultyFS) ReadDir(dir string) ([]string, error) { return f.base.ReadDir(dir) }
+
+// Rename implements vfs.FS; it is a metadata write, so it respects
+// the crash horizon.
+func (f *FaultyFS) Rename(oldname, newname string) error {
+	if err := f.checkCrashed(); err != nil {
+		return err
+	}
+	return f.base.Rename(oldname, newname)
+}
+
+// Remove implements vfs.FS.
+func (f *FaultyFS) Remove(name string) error {
+	if err := f.checkCrashed(); err != nil {
+		return err
+	}
+	return f.base.Remove(name)
+}
+
+// MkdirAll implements vfs.FS.
+func (f *FaultyFS) MkdirAll(dir string) error {
+	if err := f.checkCrashed(); err != nil {
+		return err
+	}
+	return f.base.MkdirAll(dir)
+}
+
+// SyncDir implements vfs.FS.
+func (f *FaultyFS) SyncDir(dir string) error {
+	if err := f.checkCrashed(); err != nil {
+		return err
+	}
+	op := f.nextOp(dir + "/")
+	if f.cfg.SyncErrorRate > 0 && f.roll(dir+"/", op, saltSyncError) < f.cfg.SyncErrorRate {
+		f.syncErrors.Inc()
+		return fmt.Errorf("%w: syncdir %s (op %d)", ErrInjectedIO, filepath.Base(dir), op)
+	}
+	return f.base.SyncDir(dir)
+}
+
+// faultyFile injects write-side faults on one handle.
+type faultyFile struct {
+	fs   *FaultyFS
+	name string
+	base vfs.File
+}
+
+// Write implements vfs.File. Under the crash horizon the write is
+// truncated at the horizon byte — a torn record, exactly what a dead
+// kernel leaves — and the handle reports ErrCrashed. A short-write fault
+// persists a deterministic prefix and reports ErrInjectedIO.
+func (f *faultyFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	if f.fs.crashed {
+		written := f.fs.written
+		f.fs.mu.Unlock()
+		return 0, fmt.Errorf("%w (after %d bytes)", ErrCrashed, written)
+	}
+	limit := len(p)
+	crashing := false
+	if f.fs.cfg.WriteLimit > 0 && f.fs.written+int64(len(p)) > f.fs.cfg.WriteLimit {
+		limit = int(f.fs.cfg.WriteLimit - f.fs.written)
+		if limit < 0 {
+			limit = 0
+		}
+		crashing = true
+		f.fs.crashed = true
+	}
+	f.fs.written += int64(limit)
+	f.fs.mu.Unlock()
+
+	if crashing {
+		f.fs.crashes.Inc()
+		if limit > 0 {
+			if _, err := f.base.Write(p[:limit]); err != nil {
+				return 0, err
+			}
+		}
+		return limit, fmt.Errorf("%w (write truncated at byte %d)", ErrCrashed, limit)
+	}
+
+	op := f.fs.nextOp(f.name)
+	if f.fs.cfg.ShortWriteRate > 0 && f.fs.roll(f.name, op, saltShortWrite) < f.fs.cfg.ShortWriteRate && len(p) > 0 {
+		// Persist a deterministic strict prefix.
+		n := int(f.fs.roll(f.name, op, saltShortWrite^saltBitFlip) * float64(len(p)))
+		if n >= len(p) {
+			n = len(p) - 1
+		}
+		f.fs.shortWrites.Inc()
+		if n > 0 {
+			if _, err := f.base.Write(p[:n]); err != nil {
+				return 0, err
+			}
+		}
+		f.fs.mu.Lock()
+		f.fs.written -= int64(len(p) - n)
+		f.fs.mu.Unlock()
+		return n, fmt.Errorf("%w: short write %d/%d on %s (op %d)", ErrInjectedIO, n, len(p), filepath.Base(f.name), op)
+	}
+	return f.base.Write(p)
+}
+
+// Sync implements vfs.File.
+func (f *faultyFile) Sync() error {
+	if err := f.fs.checkCrashed(); err != nil {
+		return err
+	}
+	op := f.fs.nextOp(f.name + "#sync")
+	if f.fs.cfg.SyncErrorRate > 0 && f.fs.roll(f.name, op, saltSyncError) < f.fs.cfg.SyncErrorRate {
+		f.fs.syncErrors.Inc()
+		return fmt.Errorf("%w: fsync %s (op %d)", ErrInjectedIO, filepath.Base(f.name), op)
+	}
+	return f.base.Sync()
+}
+
+// Close implements vfs.File. Close always reaches the base handle so
+// chaos tests never leak file descriptors.
+func (f *faultyFile) Close() error { return f.base.Close() }
+
+// flippingReader flips one deterministic bit per faulted read call —
+// silent corruption for the checksums to catch.
+type flippingReader struct {
+	fs   *FaultyFS
+	name string
+	base io.ReadCloser
+}
+
+func (r *flippingReader) Read(p []byte) (int, error) {
+	n, err := r.base.Read(p)
+	if n > 0 {
+		op := r.fs.nextOp(r.name + "#read")
+		if roll := r.fs.roll(r.name, op, saltBitFlip); roll < r.fs.cfg.FlipBitRate {
+			// Pick the victim bit from a second roll on the same stream.
+			pos := int(r.fs.roll(r.name, op, saltBitFlip^saltShortWrite) * float64(n*8))
+			if pos >= n*8 {
+				pos = n*8 - 1
+			}
+			p[pos/8] ^= 1 << (pos % 8)
+			r.fs.bitFlips.Inc()
+		}
+	}
+	return n, err
+}
+
+func (r *flippingReader) Close() error { return r.base.Close() }
+
+// ParseFSSpec parses a filesystem chaos spec of comma-separated
+// key=value pairs:
+//
+//	seed=42,shortwrites=0.05,syncerrors=0.05,bitflips=0.01,writelimit=4096
+//
+// Unknown keys are errors; omitted rates default to zero and an omitted
+// seed to 1.
+func ParseFSSpec(spec string) (FSConfig, error) {
+	cfg := FSConfig{Seed: 1}
+	if spec == "" {
+		return cfg, fmt.Errorf("faults: empty fs chaos spec")
+	}
+	err := parseKVSpec(spec, func(key, val string) error {
+		switch key {
+		case "seed":
+			n, perr := parseInt64(val)
+			if perr != nil {
+				return fmt.Errorf("bad seed %q", val)
+			}
+			cfg.Seed = n
+		case "shortwrites", "syncerrors", "bitflips":
+			r, perr := parseRate(val)
+			if perr != nil {
+				return fmt.Errorf("%s rate %q must be in [0,1]", key, val)
+			}
+			switch key {
+			case "shortwrites":
+				cfg.ShortWriteRate = r
+			case "syncerrors":
+				cfg.SyncErrorRate = r
+			case "bitflips":
+				cfg.FlipBitRate = r
+			}
+		case "writelimit":
+			n, perr := parseInt64(val)
+			if perr != nil || n < 0 {
+				return fmt.Errorf("bad writelimit %q", val)
+			}
+			cfg.WriteLimit = n
+		default:
+			return fmt.Errorf("unknown key %q (want seed/shortwrites/syncerrors/bitflips/writelimit)", key)
+		}
+		return nil
+	})
+	return cfg, err
+}
+
+// parseKVSpec walks a comma-separated key=value spec, calling set for
+// each pair; errors are wrapped with the spec for context.
+func parseKVSpec(spec string, set func(key, val string) error) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("faults: fs chaos spec %q: expected key=value, got %q", spec, part)
+		}
+		if err := set(strings.TrimSpace(key), strings.TrimSpace(val)); err != nil {
+			return fmt.Errorf("faults: fs chaos spec: %w", err)
+		}
+	}
+	return nil
+}
+
+func parseInt64(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
+
+func parseRate(s string) (float64, error) {
+	r, err := strconv.ParseFloat(s, 64)
+	if err != nil || r < 0 || r > 1 {
+		return 0, fmt.Errorf("rate out of range")
+	}
+	return r, nil
+}

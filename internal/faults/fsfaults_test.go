@@ -1,0 +1,188 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"isum/internal/vfs"
+)
+
+func writeAll(t *testing.T, fs vfs.FS, name string, chunks [][]byte) (persisted int, errs int) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, c := range chunks {
+		n, err := f.Write(c)
+		persisted += n
+		if err != nil {
+			errs++
+		}
+	}
+	return persisted, errs
+}
+
+// Same seed, same operation sequence → identical faults, byte for byte.
+func TestFaultyFSDeterministic(t *testing.T) {
+	run := func(dir string) (int, int, int64) {
+		ffs := NewFaultyFS(nil, FSConfig{Seed: 9, ShortWriteRate: 0.4, SyncErrorRate: 0.4}, nil)
+		chunks := [][]byte{
+			bytes.Repeat([]byte("a"), 100),
+			bytes.Repeat([]byte("b"), 57),
+			bytes.Repeat([]byte("c"), 9),
+			bytes.Repeat([]byte("d"), 200),
+		}
+		persisted, errs := writeAll(t, ffs, filepath.Join(dir, "f.log"), chunks)
+		f, err := ffs.Create(filepath.Join(dir, "g.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		syncErrs := 0
+		for i := 0; i < 6; i++ {
+			if err := f.Sync(); err != nil {
+				syncErrs++
+			}
+		}
+		f.Close()
+		return persisted + syncErrs*1000, errs, ffs.Written()
+	}
+	a1, a2, a3 := run(t.TempDir())
+	b1, b2, b3 := run(t.TempDir())
+	if a1 != b1 || a2 != b2 || a3 != b3 {
+		t.Fatalf("same seed diverged: (%d,%d,%d) vs (%d,%d,%d)", a1, a2, a3, b1, b2, b3)
+	}
+	if a2 == 0 {
+		t.Fatal("short-write rate 0.4 over 4 writes never fired")
+	}
+}
+
+// A short write persists a strict prefix and reports ErrInjectedIO; the
+// bytes on disk match what the handle reported.
+func TestFaultyFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultyFS(nil, FSConfig{Seed: 2, ShortWriteRate: 1}, nil)
+	name := filepath.Join(dir, "w.log")
+	f, err := ffs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 64)
+	n, werr := f.Write(payload)
+	f.Close()
+	if werr == nil || !errors.Is(werr, ErrInjectedIO) {
+		t.Fatalf("want ErrInjectedIO, got %v", werr)
+	}
+	if n >= len(payload) {
+		t.Fatalf("short write persisted %d/%d", n, len(payload))
+	}
+	rc, err := (vfs.OSFS{}).Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(rc)
+	rc.Close()
+	if len(data) != n {
+		t.Fatalf("disk has %d bytes, handle reported %d", len(data), n)
+	}
+	if ffs.Written() != int64(n) {
+		t.Fatalf("Written() = %d, want %d", ffs.Written(), n)
+	}
+}
+
+// The crash horizon truncates the final write and fails everything after.
+func TestFaultyFSCrashHorizon(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultyFS(nil, FSConfig{WriteLimit: 10}, nil)
+	f, err := ffs.Create(filepath.Join(dir, "c.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("12345678")); n != 8 || err != nil {
+		t.Fatalf("pre-horizon write: %d, %v", n, err)
+	}
+	n, err := f.Write([]byte("abcdefgh"))
+	if n != 2 || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("horizon write: %d, %v (want 2, ErrCrashed)", n, err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("not crashed after horizon")
+	}
+	if _, err := f.Write([]byte("z")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	f.Close()
+	if _, err := ffs.Create(filepath.Join(dir, "d.log")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create: %v", err)
+	}
+	if err := ffs.Rename(filepath.Join(dir, "c.log"), filepath.Join(dir, "e.log")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+}
+
+// Bit flips corrupt reads deterministically without touching the file.
+func TestFaultyFSBitFlips(t *testing.T) {
+	dir := t.TempDir()
+	name := filepath.Join(dir, "r.log")
+	clean := vfs.OSFS{}
+	f, err := clean.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := bytes.Repeat([]byte{0x00}, 4096)
+	if _, err := f.Write(orig); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	read := func(seed int64) []byte {
+		ffs := NewFaultyFS(nil, FSConfig{Seed: seed, FlipBitRate: 0.5}, nil)
+		rc, err := ffs.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rc.Close()
+		data, err := io.ReadAll(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := read(5)
+	if bytes.Equal(a, orig) {
+		t.Fatal("flip rate 0.5 never flipped a bit across a 4k read")
+	}
+	if !bytes.Equal(a, read(5)) {
+		t.Fatal("same seed produced different flips")
+	}
+	// The file itself is untouched.
+	rc, _ := clean.Open(name)
+	data, _ := io.ReadAll(rc)
+	rc.Close()
+	if !bytes.Equal(data, orig) {
+		t.Fatal("flipping reader wrote to the file")
+	}
+}
+
+func TestParseFSSpec(t *testing.T) {
+	cfg, err := ParseFSSpec("seed=7,shortwrites=0.1,syncerrors=0.2,bitflips=0.3,writelimit=4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.ShortWriteRate != 0.1 || cfg.SyncErrorRate != 0.2 ||
+		cfg.FlipBitRate != 0.3 || cfg.WriteLimit != 4096 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	for _, bad := range []string{"", "shortwrites=2", "writelimit=-1", "nope=1", "seed"} {
+		if _, err := ParseFSSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}

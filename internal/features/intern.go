@@ -1,6 +1,9 @@
 package features
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Interner is a workload-scoped dictionary mapping feature keys
 // ("table.column") to dense uint32 IDs. It is built once during feature
@@ -69,6 +72,31 @@ func (in *Interner) appendSorted(fresh []string) {
 	if m := vtel.Load(); m != nil {
 		m.internSize.Set(float64(len(in.keys)))
 	}
+}
+
+// RestoreKeys rebuilds the dictionary with exactly the given keys in ID
+// order, bypassing the per-batch lexicographic canonicalisation — the
+// recovery hook for dictionaries persisted by internal/durable. IDs were
+// originally assigned across many batches, so the full table in ID order
+// is generally NOT globally sorted; restoring must reproduce the exact
+// assignment or every downstream merge-join would sum in a different
+// order. Only an empty interner can be restored into, and duplicate keys
+// are rejected (a corrupt snapshot must not silently alias IDs).
+func (in *Interner) RestoreKeys(keys []string) error {
+	if len(in.keys) > 0 {
+		return fmt.Errorf("features: RestoreKeys on a non-empty interner (%d keys)", len(in.keys))
+	}
+	for i, k := range keys {
+		if _, dup := in.ids[k]; dup {
+			return fmt.Errorf("features: RestoreKeys: duplicate key %q at ID %d", k, i)
+		}
+		in.ids[k] = uint32(i)
+		in.keys = append(in.keys, k)
+	}
+	if m := vtel.Load(); m != nil {
+		m.internSize.Set(float64(len(in.keys)))
+	}
+	return nil
 }
 
 // ID returns the key's ID and whether the key is interned.

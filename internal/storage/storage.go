@@ -238,13 +238,30 @@ func ScaleHistogram(h *catalog.Histogram, totalRows int64) {
 		}
 		acc += h.Buckets[i].RowCount
 	}
-	// Push rounding residue into the last bucket.
+	// Distribute the rounding residue so bucket sums equal totalRows
+	// exactly. A positive residue (truncation undershoot, the common case)
+	// goes to the last bucket. A negative residue — possible when the
+	// input histogram's Rows disagrees with its bucket sums, so factor
+	// over-scales — is drained from the tail buckets backwards, each
+	// giving what it has; clamping the last bucket alone would silently
+	// drop rows and leave the sums disagreeing with h.Rows.
 	if len(h.Buckets) > 0 && acc != totalRows {
 		d := totalRows - acc
-		lb := &h.Buckets[len(h.Buckets)-1]
-		lb.RowCount += d
-		if lb.RowCount < 0 {
-			lb.RowCount = 0
+		if d > 0 {
+			h.Buckets[len(h.Buckets)-1].RowCount += d
+		} else {
+			for i := len(h.Buckets) - 1; i >= 0 && d < 0; i-- {
+				b := &h.Buckets[i]
+				take := -d
+				if take > b.RowCount {
+					take = b.RowCount
+				}
+				b.RowCount -= take
+				if b.Distinct > b.RowCount {
+					b.Distinct = b.RowCount
+				}
+				d += take
+			}
 		}
 	}
 	h.Rows = totalRows

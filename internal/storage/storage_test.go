@@ -140,6 +140,76 @@ func TestScaleHistogram(t *testing.T) {
 	ScaleHistogram(nil, 5) // must not panic
 }
 
+// Regression: a negative rounding residue used to be pushed into the last
+// bucket and clamped at zero, silently dropping rows so the bucket sums no
+// longer equalled h.Rows. The residue must be drained across the tail
+// buckets instead, keeping Σ RowCount == h.Rows == totalRows exactly.
+func TestScaleHistogramNegativeResidue(t *testing.T) {
+	// Rows disagrees with the bucket sums (101 vs 50) — the shape a
+	// hand-built or previously mis-scaled histogram can carry — so the
+	// scale factor over-scales and acc overshoots totalRows by more than
+	// the last bucket holds.
+	h := &catalog.Histogram{
+		Min: 0,
+		Buckets: []catalog.Bucket{
+			{UpperBound: 10, RowCount: 50, Distinct: 10},
+			{UpperBound: 20, RowCount: 50, Distinct: 10},
+			{UpperBound: 30, RowCount: 1, Distinct: 1},
+		},
+		Rows: 50,
+	}
+	ScaleHistogram(h, 25)
+	if h.Rows != 25 {
+		t.Fatalf("Rows = %d, want 25", h.Rows)
+	}
+	var sum int64
+	for i, b := range h.Buckets {
+		if b.RowCount < 0 {
+			t.Fatalf("bucket %d negative: %d", i, b.RowCount)
+		}
+		if b.Distinct > b.RowCount {
+			t.Fatalf("bucket %d distinct %d > rows %d", i, b.Distinct, b.RowCount)
+		}
+		sum += b.RowCount
+	}
+	if sum != 25 {
+		t.Fatalf("bucket sum = %d, want 25 (rows were dropped)", sum)
+	}
+}
+
+// Property: scaling any consistent histogram preserves Σ RowCount ==
+// totalRows, with no negative buckets, at any target size.
+func TestScaleHistogramSumInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		nb := 1 + rng.Intn(8)
+		h := &catalog.Histogram{}
+		var rows int64
+		for i := 0; i < nb; i++ {
+			rc := int64(1 + rng.Intn(5000))
+			rows += rc
+			h.Buckets = append(h.Buckets, catalog.Bucket{
+				UpperBound: float64(10 * (i + 1)),
+				RowCount:   rc,
+				Distinct:   1 + rc/2,
+			})
+		}
+		h.Rows = rows
+		total := int64(1 + rng.Intn(100_000))
+		ScaleHistogram(h, total)
+		var sum int64
+		for i, b := range h.Buckets {
+			if b.RowCount < 0 {
+				t.Fatalf("trial %d: bucket %d negative: %d", trial, i, b.RowCount)
+			}
+			sum += b.RowCount
+		}
+		if sum != total {
+			t.Fatalf("trial %d: bucket sum %d != totalRows %d", trial, sum, total)
+		}
+	}
+}
+
 func TestDistributions(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	u := Uniform{10, 20}

@@ -1,0 +1,92 @@
+// Package vfs is the narrow filesystem abstraction the durable store
+// runs on, split into its own leaf package so fault injectors
+// (internal/faults) and the store (internal/durable) can share it
+// without import cycles.
+package vfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem surface the durable store needs. The
+// production implementation is OSFS; internal/faults wraps any FS with a
+// deterministic fault injector (short writes, fsync errors, bit-flipped
+// reads, a crash horizon) so chaos tests drive every WAL/snapshot failure
+// path through the same code the real store runs.
+type FS interface {
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (io.ReadCloser, error)
+	// ReadDir lists the file names in dir, sorted lexicographically.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// SyncDir flushes directory metadata (created/renamed entries) so a
+	// crash cannot forget a rename that already returned.
+	SyncDir(dir string) error
+}
+
+// File is a writable file handle with explicit durability control.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	// Close closes the handle (without an implicit Sync).
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// Open implements FS.
+func (OSFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+// ReadDir implements FS: regular-file names only, sorted.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// SyncDir implements FS. Directory fsync is best-effort: some platforms
+// and filesystems reject it, and the store's correctness never depends on
+// it (recovery tolerates a missing tail), so errors from the sync itself
+// are dropped.
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	_ = d.Sync()
+	return d.Close()
+}

@@ -137,10 +137,60 @@ strip_elapsed() { sed -E 's/ in [0-9.]+(ns|us|µs|ms|s|m)+ / /'; }
     | strip_elapsed >"$fm_dir/tune_chaos.txt"
 cmp "$fm_dir/tune_plain.txt" "$fm_dir/tune_chaos.txt"
 
+echo "== durability smoke =="
+# Crash recovery end to end (DESIGN.md §14). Baseline: an uninterrupted
+# durable session, with its metrics export validated against every
+# literal durable/* name in the code.
+du_dir=$(mktemp -d)
+trap 'rm -rf "$du_dir" "$fm_dir" "$dbg_dir"; rm -f "$metrics_out"' EXIT
+go build -o "$du_dir/" ./cmd/isum ./cmd/inspect ./scripts/metricscheck
+"$du_dir/isum" -benchmark tpch -n 473 -k 8 -wal-dir "$du_dir/wA" -snapshot-every 3 \
+    -metrics-out "$du_dir/durable_metrics.json" -out "$du_dir/a.json" >/dev/null 2>&1
+"$du_dir/metricscheck" \
+    -require durable/wal/appended \
+    -require durable/snapshot/written \
+    -names-from internal/durable \
+    "$du_dir/durable_metrics.json"
+
+# Real SIGKILL against a second session. Wherever the kill lands (mid-run
+# or after completion), the recovery report must be clean and
+# deterministic — two inspect runs print byte-identical reports — and a
+# restart with the same -wal-dir resumes after the recovered prefix and
+# converges on the baseline output.
+"$du_dir/isum" -benchmark tpch -n 473 -k 8 -wal-dir "$du_dir/wB" -snapshot-every 3 \
+    -out "$du_dir/b_partial.json" >/dev/null 2>&1 &
+du_pid=$!
+sleep 0.15
+kill -9 "$du_pid" 2>/dev/null || true
+wait "$du_pid" 2>/dev/null || true
+"$du_dir/inspect" -benchmark tpch -k 8 -wal-dir "$du_dir/wB" 2>/dev/null >"$du_dir/rep1.txt"
+"$du_dir/inspect" -benchmark tpch -k 8 -wal-dir "$du_dir/wB" 2>/dev/null >"$du_dir/rep2.txt"
+cmp "$du_dir/rep1.txt" "$du_dir/rep2.txt"
+grep -q 'recovered state' "$du_dir/rep1.txt"
+"$du_dir/isum" -benchmark tpch -n 473 -k 8 -wal-dir "$du_dir/wB" -snapshot-every 3 \
+    -out "$du_dir/b.json" >/dev/null 2>&1
+cmp "$du_dir/a.json" "$du_dir/b.json"
+
+# Deterministic torn tail: with snapshots off the whole session lives in
+# the WAL; truncating the segment mid-record forces recovery to detect
+# the torn record by checksum, skip it, replay the good prefix, and
+# repair the tail on the next open — which then converges again.
+"$du_dir/isum" -benchmark tpch -n 473 -k 8 -wal-dir "$du_dir/wC" -snapshot-every 0 \
+    -out /dev/null >/dev/null 2>&1
+seg=$(ls "$du_dir/wC"/wal-*.log | sort | tail -n1)
+truncate -s $(($(wc -c <"$seg") - 7)) "$seg"
+"$du_dir/inspect" -benchmark tpch -k 8 -wal-dir "$du_dir/wC" 2>/dev/null >"$du_dir/rep3.txt"
+grep -q '1 corrupt skipped' "$du_dir/rep3.txt"
+"$du_dir/isum" -benchmark tpch -n 473 -k 8 -wal-dir "$du_dir/wC" -snapshot-every 3 \
+    -out "$du_dir/c.json" >/dev/null 2>&1
+cmp "$du_dir/a.json" "$du_dir/c.json"
+
 echo "== fuzz smoke =="
 go test -fuzz 'FuzzSplitStatements' -fuzztime "${FUZZTIME:-10s}" -run '^$' ./internal/workload
 go test -fuzz 'FuzzParse' -fuzztime "${FUZZTIME:-10s}" -run '^$' ./internal/sqlparser
 go test -fuzz 'FuzzSparseVecOps' -fuzztime "${FUZZTIME:-10s}" -run '^$' ./internal/features
+go test -fuzz 'FuzzWALReplay' -fuzztime "${FUZZTIME:-10s}" -run '^$' ./internal/durable
+go test -fuzz 'FuzzSnapshotDecode' -fuzztime "${FUZZTIME:-10s}" -run '^$' ./internal/durable
 
 if [ "${1:-}" = "--no-bench" ]; then
     echo "CI OK (benchmarks skipped)"
@@ -163,7 +213,7 @@ fi
 
 echo "== parallel benchmarks =="
 bench_out=$(mktemp)
-trap 'rm -f "$bench_out" "$metrics_out"; rm -rf "$fm_dir" "$dbg_dir"' EXIT
+trap 'rm -f "$bench_out" "$metrics_out"; rm -rf "$fm_dir" "$dbg_dir" "$du_dir"' EXIT
 go test -bench '^(BenchmarkCompress|BenchmarkTune)$' -benchmem \
     -benchtime "${BENCHTIME:-3x}" -run '^$' . | tee "$bench_out"
 go run ./scripts/benchjson <"$bench_out" >BENCH_parallel.json
@@ -173,7 +223,7 @@ echo "== sharded-scale benchmarks =="
 # One iteration by default: the cons=off baseline runs the greedy loop
 # over all 10^5 per-query states and takes tens of seconds per op.
 shard_out=$(mktemp)
-trap 'rm -f "$bench_out" "$shard_out" "$metrics_out"; rm -rf "$fm_dir" "$dbg_dir"' EXIT
+trap 'rm -f "$bench_out" "$shard_out" "$metrics_out"; rm -rf "$fm_dir" "$dbg_dir" "$du_dir"' EXIT
 go test -bench '^(BenchmarkCompressSharded|BenchmarkCompressConsed)$' -benchmem \
     -benchtime "${SHARD_BENCHTIME:-1x}" -run '^$' -timeout 30m . | tee "$shard_out"
 go run ./scripts/benchjson <"$shard_out" >BENCH_shard.json
@@ -181,7 +231,7 @@ echo "wrote BENCH_shard.json"
 
 echo "== vector benchmarks =="
 vec_out=$(mktemp)
-trap 'rm -f "$bench_out" "$vec_out" "$metrics_out"; rm -rf "$fm_dir" "$dbg_dir"' EXIT
+trap 'rm -f "$bench_out" "$vec_out" "$metrics_out"; rm -rf "$fm_dir" "$dbg_dir" "$du_dir"' EXIT
 go test -bench '^(BenchmarkJaccard|BenchmarkSummaryDelta)$' -benchmem \
     -benchtime "${BENCHTIME:-3x}" -run '^$' \
     ./internal/features ./internal/core | tee "$vec_out"
