@@ -1,0 +1,443 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AllocAnalyzer statically enforces PR 5's zero-allocation kernel pins
+// (DESIGN.md §11, §15): inside functions marked //lint:hotpath it flags
+// every construct that heap-allocates — make/new, slice and map
+// composite literals, closures, string concatenation and string/[]byte
+// conversions, interface boxing at call sites, and calls into fmt — and
+// flags appends except into pooled scratch or caller-owned storage. A
+// CFG dataflow pass additionally checks the sync.Pool discipline: every
+// pool.Get must be matched by a pool.Put on every path out of the
+// function, otherwise the steady-state allocation-free cycle leaks its
+// scratch buffer.
+//
+// The runtime twin is TestKernelZeroAlloc (AllocsPerRun = 0); the marker
+// makes the pin survive edits the test's fixed inputs would not reach.
+var AllocAnalyzer = &Analyzer{
+	ID:  "alloc",
+	Doc: "no heap allocation inside //lint:hotpath functions; pooled buffers Put on every path",
+	Run: runAlloc,
+}
+
+func runAlloc(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, fd := range hotpathFuncs(file) {
+			checkHotpathFunc(pass, fd)
+		}
+	}
+}
+
+func checkHotpathFunc(pass *Pass, fd *ast.FuncDecl) {
+	owned := callerOwnedObjects(pass, fd)
+	pooled := poolDerivedObjects(pass, fd.Body, owned)
+
+	inspectShallow(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			checkHotpathCall(pass, e, pooled, owned)
+		case *ast.CompositeLit:
+			switch pass.TypeOf(e).Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(e.Pos(), "composite literal allocates on a //lint:hotpath function; hoist it or reuse a pooled buffer")
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					pass.Reportf(e.Pos(), "&composite literal escapes to the heap on a //lint:hotpath function; reuse a pooled value")
+				}
+			}
+		case *ast.FuncLit:
+			pass.Reportf(e.Pos(), "function literal allocates its closure on a //lint:hotpath function; hoist it to a package-level func")
+			return false
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD {
+				if t := pass.TypeOf(e); t != nil && isStringType(t) {
+					pass.Reportf(e.Pos(), "string concatenation allocates on a //lint:hotpath function")
+				}
+			}
+		}
+		return true
+	})
+
+	checkPoolPairing(pass, fd)
+}
+
+// checkHotpathCall flags the allocating call forms: make/new builtins,
+// string/[]byte conversions, fmt calls, interface boxing of non-pointer
+// arguments, and appends into storage that is neither pooled nor
+// caller-owned.
+func checkHotpathCall(pass *Pass, call *ast.CallExpr, pooled, owned map[types.Object]bool) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates on a //lint:hotpath function; preallocate or take a pooled buffer")
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates on a //lint:hotpath function; reuse a pooled value")
+			case "append":
+				checkHotpathAppend(pass, call, pooled, owned)
+			}
+			return
+		}
+	}
+	// Type conversions: string <-> []byte/[]rune copy their payload.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := pass.TypeOf(call.Args[0])
+		if from != nil && isStringByteConversion(from, to) {
+			pass.Reportf(call.Pos(), "string/[]byte conversion copies its payload on a //lint:hotpath function")
+		}
+		return
+	}
+	if f := calleeFunc(pass.Info, call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s allocates (formatting state and boxed arguments) on a //lint:hotpath function", f.Name())
+		return
+	}
+	checkBoxedArgs(pass, call)
+}
+
+// checkHotpathAppend allows appends whose destination slice is pooled
+// scratch (derived from a sync.Pool Get) or caller-owned (rooted in a
+// parameter or the receiver — the caller chose and can amortize that
+// storage); everything else may grow a fresh heap block per call.
+func checkHotpathAppend(pass *Pass, call *ast.CallExpr, pooled, owned map[types.Object]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	root := rootObject(pass, call.Args[0])
+	if root != nil && (pooled[root] || owned[root]) {
+		return
+	}
+	pass.Reportf(call.Pos(), "append may grow a non-pooled slice on a //lint:hotpath function; append into sync.Pool scratch or a caller-provided buffer")
+}
+
+// checkBoxedArgs flags arguments converted to interface parameters when
+// the argument's representation is not pointer-shaped — those conversions
+// heap-allocate the boxed copy.
+func checkBoxedArgs(pass *Pass, call *ast.CallExpr) {
+	sigT := pass.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic():
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || isUntypedNil(at) || boxesWithoutAlloc(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes a %s into an interface parameter on a //lint:hotpath function", at.String())
+	}
+}
+
+// boxesWithoutAlloc reports whether converting a value of type t to an
+// interface stores it directly in the interface word (pointer-shaped
+// types) instead of heap-allocating a copy.
+func boxesWithoutAlloc(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isStringByteConversion(from, to types.Type) bool {
+	return (isStringType(from) && isByteOrRuneSlice(to)) ||
+		(isByteOrRuneSlice(from) && isStringType(to))
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// callerOwnedObjects returns the parameter and receiver objects of fd —
+// storage the caller handed in, whose growth policy is the caller's.
+func callerOwnedObjects(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	owned := make(map[types.Object]bool)
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	addFields(fd.Recv)
+	addFields(fd.Type.Params)
+	return owned
+}
+
+// poolDerivedObjects computes, flow-insensitively to a fixed point, the
+// set of local objects whose storage derives from a sync.Pool Get — the
+// `b := pool.Get().(*buf); ids := b.ids[:0]; ids = append(ids, …)` chain
+// the kernels use. Caller-owned roots also propagate (`shared :=
+// (*buf)[:0]` style reslices of parameters stay caller-owned-derived).
+func poolDerivedObjects(pass *Pass, body *ast.BlockStmt, owned map[types.Object]bool) map[types.Object]bool {
+	derived := make(map[types.Object]bool)
+	for {
+		changed := false
+		inspectShallow(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.ObjectOf(id)
+				if obj == nil || derived[obj] {
+					continue
+				}
+				if exprIsPoolDerived(pass, rhs, derived, owned) {
+					derived[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			return derived
+		}
+	}
+}
+
+// exprIsPoolDerived reports whether e's storage comes from a pool Get or
+// from an already-derived or caller-owned object.
+func exprIsPoolDerived(pass *Pass, e ast.Expr, derived, owned map[types.Object]bool) bool {
+	if isPoolGetCall(pass, e) {
+		return true
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.TypeAssertExpr:
+		return exprIsPoolDerived(pass, x.X, derived, owned)
+	case *ast.CallExpr:
+		// append(dst, …) keeps dst's provenance.
+		if isBuiltinAppend(pass.Info, x) && len(x.Args) > 0 {
+			return exprIsPoolDerived(pass, x.Args[0], derived, owned)
+		}
+	case *ast.SliceExpr, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.Ident, *ast.UnaryExpr:
+		if root := rootObject(pass, e); root != nil {
+			return derived[root] || owned[root]
+		}
+	}
+	return false
+}
+
+// isPoolGetCall reports whether e is (possibly via a type assertion) a
+// call to (*sync.Pool).Get.
+func isPoolGetCall(pass *Pass, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.TypeAssertExpr:
+		return isPoolGetCall(pass, x.X)
+	case *ast.CallExpr:
+		sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Get" {
+			return false
+		}
+		return isSyncPoolType(pass.TypeOf(sel.X))
+	}
+	return false
+}
+
+func isSyncPoolType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// rootObject strips selectors, indexing, slicing, derefs, and parens
+// down to the base identifier's object (nil when the base is not a
+// simple identifier).
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.Info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ---- sync.Pool Get/Put pairing (CFG dataflow) ----
+
+// poolFact maps each un-Put pool object to the position of its Get.
+type poolFact map[types.Object]token.Pos
+
+type poolPairing struct{ pass *Pass }
+
+func (poolPairing) entryFact() poolFact { return poolFact{} }
+
+func (p poolPairing) transfer(fact poolFact, n ast.Node) poolFact {
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		for i, rhs := range st.Rhs {
+			if i >= len(st.Lhs) || !isPoolGetCall(p.pass, rhs) {
+				continue
+			}
+			if id, ok := st.Lhs[i].(*ast.Ident); ok {
+				if obj := p.pass.Info.ObjectOf(id); obj != nil {
+					fact = clonePoolFact(fact)
+					fact[obj] = rhs.Pos()
+				}
+			}
+		}
+		return fact
+	}
+	// Put calls can appear in any statement; scan shallowly for them.
+	// The range reads the pre-clone map while deletes land in the clone,
+	// so clearing is safe mid-iteration (and order-independent).
+	if stNode, ok := n.(ast.Stmt); ok {
+		cloned := false
+		inspectShallow(stNode, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || !isPoolPutCall(p.pass, call) || len(call.Args) != 1 {
+				return true
+			}
+			for obj := range fact {
+				if mentionsObject(p.pass, call.Args[0], obj) {
+					if !cloned {
+						fact = clonePoolFact(fact)
+						cloned = true
+					}
+					delete(fact, obj)
+				}
+			}
+			return true
+		})
+	}
+	return fact
+}
+
+func (poolPairing) merge(a, b poolFact) poolFact {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := clonePoolFact(a)
+	for obj, pos := range b {
+		if _, ok := out[obj]; !ok {
+			out[obj] = pos
+		}
+	}
+	return out
+}
+
+func (poolPairing) equal(a, b poolFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for obj := range a {
+		if _, ok := b[obj]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func clonePoolFact(f poolFact) poolFact {
+	out := make(poolFact, len(f)+1)
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func isPoolPutCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" {
+		return false
+	}
+	return isSyncPoolType(pass.TypeOf(sel.X))
+}
+
+// checkPoolPairing reports every pool Get whose buffer can reach the
+// function exit without a Put: on the steady-state path that leaks the
+// scratch buffer and the next call allocates a fresh one, defeating the
+// zero-alloc pin.
+func checkPoolPairing(pass *Pass, fd *ast.FuncDecl) {
+	g := buildCFG(fd.Body)
+	res := solveForward(g, poolPairing{pass: pass})
+	if len(res.exit) == 0 {
+		return
+	}
+	positions := make([]token.Pos, 0, len(res.exit))
+	for _, pos := range res.exit {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	for _, pos := range positions {
+		pass.Reportf(pos, "sync.Pool Get result is not Put back on every path out of this //lint:hotpath function; the leaked scratch buffer defeats the zero-alloc pin")
+	}
+}

@@ -8,11 +8,12 @@ import (
 
 // allowDirective is one parsed //lint:allow comment.
 type allowDirective struct {
-	pos    token.Position // of the comment itself
-	line   int            // source line the directive applies to
-	id     string         // analyzer id
-	reason string
-	used   bool
+	pos     token.Position // of the comment itself
+	line    int            // source line the directive applies to
+	id      string         // analyzer id
+	reason  string
+	used    bool
+	delEdit TextEdit // edit that removes the directive (for -prune-allows -fix)
 }
 
 // allowKey identifies the line a directive governs.
@@ -56,15 +57,41 @@ func parseAllows(pkg *Package) (map[allowKey][]*allowDirective, []Finding) {
 				// End-of-line directives govern their own line; standalone
 				// ones govern the first line after the comment group.
 				d.line = pos.Line
-				if startsLine(pkg, pos) {
+				standalone := startsLine(pkg, pos)
+				if standalone {
 					d.line = pkg.Fset.Position(cg.End()).Line + 1
 				}
+				d.delEdit = directiveDeletion(pkg, pos, pkg.Fset.Position(c.End()).Offset, standalone)
 				key := allowKey{file: pos.Filename, line: d.line}
 				allows[key] = append(allows[key], d)
 			}
 		}
 	}
 	return allows, bad
+}
+
+// directiveDeletion builds the edit that removes a directive cleanly: a
+// standalone directive takes its whole line (including the newline);
+// an end-of-line one takes the comment plus the whitespace separating it
+// from the code it trails.
+func directiveDeletion(pkg *Package, pos token.Position, endOff int, standalone bool) TextEdit {
+	src := pkg.Sources[pos.Filename]
+	if standalone {
+		start := pos.Offset - (pos.Column - 1)
+		if start < 0 {
+			start = pos.Offset
+		}
+		end := endOff
+		if end < len(src) && src[end] == '\n' {
+			end++
+		}
+		return TextEdit{Start: start, End: end}
+	}
+	start := pos.Offset
+	for start > 0 && (src[start-1] == ' ' || src[start-1] == '\t') {
+		start--
+	}
+	return TextEdit{Start: start, End: endOff}
 }
 
 // startsLine reports whether only whitespace precedes the comment on its
@@ -112,7 +139,11 @@ func unusedAllows(allows map[allowKey][]*allowDirective) []Finding {
 		for _, d := range ds {
 			if !d.used {
 				fs = append(fs, Finding{Pos: d.pos, Analyzer: "allow",
-					Message: "unused //lint:allow " + d.id + " directive (no matching finding on line " + strconv.Itoa(d.line) + ")"})
+					Message: "unused //lint:allow " + d.id + " directive (no matching finding on line " + strconv.Itoa(d.line) + ")",
+					Fixes: []SuggestedFix{{
+						Message: "remove the stale directive",
+						Edits:   []TextEdit{d.delEdit},
+					}}})
 			}
 		}
 	}
@@ -120,6 +151,19 @@ func unusedAllows(allows map[allowKey][]*allowDirective) []Finding {
 	// canonical position order before handing the findings on.
 	sortFindings(fs)
 	return fs
+}
+
+// PruneAllows runs the full suite over pkg and returns only the stale
+// //lint:allow directives (as "allow" findings, each carrying a
+// deletion fix). The driver's -prune-allows mode is built on this.
+func PruneAllows(pkg *Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, f := range RunPackage(pkg, analyzers) {
+		if f.Analyzer == "allow" && strings.HasPrefix(f.Message, "unused //lint:allow") {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // allowFindingsOnly re-checks directive well-formedness without running

@@ -17,6 +17,20 @@
 //     internal/advisor never return a bare ctx.Err(): cancellation
 //     yields best-so-far + Partial, never an error (DESIGN.md §9)
 //
+// plus four dataflow analyzers built on a per-function CFG and forward
+// worklist solver (cfg.go, DESIGN.md §15):
+//
+//   - alloc       — no heap allocation inside //lint:hotpath functions
+//     (the PR 5 zero-alloc kernel pins, statically enforced); pooled
+//     scratch Put back on every path
+//   - durability  — fsync before rename on all paths, CRC32-C folded
+//     into every framed write, no write after writer poisoning (the
+//     PR 8 write→fsync→rename discipline)
+//   - locksafety  — locks released on every path out of a function,
+//     never held across channel/ctx waits; every goroutine joinable
+//   - errhygiene  — no silently discarded errors in internal/, wrap
+//     with %w, compare sentinels with errors.Is
+//
 // Findings are machine-readable (file:line:col, analyzer id, message)
 // and suppressible per line with a reasoned escape hatch:
 //
@@ -43,6 +57,25 @@ type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Fixes are optional machine-applicable corrections (applied by the
+	// driver's -fix mode, previewed by -diff). Multiple fixes are
+	// alternatives; ApplyFixes uses the first.
+	Fixes []SuggestedFix
+}
+
+// SuggestedFix is one self-contained correction: a set of byte-range
+// edits within a single file.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// TextEdit replaces the source bytes at [Start, End) with NewText.
+// Offsets are file offsets (token.Position.Offset) in the file the
+// finding points at; an insertion has Start == End.
+type TextEdit struct {
+	Start, End int
+	NewText    string
 }
 
 // String renders the finding in the canonical machine-readable form
@@ -58,7 +91,9 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// Analyzers returns the full suite in a fixed order.
+// Analyzers returns the full suite in a fixed order: the five PR 4
+// syntactic analyzers followed by the four dataflow analyzers
+// (DESIGN.md §15).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
@@ -66,6 +101,10 @@ func Analyzers() []*Analyzer {
 		ConcurrencyAnalyzer,
 		TelemetryAnalyzer,
 		AnytimeAnalyzer,
+		AllocAnalyzer,
+		DurabilityAnalyzer,
+		LockSafetyAnalyzer,
+		ErrHygieneAnalyzer,
 	}
 }
 
@@ -89,6 +128,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
+
+// ReportFix records a finding carrying a machine-applicable fix. All
+// edit offsets are within the finding's own file.
+func (p *Pass) ReportFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	p.report(Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    []SuggestedFix{fix},
+	})
+}
+
+// Offset resolves a token.Pos to its byte offset in its file.
+func (p *Pass) Offset(pos token.Pos) int { return p.Fset.Position(pos).Offset }
 
 // TypeOf returns the type of e, or nil when unknown.
 func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }

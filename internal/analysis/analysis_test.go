@@ -33,6 +33,20 @@ var fixtureCases = []struct {
 	{"anytime/flagged", "fixture/internal/core"},
 	{"anytime/clean", "fixture/internal/core/clean"},
 	{"allow/flagged", "fixture/allow/flagged"},
+	{"alloc/flagged", "fixture/alloc/flagged"},
+	{"alloc/allowed", "fixture/alloc/allowed"},
+	{"alloc/clean", "fixture/alloc/clean"},
+	{"durability/flagged", "fixture/durability/flagged"},
+	{"durability/allowed", "fixture/durability/allowed"},
+	{"durability/clean", "fixture/durability/clean"},
+	// Loaded under cmd/ so the syntactic bare-go ban stays out of the
+	// way of the flow-level goroutine-join findings.
+	{"locksafety/flagged", "fixture/cmd/lockflagged"},
+	{"locksafety/allowed", "fixture/cmd/lockallowed"},
+	{"locksafety/clean", "fixture/cmd/lockclean"},
+	// Loaded under internal/ because error hygiene is scoped to it.
+	{"errhygiene/flagged", "fixture/internal/errs"},
+	{"errhygiene/clean", "fixture/internal/errsclean"},
 }
 
 // TestFixtureGoldens runs the full analyzer suite over every fixture

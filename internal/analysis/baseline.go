@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The findings baseline (.lintbaseline at the repo root) lets CI adopt
+// a new analyzer without first driving the existing-findings count to
+// zero: known findings are recorded once, and CI fails only on NEW
+// findings (and on baselined findings that have disappeared, so the
+// file cannot rot). Keys are line-number-free — analyzer, relative
+// file, message — so ordinary edits above a finding don't churn the
+// baseline; identical findings in one file are disambiguated by count.
+//
+// Findings from the "allow" pseudo-analyzer are never baseline-
+// eligible: a reasonless or stale //lint:allow is always a hard
+// failure, because baselining the escape hatch would let suppressions
+// rot invisibly.
+//
+// File format: one `analyzer\tfile\tcount\tmessage` line per key,
+// sorted, with # comments and blank lines ignored.
+
+// baselineKey identifies a finding independent of its line number.
+type baselineKey struct {
+	Analyzer string
+	File     string // root-relative, slash-separated
+	Message  string
+}
+
+// Baseline is a multiset of accepted findings.
+type Baseline map[baselineKey]int
+
+// baselineEligible reports whether a finding may be absorbed by the
+// baseline.
+func baselineEligible(f Finding) bool { return f.Analyzer != "allow" }
+
+// NewBaseline builds a baseline from the given findings (ineligible
+// ones are dropped).
+func NewBaseline(findings []Finding, root string) Baseline {
+	b := make(Baseline)
+	for _, f := range findings {
+		if !baselineEligible(f) {
+			continue
+		}
+		b[baselineKey{f.Analyzer, relSlash(root, f.Pos.Filename), f.Message}]++
+	}
+	return b
+}
+
+// ParseBaseline reads the on-disk format.
+func ParseBaseline(data []byte) (Baseline, error) {
+	b := make(Baseline)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 4)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("baseline line %d: want analyzer\\tfile\\tcount\\tmessage, got %q", lineNo, line)
+		}
+		var count int
+		if _, err := fmt.Sscanf(parts[2], "%d", &count); err != nil || count < 1 {
+			return nil, fmt.Errorf("baseline line %d: bad count %q", lineNo, parts[2])
+		}
+		b[baselineKey{parts[0], parts[1], parts[3]}] += count
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Format renders the baseline in its canonical sorted on-disk form.
+func (b Baseline) Format() []byte {
+	keys := make([]baselineKey, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, c := keys[i], keys[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	var sb strings.Builder
+	sb.WriteString("# isumlint findings baseline. CI fails on findings not listed here\n")
+	sb.WriteString("# and on listed findings that no longer occur (regenerate with\n")
+	sb.WriteString("# `go run ./cmd/isumlint -write-baseline .lintbaseline ./...`).\n")
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s\t%s\t%d\t%s\n", k.Analyzer, k.File, b[k], k.Message)
+	}
+	return []byte(sb.String())
+}
+
+// ApplyBaseline splits findings into those not covered by the baseline
+// (new — CI-failing) and reports the stale baseline entries (accepted
+// findings that no longer occur — also CI-failing, so the file tracks
+// reality). The baseline itself is not mutated.
+func ApplyBaseline(findings []Finding, b Baseline, root string) (fresh []Finding, stale []string) {
+	remaining := make(Baseline, len(b))
+	for k, v := range b {
+		remaining[k] = v
+	}
+	for _, f := range findings {
+		if !baselineEligible(f) {
+			fresh = append(fresh, f)
+			continue
+		}
+		k := baselineKey{f.Analyzer, relSlash(root, f.Pos.Filename), f.Message}
+		if remaining[k] > 0 {
+			remaining[k]--
+			if remaining[k] == 0 {
+				delete(remaining, k)
+			}
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for k, v := range remaining {
+		stale = append(stale, fmt.Sprintf("%s: [%s] %s (x%d)", k.File, k.Analyzer, k.Message, v))
+	}
+	sort.Strings(stale)
+	return fresh, stale
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func bl(analyzer, file, msg string, line int) Finding {
+	return Finding{Pos: pos(file, line), Analyzer: analyzer, Message: msg}
+}
+
+// TestBaselineRoundTrip pins the on-disk format: format → parse is the
+// identity, and keys are line-number-free so drifting line numbers do
+// not churn the file.
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		bl("alloc", "/repo/a.go", "make allocates", 10),
+		bl("alloc", "/repo/a.go", "make allocates", 99), // same key, other line
+		bl("errhygiene", "/repo/b.go", "discarded\tweird", 3),
+	}
+	b := NewBaseline(findings, "/repo")
+	if len(b) != 2 {
+		t.Fatalf("got %d keys, want 2 (line-free dedup)", len(b))
+	}
+	parsed, err := ParseBaseline(b.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(b) {
+		t.Fatalf("round trip lost keys: %d -> %d", len(b), len(parsed))
+	}
+	for k, v := range b {
+		if parsed[k] != v {
+			t.Errorf("key %+v: count %d -> %d", k, v, parsed[k])
+		}
+	}
+}
+
+// TestBaselineApply pins the CI semantics: covered findings are
+// dropped up to their recorded count, extra occurrences are fresh, and
+// entries with no surviving finding are reported stale.
+func TestBaselineApply(t *testing.T) {
+	recorded := []Finding{
+		bl("alloc", "/repo/a.go", "make allocates", 10),
+		bl("durability", "/repo/gone.go", "unsynced rename", 5),
+	}
+	b := NewBaseline(recorded, "/repo")
+
+	now := []Finding{
+		bl("alloc", "/repo/a.go", "make allocates", 12),  // covered (moved lines)
+		bl("alloc", "/repo/a.go", "make allocates", 40),  // second occurrence: fresh
+		bl("locksafety", "/repo/c.go", "lock leaked", 7), // new analyzer hit: fresh
+	}
+	fresh, stale := ApplyBaseline(now, b, "/repo")
+	if len(fresh) != 2 {
+		t.Fatalf("got %d fresh findings, want 2: %v", len(fresh), fresh)
+	}
+	if len(stale) != 1 || !strings.Contains(stale[0], "gone.go") {
+		t.Fatalf("stale = %v, want the gone.go entry", stale)
+	}
+}
+
+// TestBaselineNeverAbsorbsAllowFindings pins the escape-hatch rule:
+// directive hygiene cannot be baselined away.
+func TestBaselineNeverAbsorbsAllowFindings(t *testing.T) {
+	af := bl("allow", "/repo/a.go", "unused //lint:allow alloc directive (no matching finding on line 3)", 3)
+	b := NewBaseline([]Finding{af}, "/repo")
+	if len(b) != 0 {
+		t.Fatalf("allow finding entered the baseline: %v", b)
+	}
+	fresh, _ := ApplyBaseline([]Finding{af}, Baseline{}, "/repo")
+	if len(fresh) != 1 {
+		t.Fatal("allow finding was filtered without a baseline entry")
+	}
+}
+
+func TestBaselineParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"alloc\tonly-three\tfields",
+		"alloc\ta.go\tNaN\tmsg",
+		"alloc\ta.go\t0\tmsg",
+	} {
+		if _, err := ParseBaseline([]byte(bad)); err == nil {
+			t.Errorf("ParseBaseline(%q) accepted malformed input", bad)
+		}
+	}
+	b, err := ParseBaseline([]byte("# comment\n\nalloc\ta.go\t2\tmsg with spaces\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 1 {
+		t.Fatalf("got %d keys, want 1", len(b))
+	}
+}
+
+// TestSARIFShape pins the minimal SARIF 2.1.0 contract CI consumers
+// rely on: schema/version, the driver name, rule ids, and one result
+// per finding with a relative URI.
+func TestSARIFShape(t *testing.T) {
+	findings := []Finding{
+		bl("durability", "/repo/internal/durable/wal.go", "unsynced rename", 42),
+	}
+	out, err := SARIF(findings, Analyzers(), "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, want := range []string{
+		`"version": "2.1.0"`,
+		`"name": "isumlint"`,
+		`"ruleId": "durability"`,
+		`"uri": "internal/durable/wal.go"`,
+		`"startLine": 42`,
+		`"id": "allow"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SARIF output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,434 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// DurabilityAnalyzer guards PR 8's crash-safety ordering (DESIGN.md §14,
+// §15) with three intra-function dataflow checks over the vfs seam:
+//
+//  1. fsync-before-rename — a Rename on an FS-shaped value must not be
+//     reachable while any written file handle is still unsynced on some
+//     path: rename publishes the file name, and a crash after an
+//     unsynced publish can expose an empty or torn file behind a
+//     fully-visible name (the write→fsync→rename discipline).
+//  2. CRC framing — a frame written to a file handle (a buffer built
+//     with binary length framing) must have a CRC32-C checksum folded
+//     into it; an unchecksummed frame has no corruption oracle and
+//     recovery cannot tell a torn tail from good data.
+//  3. no write after poisoning — once a writer records an append/fsync
+//     failure in its poison field (`failed`), no subsequent write to a
+//     file handle may be reachable on that path: the failed record's
+//     durability is ambiguous, so the only safe continuation is reopen.
+//
+// The checks are shape-typed, not import-typed: a "file handle" is any
+// value whose method set has Write and Sync (vfs.File, *os.File, the
+// fault injector's wrappers, fixture doubles), and an "FS" is anything
+// with a Rename(string, string) method (vfs.FS, os.Rename). That keeps
+// the analyzer honest on golden fixtures, which cannot import module
+// packages, and catches code that bypasses the seam with os directly.
+var DurabilityAnalyzer = &Analyzer{
+	ID:  "durability",
+	Doc: "fsync before rename on all paths; CRC32-C on every framed write; no write after writer poisoning",
+	Run: runDurability,
+}
+
+func runDurability(pass *Pass) {
+	for _, file := range pass.Files {
+		forEachFunc(file, func(fs funcScope) {
+			checkDurabilityFlow(pass, fs)
+			checkFrameCRC(pass, fs)
+		})
+	}
+}
+
+// isFileHandleType reports whether t's method set contains both
+// Write([]byte) (…) and Sync() — the durability-relevant file shape.
+func isFileHandleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return hasMethod(t, "Write") && hasMethod(t, "Sync")
+}
+
+// hasMethod reports whether name is in the method set of t or *t.
+func hasMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		ms = types.NewMethodSet(types.NewPointer(t))
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isRenameCall reports whether call is a rename: the Rename method of an
+// FS-shaped value (one that also has Create) or os.Rename itself.
+func isRenameCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Rename" || len(call.Args) != 2 {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+			return pn.Imported().Path() == "os"
+		}
+	}
+	t := pass.TypeOf(sel.X)
+	return t != nil && hasMethod(t, "Create")
+}
+
+// fhState is the dataflow state of one tracked file-handle expression.
+type fhState uint8
+
+const (
+	fhClean   fhState = iota // created/opened, nothing written
+	fhSynced                 // written, then Sync()ed (nothing written since)
+	fhWritten                // written since the last Sync (unsynced)
+)
+
+// durFact carries both dataflow problems: per-handle write/sync state
+// (keyed by the handle expression's canonical spelling, so `w.f` and a
+// local `f` each get their own slot) and the writer-poisoned bit.
+type durFact struct {
+	handles  map[string]fhState
+	poisoned bool
+}
+
+type durFlow struct{ pass *Pass }
+
+func (durFlow) entryFact() durFact { return durFact{} }
+
+func (d durFlow) transfer(fact durFact, n ast.Node) durFact {
+	// Poison assignments: any store to a field or variable named
+	// "failed" of type error.
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if d.isPoisonTarget(lhs) {
+				fact = fact.clone()
+				fact.poisoned = true
+			}
+		}
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recvT := d.pass.TypeOf(sel.X)
+		if !isFileHandleType(recvT) {
+			return true
+		}
+		key, ok := exprKey(sel.X)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Write", "WriteString", "WriteAt":
+			fact = fact.clone()
+			fact.handles[key] = fhWritten
+		case "Sync":
+			if fact.handles[key] == fhWritten {
+				fact = fact.clone()
+				fact.handles[key] = fhSynced
+			}
+		case "Close":
+			// Close without sync keeps the unsynced state: close does not
+			// make data durable. A synced-then-closed handle is done.
+			if fact.handles[key] == fhSynced {
+				fact = fact.clone()
+				delete(fact.handles, key)
+			}
+		}
+		return true
+	})
+	return fact
+}
+
+func (d durFlow) isPoisonTarget(lhs ast.Expr) bool {
+	var name string
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	case *ast.Ident:
+		name = x.Name
+	default:
+		return false
+	}
+	if name != "failed" {
+		return false
+	}
+	t := d.pass.TypeOf(lhs)
+	return t != nil && isErrorType(t)
+}
+
+func (durFlow) merge(a, b durFact) durFact {
+	out := durFact{handles: make(map[string]fhState, len(a.handles)+len(b.handles))}
+	out.poisoned = a.poisoned || b.poisoned
+	for k, s := range a.handles {
+		out.handles[k] = s
+	}
+	for k, s := range b.handles {
+		// Written (unsynced on some path) dominates synced dominates clean.
+		if cur, ok := out.handles[k]; !ok || s > cur {
+			out.handles[k] = s
+		}
+	}
+	return out
+}
+
+func (durFlow) equal(a, b durFact) bool {
+	if a.poisoned != b.poisoned || len(a.handles) != len(b.handles) {
+		return false
+	}
+	for k, s := range a.handles {
+		if b.handles[k] != s {
+			return false
+		}
+	}
+	return true
+}
+
+func (f durFact) clone() durFact {
+	out := durFact{poisoned: f.poisoned, handles: make(map[string]fhState, len(f.handles)+1)}
+	for k, s := range f.handles {
+		out.handles[k] = s
+	}
+	return out
+}
+
+// exprKey canonicalises a simple ident/selector chain ("w.f", "fs") for
+// use as a dataflow key; non-simple expressions are not tracked.
+func exprKey(e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		base, ok := exprKey(x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	}
+	return "", false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return t == types.Universe.Lookup("error").Type()
+	}
+	return named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// checkDurabilityFlow runs the write/sync/poison dataflow over one
+// function and reports (a) renames reachable with an unsynced written
+// handle and (b) file writes reachable after poisoning.
+func checkDurabilityFlow(pass *Pass, fs funcScope) {
+	relevant := false
+	inspectShallow(fs.body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Write", "WriteString", "Sync", "Rename":
+					relevant = true
+				}
+			}
+		}
+		return !relevant
+	})
+	if !relevant {
+		return
+	}
+	g := buildCFG(fs.body)
+	d := durFlow{pass: pass}
+	res := solveForward(g, d)
+
+	type report struct {
+		pos token.Pos
+		msg string
+	}
+	var reports []report
+	eachReachedBlock(g, res, func(blk *cfgBlock, fact durFact) {
+		for _, n := range blk.nodes {
+			// Check invariants against the fact *before* this node.
+			inspectShallow(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isRenameCall(pass, call) {
+					for _, key := range sortedHandleKeys(fact.handles) {
+						if fact.handles[key] == fhWritten {
+							reports = append(reports, report{call.Pos(),
+								"Rename is reachable while " + key + " has unsynced writes on some path; Sync the written file before renaming it into place (write->fsync->rename, DESIGN.md §14)"})
+						}
+					}
+				}
+				if fact.poisoned {
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+						if isWriteMethod(sel.Sel.Name) && isFileHandleType(pass.TypeOf(sel.X)) {
+							reports = append(reports, report{call.Pos(),
+								"write is reachable after the writer was poisoned (failed = err); a poisoned writer's LSN durability is ambiguous - return and force a reopen instead"})
+						}
+					}
+				}
+				return true
+			})
+			fact = d.transfer(fact, n)
+		}
+	})
+	sort.Slice(reports, func(i, j int) bool {
+		if reports[i].pos != reports[j].pos {
+			return reports[i].pos < reports[j].pos
+		}
+		return reports[i].msg < reports[j].msg
+	})
+	seen := map[string]bool{}
+	for _, r := range reports {
+		k := pass.Fset.Position(r.pos).String() + r.msg
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		pass.Reportf(r.pos, "%s", r.msg)
+	}
+}
+
+// sortedHandleKeys returns the tracked handle keys in canonical order.
+func sortedHandleKeys(handles map[string]fhState) []string {
+	keys := make([]string, 0, len(handles))
+	for k := range handles {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// crcCallPat matches callee names that fold a checksum into a buffer.
+var crcCallPat = regexp.MustCompile(`(?i)(crc|checksum|sum32|adler)`)
+
+// framingPat matches the binary length-framing helpers.
+var framingPat = regexp.MustCompile(`^(AppendUint32|AppendUint64|PutUint32|PutUint64)$`)
+
+// checkFrameCRC flags writes of framed buffers with no checksum: for
+// every f.Write(buf) on a file handle, if buf's intra-function def chain
+// contains a binary framing call but no CRC/checksum call, the frame has
+// no corruption oracle.
+func checkFrameCRC(pass *Pass, fs funcScope) {
+	inspectShallow(fs.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Write" || len(call.Args) != 1 {
+			return true
+		}
+		if !isFileHandleType(pass.TypeOf(sel.X)) {
+			return true
+		}
+		root := rootObject(pass, call.Args[0])
+		if root == nil {
+			return true
+		}
+		framed, checksummed := defChainCalls(pass, fs.body, root)
+		if framed && !checksummed {
+			pass.Reportf(call.Pos(), "framed buffer %q is written without a CRC32-C checksum; recovery cannot detect a torn or corrupt record (DESIGN.md §14)", root.Name())
+		}
+		return true
+	})
+}
+
+// defChainCalls scans every assignment to obj (or to aliases feeding it)
+// in the function and reports whether the right-hand sides contain a
+// binary framing call and a checksum call.
+func defChainCalls(pass *Pass, body *ast.BlockStmt, obj types.Object) (framed, checksummed bool) {
+	objs := map[types.Object]bool{obj: true}
+	// One round of reverse aliasing: obj = f(x) pulls x's assignments in.
+	inspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			if o := pass.Info.ObjectOf(id); o != nil && objs[o] {
+				ast.Inspect(as.Rhs[i], func(m ast.Node) bool {
+					if rid, ok := m.(*ast.Ident); ok {
+						if ro := pass.Info.ObjectOf(rid); ro != nil && ro != o {
+							if _, isVar := ro.(*types.Var); isVar {
+								objs[ro] = true
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	inspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		touches := false
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if o := pass.Info.ObjectOf(id); o != nil && objs[o] {
+					touches = true
+				}
+			}
+		}
+		if !touches {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			ast.Inspect(rhs, func(m ast.Node) bool {
+				c, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := calleeName(c)
+				if framingPat.MatchString(name) {
+					framed = true
+				}
+				if crcCallPat.MatchString(name) {
+					checksummed = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return framed, checksummed
+}
+
+// isWriteMethod reports whether a method name writes file content.
+func isWriteMethod(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteAt":
+		return true
+	}
+	return false
+}

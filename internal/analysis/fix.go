@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ApplyFixes applies the first suggested fix of each finding to the
+// given sources (filename -> content, as in Package.Sources) and
+// returns the rewritten files. Edits are applied back-to-front per
+// file; a fix whose edits overlap one already scheduled is skipped
+// (the next lint run re-derives it against the new text). The returned
+// map contains only files that changed; skipped counts fixes dropped
+// due to overlap or missing source.
+func ApplyFixes(findings []Finding, sources map[string][]byte) (changed map[string][]byte, applied, skipped int) {
+	type edit struct {
+		TextEdit
+		order int // tiebreak: earlier finding wins
+	}
+	perFile := make(map[string][]edit)
+	for i, f := range findings {
+		if len(f.Fixes) == 0 {
+			continue
+		}
+		fix := f.Fixes[0]
+		src, ok := sources[f.Pos.Filename]
+		if !ok {
+			skipped++
+			continue
+		}
+		valid := true
+		for _, e := range fix.Edits {
+			if e.Start < 0 || e.End < e.Start || e.End > len(src) {
+				valid = false
+				break
+			}
+		}
+		if !valid {
+			skipped++
+			continue
+		}
+		for _, e := range fix.Edits {
+			perFile[f.Pos.Filename] = append(perFile[f.Pos.Filename], edit{e, i})
+		}
+	}
+
+	changed = make(map[string][]byte)
+	for name, edits := range perFile {
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start < edits[j].Start
+			}
+			return edits[i].order < edits[j].order
+		})
+		// Drop overlapping edits (keep the earliest-finding one).
+		kept := edits[:0]
+		lastEnd := -1
+		for _, e := range edits {
+			if e.Start < lastEnd {
+				skipped++
+				continue
+			}
+			kept = append(kept, e)
+			lastEnd = e.End
+		}
+		src := sources[name]
+		var out []byte
+		prev := 0
+		for _, e := range kept {
+			out = append(out, src[prev:e.Start]...)
+			out = append(out, e.NewText...)
+			prev = e.End
+			applied++
+		}
+		out = append(out, src[prev:]...)
+		if string(out) != string(src) {
+			changed[name] = out
+		}
+	}
+	return changed, applied, skipped
+}
+
+// Diff renders a unified-style diff between two versions of a file,
+// used by the driver's -diff dry-run mode. It is a simple line-based
+// LCS diff with n lines of context — small inputs only (lint fixes),
+// not a general diff engine.
+func Diff(name string, before, after []byte) string {
+	a := splitLines(string(before))
+	b := splitLines(string(after))
+	ops := diffOps(a, b)
+	if len(ops) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s\n", name, name)
+
+	const ctx = 2
+	// Group ops into hunks: runs of changes with ctx lines of context.
+	type hunk struct{ start, end int } // op index range [start, end)
+	var hunks []hunk
+	i := 0
+	for i < len(ops) {
+		if ops[i].kind == opEqual {
+			i++
+			continue
+		}
+		j := i
+		for j < len(ops) {
+			if ops[j].kind == opEqual {
+				// End the hunk if the equal run is longer than 2*ctx.
+				run := 0
+				for j+run < len(ops) && ops[j+run].kind == opEqual {
+					run++
+				}
+				if run > 2*ctx && j+run < len(ops) {
+					break
+				}
+				if j+run == len(ops) {
+					break
+				}
+				j += run
+				continue
+			}
+			j++
+		}
+		hunks = append(hunks, hunk{i, j})
+		i = j
+	}
+
+	for _, h := range hunks {
+		start, end := h.start, h.end
+		// Pull in leading/trailing context.
+		lead := 0
+		for start-1 >= 0 && ops[start-1].kind == opEqual && lead < ctx {
+			start--
+			lead++
+		}
+		trail := 0
+		for end < len(ops) && ops[end].kind == opEqual && trail < ctx {
+			end++
+			trail++
+		}
+		aStart, bStart := ops[start].aLine, ops[start].bLine
+		var aCount, bCount int
+		for _, op := range ops[start:end] {
+			if op.kind != opAdd {
+				aCount++
+			}
+			if op.kind != opDelete {
+				bCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aStart+1, aCount, bStart+1, bCount)
+		for _, op := range ops[start:end] {
+			switch op.kind {
+			case opEqual:
+				sb.WriteString(" " + op.text + "\n")
+			case opDelete:
+				sb.WriteString("-" + op.text + "\n")
+			case opAdd:
+				sb.WriteString("+" + op.text + "\n")
+			}
+		}
+	}
+	return sb.String()
+}
+
+type opKind uint8
+
+const (
+	opEqual opKind = iota
+	opDelete
+	opAdd
+)
+
+type diffOp struct {
+	kind         opKind
+	text         string
+	aLine, bLine int // 0-based line numbers at which this op applies
+}
+
+// diffOps computes a line-level edit script via dynamic-programming LCS.
+func diffOps(a, b []string) []diffOp {
+	n, m := len(a), len(b)
+	// lcs[i][j] = LCS length of a[i:], b[j:].
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	changes := false
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, diffOp{opEqual, a[i], i, j})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, diffOp{opDelete, a[i], i, j})
+			changes = true
+			i++
+		default:
+			ops = append(ops, diffOp{opAdd, b[j], i, j})
+			changes = true
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, diffOp{opDelete, a[i], i, j})
+		changes = true
+	}
+	for ; j < m; j++ {
+		ops = append(ops, diffOp{opAdd, b[j], i, j})
+		changes = true
+	}
+	if !changes {
+		return nil
+	}
+	return ops
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

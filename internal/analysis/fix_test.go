@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixCases are the fixtures whose findings carry fixes; each pins the
+// -fix output byte-for-byte against a .fixed golden and re-lints the
+// fixed text to prove the fixes actually clear the findings.
+var fixCases = []struct {
+	dir        string // under testdata/src
+	importPath string
+	refixPath  string // import path to re-lint the fixed output under
+}{
+	{"errhygiene/flagged", "fixture/internal/errs", "fixture/internal/errsfixed"},
+}
+
+func TestFixGoldens(t *testing.T) {
+	loader := NewLoader("testdata")
+	for _, tc := range fixCases {
+		t.Run(tc.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", filepath.FromSlash(tc.dir))
+			pkg, err := loader.LoadDir(dir, tc.importPath)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			findings := RunPackage(pkg, Analyzers())
+			if len(findings) == 0 {
+				t.Fatal("flagged fixture produced no findings")
+			}
+			for _, f := range findings {
+				if len(f.Fixes) == 0 {
+					t.Errorf("finding has no fix: %s", f)
+				}
+			}
+			changed, applied, skipped := ApplyFixes(findings, pkg.Sources)
+			if skipped != 0 {
+				t.Errorf("ApplyFixes skipped %d fixes", skipped)
+			}
+			if applied == 0 || len(changed) == 0 {
+				t.Fatal("ApplyFixes changed nothing")
+			}
+
+			// Byte-identical against the .fixed goldens.
+			tmp := t.TempDir()
+			for name, got := range changed {
+				golden := filepath.Join(dir, filepath.Base(name)+".fixed")
+				if *update {
+					if err := os.WriteFile(golden, got, 0o644); err != nil {
+						t.Fatalf("update golden: %v", err)
+					}
+				} else {
+					want, err := os.ReadFile(golden)
+					if err != nil {
+						t.Fatalf("missing golden (run go test -update): %v", err)
+					}
+					if string(got) != string(want) {
+						t.Errorf("%s: fixed output differs from golden\n--- got ---\n%s", name, got)
+					}
+				}
+				if err := os.WriteFile(filepath.Join(tmp, filepath.Base(name)), got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Unchanged files ride along so the fixed package still compiles.
+			for name, src := range pkg.Sources {
+				if _, ok := changed[name]; ok {
+					continue
+				}
+				if err := os.WriteFile(filepath.Join(tmp, filepath.Base(name)), src, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			fixedPkg, err := loader.LoadDir(tmp, tc.refixPath)
+			if err != nil {
+				t.Fatalf("fixed output does not load: %v", err)
+			}
+			if fs := RunPackage(fixedPkg, Analyzers()); len(fs) != 0 {
+				var lines []string
+				for _, f := range fs {
+					lines = append(lines, f.String())
+				}
+				t.Errorf("fixed output still has findings:\n%s", strings.Join(lines, "\n"))
+			}
+		})
+	}
+}
+
+// TestPruneAllowsFix pins the -prune-allows -fix path: the stale
+// directive in the allow fixture is deleted (whole line, it stands
+// alone), the reasonless one is left for a human.
+func TestPruneAllowsFix(t *testing.T) {
+	loader := NewLoader("testdata")
+	dir := filepath.Join("testdata", "src", "allow", "flagged")
+	pkg, err := loader.LoadDir(dir, "fixture/allow/prune")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := PruneAllows(pkg, Analyzers())
+	if len(stale) != 1 {
+		t.Fatalf("got %d stale directives, want 1: %v", len(stale), stale)
+	}
+	if len(stale[0].Fixes) != 1 {
+		t.Fatalf("stale directive carries no deletion fix")
+	}
+	changed, applied, skipped := ApplyFixes(stale, pkg.Sources)
+	if applied != 1 || skipped != 0 || len(changed) != 1 {
+		t.Fatalf("applied=%d skipped=%d changed=%d, want 1/0/1", applied, skipped, len(changed))
+	}
+	for _, got := range changed {
+		if strings.Contains(string(got), "//lint:allow concurrency") {
+			t.Errorf("stale directive still present after fix:\n%s", got)
+		}
+		if !strings.Contains(string(got), "//lint:allow determinism") {
+			t.Errorf("reasonless directive should be left in place (needs a human, not deletion)")
+		}
+		// The deleted standalone directive must not leave a blank line that
+		// would detach the comment group.
+		if strings.Contains(string(got), "\n\n\treturn 1") {
+			t.Errorf("deletion left a hole:\n%s", got)
+		}
+	}
+}
+
+// TestApplyFixesOverlap pins the overlap policy: when two fixes touch
+// the same bytes, the earlier finding wins and the other is skipped.
+func TestApplyFixesOverlap(t *testing.T) {
+	src := []byte("hello world")
+	sources := map[string][]byte{"f.go": src}
+	findings := []Finding{
+		{Pos: pos("f.go", 1), Fixes: []SuggestedFix{{Edits: []TextEdit{{Start: 0, End: 5, NewText: "HELLO"}}}}},
+		{Pos: pos("f.go", 1), Fixes: []SuggestedFix{{Edits: []TextEdit{{Start: 3, End: 8, NewText: "XXX"}}}}},
+		{Pos: pos("f.go", 1), Fixes: []SuggestedFix{{Edits: []TextEdit{{Start: 6, End: 11, NewText: "WORLD"}}}}},
+	}
+	changed, applied, skipped := ApplyFixes(findings, sources)
+	if applied != 2 || skipped != 1 {
+		t.Fatalf("applied=%d skipped=%d, want 2/1", applied, skipped)
+	}
+	if got := string(changed["f.go"]); got != "HELLO WORLD" {
+		t.Fatalf("got %q, want %q", got, "HELLO WORLD")
+	}
+}
+
+// TestApplyFixesRejectsBadEdits pins the bounds check: an edit outside
+// the file is skipped, not applied corruptly.
+func TestApplyFixesRejectsBadEdits(t *testing.T) {
+	sources := map[string][]byte{"f.go": []byte("abc")}
+	findings := []Finding{
+		{Pos: pos("f.go", 1), Fixes: []SuggestedFix{{Edits: []TextEdit{{Start: 2, End: 99, NewText: "x"}}}}},
+		{Pos: pos("missing.go", 1), Fixes: []SuggestedFix{{Edits: []TextEdit{{Start: 0, End: 1, NewText: "x"}}}}},
+	}
+	changed, applied, skipped := ApplyFixes(findings, sources)
+	if applied != 0 || skipped != 2 || len(changed) != 0 {
+		t.Fatalf("applied=%d skipped=%d changed=%d, want 0/2/0", applied, skipped, len(changed))
+	}
+}
+
+// TestDiffRendering sanity-checks the unified diff output shape.
+func TestDiffRendering(t *testing.T) {
+	before := []byte("a\nb\nc\nd\ne\n")
+	after := []byte("a\nb\nC\nd\ne\n")
+	d := Diff("f.go", before, after)
+	for _, want := range []string{"--- f.go", "+++ f.go", "-c", "+C", " b", " d"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff missing %q:\n%s", want, d)
+		}
+	}
+	if d2 := Diff("f.go", before, before); d2 != "" {
+		t.Errorf("identical inputs produced a diff:\n%s", d2)
+	}
+}
+
+func pos(file string, line int) token.Position {
+	return token.Position{Filename: file, Line: line, Column: 1}
+}

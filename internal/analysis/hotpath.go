@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// The //lint:hotpath marker opts a function into the alloc analyzer's
+// zero-allocation discipline (DESIGN.md §15). It lives in the function's
+// doc comment:
+//
+//	// WeightedJaccard computes … allocation-free …
+//	//lint:hotpath
+//	func (a SparseVec) WeightedJaccard(b SparseVec) float64 { … }
+//
+// Optional trailing text after the marker is a note for readers; the
+// analyzer ignores it. The marker is how PR 5's TestKernelZeroAlloc pins
+// become statically enforced: the runtime test proves the steady state
+// allocates nothing, the marker makes every future edit to a pinned
+// kernel re-prove it at lint time.
+const hotpathPrefix = "//lint:hotpath"
+
+// isHotpathMarker reports whether a comment line is the marker.
+func isHotpathMarker(text string) bool {
+	if !strings.HasPrefix(text, hotpathPrefix) {
+		return false
+	}
+	rest := strings.TrimPrefix(text, hotpathPrefix)
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// hotpathFuncs returns the function declarations in file carrying the
+// marker in their doc comment.
+func hotpathFuncs(file *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil || fd.Body == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			if isHotpathMarker(c.Text) {
+				out = append(out, fd)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// HotpathFuncNames returns the names of the marked functions in a
+// package ("Recv.Name" for methods), sorted by position. Tests use it to
+// assert the markers cover the kernels that the zero-alloc runtime pins
+// exercise.
+func HotpathFuncNames(pkg *Package) []string {
+	var names []string
+	for _, file := range pkg.Files {
+		for _, fd := range hotpathFuncs(file) {
+			name := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				if t := recvTypeName(fd.Recv.List[0].Type); t != "" {
+					name = t + "." + name
+				}
+			}
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// recvTypeName renders a receiver type expression's base type name.
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}

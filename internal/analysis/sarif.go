@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+)
+
+// SARIF emits findings as a minimal SARIF 2.1.0 log — the subset CI
+// annotation consumers need: one run, the analyzer suite as rules, one
+// result per finding with a physical location. Paths are made relative
+// to root (slash-separated) so the log is machine-portable.
+func SARIF(findings []Finding, analyzers []*Analyzer, root string) ([]byte, error) {
+	type sarifRule struct {
+		ID   string `json:"id"`
+		Desc struct {
+			Text string `json:"text"`
+		} `json:"shortDescription"`
+	}
+	type sarifRegion struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn,omitempty"`
+	}
+	type sarifLocation struct {
+		PhysicalLocation struct {
+			ArtifactLocation struct {
+				URI string `json:"uri"`
+			} `json:"artifactLocation"`
+			Region sarifRegion `json:"region"`
+		} `json:"physicalLocation"`
+	}
+	type sarifResult struct {
+		RuleID  string `json:"ruleId"`
+		Level   string `json:"level"`
+		Message struct {
+			Text string `json:"text"`
+		} `json:"message"`
+		Locations []sarifLocation `json:"locations"`
+	}
+
+	var rules []sarifRule
+	for _, a := range analyzers {
+		r := sarifRule{ID: a.ID}
+		r.Desc.Text = a.Doc
+		rules = append(rules, r)
+	}
+	// The allow pseudo-analyzer produces findings too.
+	ar := sarifRule{ID: "allow"}
+	ar.Desc.Text = "//lint:allow directives must carry a reason and suppress a live finding"
+	rules = append(rules, ar)
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		var r sarifResult
+		r.RuleID = f.Analyzer
+		r.Level = "error"
+		r.Message.Text = f.Message
+		var loc sarifLocation
+		loc.PhysicalLocation.ArtifactLocation.URI = relSlash(root, f.Pos.Filename)
+		loc.PhysicalLocation.Region = sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column}
+		r.Locations = []sarifLocation{loc}
+		results = append(results, r)
+	}
+
+	doc := map[string]any{
+		"$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		"version": "2.1.0",
+		"runs": []map[string]any{{
+			"tool": map[string]any{
+				"driver": map[string]any{
+					"name":           "isumlint",
+					"informationUri": "DESIGN.md §15",
+					"rules":          rules,
+				},
+			},
+			"results": results,
+		}},
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// relSlash renders path relative to root with forward slashes; when the
+// path is outside root it is returned unchanged.
+func relSlash(root, path string) string {
+	if root == "" {
+		return filepath.ToSlash(path)
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,17 @@
+// Package alloc exercises reasoned suppression of the hotpath
+// discipline: the one allocation below is deliberate (a cold init path
+// inside an otherwise hot function) and carries an allow.
+package alloc
+
+// Tail returns the last n elements, copying only on the cold resize
+// path.
+//
+//lint:hotpath
+func Tail(src []int, n int) []int {
+	if n > len(src) {
+		out := make([]int, len(src)) //lint:allow alloc cold resize path, amortized by callers
+		copy(out, src)
+		return out
+	}
+	return src[len(src)-n:]
+}

@@ -1,0 +1,48 @@
+// Package alloc shows the allocation-free kernel idioms the analyzer
+// must accept: pooled scratch with paired Get/Put, appends into pool-
+// derived or caller-owned storage, and unrestricted allocation in
+// unmarked functions.
+package alloc
+
+import "sync"
+
+type buf struct {
+	ids []uint32
+	ws  []float64
+}
+
+var bufs = sync.Pool{New: func() any { return new(buf) }}
+
+// Merge unions a into dst through pooled scratch — the SparseVec merge
+// shape: Get, reslice to zero length, append, swap, Put.
+//
+//lint:hotpath
+func Merge(dst, a []uint32) []uint32 {
+	b := bufs.Get().(*buf)
+	ids := b.ids[:0]
+	ids = append(ids, dst...)
+	ids = append(ids, a...)
+	b.ids = ids
+	bufs.Put(b)
+	return dst
+}
+
+// Fill appends into the caller-provided buffer; its growth policy is
+// the caller's to amortize.
+//
+//lint:hotpath
+func Fill(dst []float64, n int) []float64 {
+	for i := 0; i < n; i++ {
+		dst = append(dst, float64(i))
+	}
+	return dst
+}
+
+// Build is unmarked: it may allocate freely.
+func Build(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

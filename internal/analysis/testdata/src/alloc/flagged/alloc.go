@@ -1,0 +1,87 @@
+// Package alloc exercises the hotpath allocation discipline: every
+// construct below heap-allocates inside a //lint:hotpath function, and
+// the pool Get at the bottom can leak past a return.
+package alloc
+
+import (
+	"fmt"
+	"sync"
+)
+
+type buf struct {
+	ids []uint32
+	ws  []float64
+}
+
+var bufs = sync.Pool{New: func() any { return new(buf) }}
+
+// sink keeps results alive so the fixture compiles without vet noise.
+var sink any
+
+// Grow makes and grows a fresh slice per call.
+//
+//lint:hotpath
+func Grow(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Literals builds slice, map, and pointer composites.
+//
+//lint:hotpath
+func Literals() {
+	s := []int{1, 2, 3}
+	m := map[string]int{"a": 1}
+	p := &buf{}
+	sink = s
+	sink = m
+	sink = p
+}
+
+// Strings concatenates and converts.
+//
+//lint:hotpath
+func Strings(a, b string) int {
+	joined := a + b
+	raw := []byte(joined)
+	return len(raw)
+}
+
+// Closure allocates its environment.
+//
+//lint:hotpath
+func Closure(n int) func() int {
+	return func() int { return n }
+}
+
+// Boxed passes a flat struct to an interface parameter.
+//
+//lint:hotpath
+func Boxed(b buf) {
+	sink = identity(b)
+}
+
+func identity(v any) any { return v }
+
+// Format calls into fmt, which allocates its formatting state.
+//
+//lint:hotpath
+func Format(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+// LeakyGet takes pooled scratch but skips the Put on the error path.
+//
+//lint:hotpath
+func LeakyGet(fail bool) int {
+	b := bufs.Get().(*buf)
+	if fail {
+		return -1
+	}
+	n := len(b.ids)
+	bufs.Put(b)
+	return n
+}

@@ -1,0 +1,34 @@
+// Package dur exercises reasoned suppression of the durability rules:
+// a scratch file renamed without fsync, deliberately — it is recreated
+// from scratch on every boot, so a torn publish is harmless.
+package dur
+
+// FS is the filesystem seam shape (Create + Rename).
+type FS interface {
+	Create(name string) (File, error)
+	Rename(oldpath, newpath string) error
+}
+
+// File is the durability-relevant handle shape (Write + Sync).
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// SwapScratch publishes a best-effort cache file; loss on crash is
+// acceptable by design.
+func SwapScratch(fs FS, path string, payload []byte) error {
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, path) //lint:allow durability scratch cache, rebuilt on boot; torn publish is harmless
+}

@@ -1,0 +1,78 @@
+// Package dur shows the crash-safe idioms the analyzer must accept:
+// write→fsync→rename publication, CRC32-C framed records, and a writer
+// that stops at the first poison.
+package dur
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// FS is the filesystem seam shape (Create + Rename).
+type FS interface {
+	Create(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// File is the durability-relevant handle shape (Write + Sync).
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Publish writes, syncs, closes, then renames — the only safe order.
+func Publish(fs FS, path string, payload []byte) error {
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		_ = f.Close()
+		_ = fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = fs.Remove(tmp)
+		return err
+	}
+	return fs.Rename(tmp, path)
+}
+
+// AppendFrame frames a record with its length and CRC32-C checksum.
+func AppendFrame(f File, payload []byte) error {
+	var frame []byte
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, castagnoli))
+	frame = append(frame, payload...)
+	_, err := f.Write(frame)
+	return err
+}
+
+// Writer is a poisoning writer in the walWriter shape.
+type Writer struct {
+	f      File
+	failed error
+}
+
+// Append returns immediately once poisoned; no write follows the
+// failure record.
+func (w *Writer) Append(rec []byte) error {
+	if w.failed != nil {
+		return w.failed
+	}
+	if _, err := w.f.Write(rec); err != nil {
+		w.failed = err
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Package dur breaks each durability invariant once: rename before
+// fsync, an unchecksummed framed write, and a write after the writer
+// poisoned itself. The FS/File shapes mirror the vfs seam so the
+// analyzer's duck typing engages without importing module packages.
+package dur
+
+import "encoding/binary"
+
+// FS is the filesystem seam shape (Create + Rename).
+type FS interface {
+	Create(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// File is the durability-relevant handle shape (Write + Sync).
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// PublishUnsynced renames a written file into place without ever
+// syncing it — a crash after the rename can expose a torn file behind
+// a fully-visible name.
+func PublishUnsynced(fs FS, path string, payload []byte) error {
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, path)
+}
+
+// AppendFrame length-frames a record but never folds a checksum into
+// it, so recovery has no corruption oracle for the tail.
+func AppendFrame(f File, payload []byte) error {
+	var frame []byte
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	_, err := f.Write(frame)
+	return err
+}
+
+// Writer is a poisoning writer in the walWriter shape.
+type Writer struct {
+	f      File
+	failed error
+}
+
+// Append keeps writing after recording a failure, even though the
+// poisoned record's durability is ambiguous.
+func (w *Writer) Append(rec []byte) error {
+	if _, err := w.f.Write(rec); err != nil {
+		w.failed = err
+	}
+	if _, err := w.f.Write(rec); err != nil {
+		return err
+	}
+	return nil
+}

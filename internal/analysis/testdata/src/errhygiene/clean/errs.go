@@ -1,0 +1,57 @@
+// Package errs shows the error-hygiene idioms the analyzer must
+// accept: explicit discards, %w wrapping, errors.Is comparison, and
+// the exempt never-failing writers.
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WriteAll discards the error-path Close explicitly; the write error
+// is already on its way out.
+func WriteAll(path string, payload []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Parse wraps the underlying error so callers can unwrap it.
+func Parse(raw string) (int, error) {
+	var n int
+	if _, err := fmt.Sscanf(raw, "%d", &n); err != nil {
+		return 0, fmt.Errorf("errs: bad int %q: %w", raw, err)
+	}
+	return n, nil
+}
+
+// Drain matches the sentinel through any wrapping.
+func Drain(r io.Reader, buf []byte) error {
+	for {
+		_, err := r.Read(buf)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Describe uses the exempt infallible writers without ceremony.
+func Describe(parts []string) string {
+	var b strings.Builder
+	for _, p := range parts {
+		b.WriteString(p)
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+// Package errs is the representative pre-fix fixture for the error-
+// hygiene rules: it keeps, in fixture form, the three bug classes that
+// were live in the module before this analyzer landed — a silently
+// discarded Close on an error path, a %v that severs the error chain,
+// and a == sentinel comparison. Every finding here carries a fix; the
+// .fixed golden alongside pins the -fix output byte-for-byte.
+package errs
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteAll writes payload and discards the Close error on the error
+// path.
+func WriteAll(path string, payload []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Parse stringifies the underlying error, severing the chain for every
+// caller's errors.Is/As.
+func Parse(raw string) (int, error) {
+	var n int
+	if _, err := fmt.Sscanf(raw, "%d", &n); err != nil {
+		return 0, fmt.Errorf("errs: bad int %q: %v", raw, err)
+	}
+	return n, nil
+}
+
+// Drain compares the sentinel with ==; a wrapped io.EOF never matches.
+func Drain(r io.Reader, buf []byte) error {
+	for {
+		_, err := r.Read(buf)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}

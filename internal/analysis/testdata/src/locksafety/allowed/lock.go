@@ -1,0 +1,18 @@
+// Package lock exercises reasoned suppression of the goroutine-join
+// rule: a process-lifetime background loop that by design outlives
+// every caller.
+package lock
+
+import "time"
+
+// StartJanitor runs a process-lifetime sweep loop; the process exit is
+// its join.
+func StartJanitor(sweep func()) {
+	//lint:allow locksafety process-lifetime janitor; process exit is the join
+	go func() {
+		for {
+			time.Sleep(time.Second)
+			sweep()
+		}
+	}()
+}

@@ -1,0 +1,66 @@
+// Package lock shows the lock and goroutine idioms the analyzer must
+// accept: defer discipline, explicit release on every path, read locks,
+// and joinable goroutines (WaitGroup and channel-handoff).
+package lock
+
+import "sync"
+
+// Table is a mutex-guarded map in the registry shape.
+type Table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// Bump holds the lock for the whole body via defer.
+func (t *Table) Bump(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[key]++
+}
+
+// Get releases the read lock on both paths.
+func (t *Table) Get(key string) (int, bool) {
+	t.mu.RLock()
+	v, ok := t.m[key]
+	if !ok {
+		t.mu.RUnlock()
+		return 0, false
+	}
+	t.mu.RUnlock()
+	return v, true
+}
+
+// Snapshot copies under the read lock, releases, then sends — the
+// blocking operation happens lock-free.
+func (t *Table) Snapshot(ch chan<- int, key string) {
+	t.mu.RLock()
+	v := t.m[key]
+	t.mu.RUnlock()
+	ch <- v
+}
+
+// FanOut joins its workers through a WaitGroup.
+func FanOut(work []func()) {
+	var wg sync.WaitGroup
+	for _, fn := range work {
+		wg.Add(1)
+		fn := fn
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}
+
+// Produce hands its goroutine's completion to the channel consumer.
+func Produce(n int) <-chan int {
+	ch := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+	return ch
+}

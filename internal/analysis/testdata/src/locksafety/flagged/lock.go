@@ -1,0 +1,49 @@
+// Package lock breaks each lock-safety invariant once: a lock that can
+// leak past a return, a double Lock, a channel send under the lock,
+// and an unjoinable goroutine.
+package lock
+
+import "sync"
+
+// Table is a mutex-guarded map in the registry shape.
+type Table struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// Leak returns early with the lock still held.
+func (t *Table) Leak(key string) int {
+	t.mu.Lock()
+	if v, ok := t.m[key]; ok {
+		return v
+	}
+	t.mu.Unlock()
+	return 0
+}
+
+// Double re-locks a mutex it may already hold.
+func (t *Table) Double(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mu.Lock()
+	t.m[key]++
+	t.mu.Unlock()
+}
+
+// Notify sends on a channel while holding the lock; a slow consumer
+// stalls every other user of t.mu.
+func (t *Table) Notify(ch chan<- string, key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[key]++
+	ch <- key
+}
+
+// Spawn launches a goroutine nothing can ever join.
+func (t *Table) Spawn(key string) {
+	go func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		t.m[key]++
+	}()
+}

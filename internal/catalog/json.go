@@ -123,7 +123,7 @@ func LoadJSON(r io.Reader) (*Catalog, error) {
 		cat.AddTable(t)
 	}
 	if errs := cat.Validate(); len(errs) > 0 {
-		return nil, fmt.Errorf("catalog: invalid after load: %v", errs[0])
+		return nil, fmt.Errorf("catalog: invalid after load: %w", errs[0])
 	}
 	return cat, nil
 }

@@ -4,6 +4,8 @@ import "isum/internal/features"
 
 // Influence returns F_qi(qj) = S(qi, qj) · U(qj), the reduction in qj's
 // utility when qi is selected for tuning (Definition 3).
+//
+//lint:hotpath
 func Influence(qi, qj *QueryState) float64 {
 	if qi == qj {
 		return 0
@@ -14,6 +16,8 @@ func Influence(qi, qj *QueryState) float64 {
 // BenefitAllPairs returns the conditional benefit of qi against the current
 // states (Definition 10, computed as in Algorithm 1): its discounted
 // utility plus its influence over every unselected query.
+//
+//lint:hotpath
 func BenefitAllPairs(qi *QueryState, states []*QueryState) float64 {
 	b := qi.Utility
 	for _, qj := range states {
@@ -49,6 +53,8 @@ func BuildSummary(states []*QueryState) *SummaryState {
 // RemoveSelected subtracts a just-selected query's contribution
 // (Utility·Vec at selection time) from the summary — the first half of the
 // incremental maintenance that replaces the per-round BuildSummary rebuild.
+//
+//lint:hotpath
 func (ss *SummaryState) RemoveSelected(q *QueryState) {
 	ss.V.AddScaled(q.Vec, -q.Utility)
 	ss.TotalUtility -= q.Utility
@@ -57,6 +63,8 @@ func (ss *SummaryState) RemoveSelected(q *QueryState) {
 // ApplyDelta folds one unselected query's contribution delta (produced by
 // the post-selection update sweep) into the summary. Deltas must be applied
 // in query-index order for bit-identical summaries across runs.
+//
+//lint:hotpath
 func (ss *SummaryState) ApplyDelta(util float64, vec features.SparseVec) {
 	ss.V.Add(vec)
 	ss.TotalUtility += util
@@ -65,6 +73,8 @@ func (ss *SummaryState) ApplyDelta(util float64, vec features.SparseVec) {
 // BenefitSummary returns qi's benefit against the summary (Algorithm 3):
 // its utility plus S(qi, V′) where V′ excludes qi's own contribution,
 // computed by the fused merge-join kernel (no temporary summary copy).
+//
+//lint:hotpath
 func BenefitSummary(qi *QueryState, ss *SummaryState) float64 {
 	return qi.Utility + features.SummarySimilarity(qi.Vec, ss.V, qi.Utility, ss.TotalUtility)
 }
@@ -72,6 +82,8 @@ func BenefitSummary(qi *QueryState, ss *SummaryState) float64 {
 // InfluenceOnWorkload returns F_qs(W) = Σ_j S(qs,qj)·U(qj), the all-pairs
 // influence of qs over the unselected queries — used to validate the
 // summary approximation (Theorem 3 / Fig. 8a).
+//
+//lint:hotpath
 func InfluenceOnWorkload(qs *QueryState, states []*QueryState) float64 {
 	var f float64
 	for _, qj := range states {
@@ -85,6 +97,8 @@ func InfluenceOnWorkload(qs *QueryState, states []*QueryState) float64 {
 
 // InfluenceOnSummary returns F_qs(V) = S(qs, V′), the summary-feature
 // estimate of the same quantity.
+//
+//lint:hotpath
 func InfluenceOnSummary(qs *QueryState, ss *SummaryState) float64 {
 	return features.SummarySimilarity(qs.Vec, ss.V, qs.Utility, ss.TotalUtility)
 }

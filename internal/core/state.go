@@ -45,6 +45,8 @@ type QueryState struct {
 
 // Similarity returns the weighted-Jaccard similarity between two query
 // states' current features.
+//
+//lint:hotpath
 func (s *QueryState) Similarity(t *QueryState) float64 {
 	return s.Vec.WeightedJaccard(t.Vec)
 }
@@ -150,6 +152,8 @@ func BuildStatesContext(ctx context.Context, w *workload.Workload, opts Options)
 // applyUpdate updates an unselected query's state given a newly selected
 // query (Section 4.3): the utility always shrinks by the influence
 // F_qs(q) = S(qs,q)·U(q); the features change per the strategy.
+//
+//lint:hotpath
 func applyUpdate(sel, q *QueryState, strategy UpdateStrategy) {
 	if strategy == UpdateNone {
 		return
@@ -197,6 +201,8 @@ var sharedScratch = sync.Pool{New: func() any { return new([]float64) }}
 // update can change are the IDs of sel.Vec, so it snapshots q's weights
 // at those IDs, applies the update, and diffs. Safe to call concurrently
 // for distinct q: it reads sel and mutates only q.
+//
+//lint:hotpath
 func applyUpdateWithDelta(sel, q *QueryState, strategy UpdateStrategy, track bool) updateResult {
 	if strategy == UpdateNone {
 		return updateResult{}

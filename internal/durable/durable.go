@@ -475,7 +475,7 @@ func repairLog(fs vfs.FS, dir string, rec *recovered) error {
 		}
 		prefix := make([]byte, rec.stopGood)
 		_, err = io.ReadFull(rc, prefix)
-		rc.Close()
+		_ = rc.Close()
 		if err != nil {
 			return fmt.Errorf("durable: repairing %s: %w", rec.stopSeg, err)
 		}
@@ -485,12 +485,12 @@ func repairLog(fs vfs.FS, dir string, rec *recovered) error {
 			return fmt.Errorf("durable: repairing %s: %w", rec.stopSeg, err)
 		}
 		if _, err := f.Write(prefix); err != nil {
-			f.Close()
+			_ = f.Close()
 			_ = fs.Remove(tmp)
 			return fmt.Errorf("durable: repairing %s: %w", rec.stopSeg, err)
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			_ = fs.Remove(tmp)
 			return fmt.Errorf("durable: repairing %s: %w", rec.stopSeg, err)
 		}

@@ -137,7 +137,7 @@ func writeSnapshot(fs vfs.FS, dir string, payload []byte) (name string, err erro
 		return "", fmt.Errorf("durable: creating snapshot: %w", err)
 	}
 	cleanup := func(e error) (string, error) {
-		f.Close()
+		_ = f.Close()
 		_ = fs.Remove(tmp)
 		return "", e
 	}

@@ -243,7 +243,7 @@ func (w *walWriter) openSegment() error {
 		return fmt.Errorf("durable: creating segment: %w", err)
 	}
 	if _, err := f.Write(fileHeader(walMagic)); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("durable: writing segment header: %w", err)
 	}
 	w.f, w.name, w.size = f, name, headerSize

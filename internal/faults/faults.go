@@ -168,7 +168,7 @@ func ParseSpec(spec string) (Config, error) {
 		case "seed":
 			n, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
-				return cfg, fmt.Errorf("faults: chaos spec: bad seed %q: %v", val, err)
+				return cfg, fmt.Errorf("faults: chaos spec: bad seed %q: %w", val, err)
 			}
 			cfg.Seed = n
 		case "errors", "panics", "latency":

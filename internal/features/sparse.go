@@ -158,6 +158,8 @@ func (v SparseVec) AllZero() bool {
 // Sum returns the total weight, accumulated in ascending-ID order — the
 // canonical order, so no DetSum-style sort is needed (vector.go
 // documents the two regimes).
+//
+//lint:hotpath
 func (v SparseVec) Sum() float64 {
 	s := 0.0
 	for _, w := range v.ws {
@@ -178,6 +180,8 @@ func (v *SparseVec) Scale(f float64) {
 // exclusively (e.g. an UpdateDelta result after folding it in). It
 // recycles a pooled holder rather than allocating one, so a
 // produce/fold/Release cycle is allocation-free at steady state.
+//
+//lint:hotpath
 func (v *SparseVec) Release() {
 	if v.ids == nil && v.ws == nil {
 		return
@@ -193,6 +197,8 @@ func (v *SparseVec) Release() {
 // this allocation-free. Matches Vector.AddScaled entry-for-entry:
 // existing slots accumulate v + w·f, new slots store w·f, zero results
 // are kept.
+//
+//lint:hotpath
 func (v *SparseVec) AddScaled(other SparseVec, f float64) {
 	if len(other.ids) == 0 {
 		return
@@ -231,10 +237,14 @@ func (v *SparseVec) AddScaled(other SparseVec, f float64) {
 
 // Add adds other into v; equivalent to AddScaled(other, 1) bit-for-bit
 // (w·1.0 == w).
+//
+//lint:hotpath
 func (v *SparseVec) Add(other SparseVec) { v.AddScaled(other, 1) }
 
 // SubClamped subtracts other's weights from v's, dropping any entry
 // that would become ≤ 0. Shrink-only: compacts in place, no allocation.
+//
+//lint:hotpath
 func (v *SparseVec) SubClamped(other SparseVec) { v.SubClampedScaled(other, 1) }
 
 // SubClampedScaled subtracts f times other's weights from v's, dropping
@@ -242,6 +252,8 @@ func (v *SparseVec) SubClamped(other SparseVec) { v.SubClampedScaled(other, 1) }
 // Clone().Scale(f) + SubClamped used by the weight-subtract update.
 // Requires other's weights (and f) non-negative, which feature vectors
 // are by construction; shrink-only, compacts in place.
+//
+//lint:hotpath
 func (v *SparseVec) SubClampedScaled(other SparseVec, f float64) {
 	if len(other.ids) == 0 || len(v.ids) == 0 {
 		return
@@ -270,6 +282,8 @@ func (v *SparseVec) SubClampedScaled(other SparseVec, f float64) {
 
 // ZeroShared removes every entry whose ID carries positive weight in
 // other (the feature-remove update). Shrink-only, compacts in place.
+//
+//lint:hotpath
 func (v *SparseVec) ZeroShared(other SparseVec) {
 	if len(other.ids) == 0 || len(v.ids) == 0 {
 		return
@@ -297,6 +311,8 @@ func (v *SparseVec) ZeroShared(other SparseVec) {
 // matches the map reference (RefWeightedJaccard): IDs only in a
 // contribute min(aw,0)/max(aw,0), IDs only in b contribute bw to the max
 // sum, and either operand being empty short-circuits to 0.
+//
+//lint:hotpath
 func (a SparseVec) WeightedJaccard(b SparseVec) float64 {
 	if len(a.ids) == 0 || len(b.ids) == 0 {
 		return 0
@@ -339,6 +355,8 @@ func (a SparseVec) WeightedJaccard(b SparseVec) float64 {
 // Jaccard computes the unweighted Jaccard similarity of the entry sets
 // (presence counts, including explicit zero-weight entries), matching
 // the map-based Jaccard.
+//
+//lint:hotpath
 func (a SparseVec) Jaccard(b SparseVec) float64 {
 	if len(a.ids) == 0 && len(b.ids) == 0 {
 		return 0
@@ -377,6 +395,8 @@ func (a SparseVec) Jaccard(b SparseVec) float64 {
 // rescaled by totalUtil/(totalUtil−qUtil); summary entries q does not
 // touch survive unclamped; a summary left with no surviving entries
 // yields 0.
+//
+//lint:hotpath
 func SummarySimilarity(q, v SparseVec, qUtil, totalUtil float64) float64 {
 	if len(q.ids) == 0 {
 		return 0
@@ -426,6 +446,8 @@ func SummarySimilarity(q, v SparseVec, qUtil, totalUtil float64) float64 {
 // holds at each of mask's IDs (0 when absent) — the pre-update snapshot
 // the incremental summary delta needs. Pass a pooled dst[:0] to keep it
 // allocation-free.
+//
+//lint:hotpath
 func (v SparseVec) SharedWeights(mask SparseVec, dst []float64) []float64 {
 	j := 0
 	for i := 0; i < len(mask.ids); i++ {
@@ -450,6 +472,8 @@ func (v SparseVec) SharedWeights(mask SparseVec, dst []float64) []float64 {
 // same expressions the map implementation used — with exact zeros
 // dropped. The result owns pooled storage; Release it after folding into
 // the summary.
+//
+//lint:hotpath
 func UpdateDelta(cur, mask SparseVec, oldShared []float64, oldU, newU float64) SparseVec {
 	mergeOp()
 	b := vecBufs.Get().(*vecBuf)

@@ -24,7 +24,7 @@ func StartProfiles(dir string) (stop func() error, err error) {
 		return nil, err
 	}
 	if err := pprof.StartCPUProfile(cpu); err != nil {
-		cpu.Close()
+		_ = cpu.Close()
 		return nil, err
 	}
 	return func() error {

@@ -20,11 +20,18 @@ fi
 echo "== go vet =="
 go vet ./...
 
-# Project-specific invariants (determinism, ctx hygiene, concurrency,
-# telemetry, anytime contract) beyond what vet knows. Exits non-zero on
-# any finding not carrying a reasoned //lint:allow.
+# Project-specific invariants beyond what vet knows: the five syntactic
+# analyzers (determinism, ctx hygiene, concurrency, telemetry, anytime)
+# plus the four dataflow ones (alloc, durability, locksafety,
+# errhygiene — DESIGN.md §15). The baseline makes CI fail on NEW
+# findings only — and on baselined findings that disappeared, so the
+# file tracks reality (regenerate with -write-baseline). lint.sarif is
+# the machine-readable artifact for CI annotation. The second run fails
+# on stale //lint:allow directives; they are never baseline-eligible,
+# so the escape hatch cannot rot silently.
 echo "== isumlint =="
-go run ./cmd/isumlint ./...
+go run ./cmd/isumlint -baseline .lintbaseline -sarif lint.sarif ./...
+go run ./cmd/isumlint -prune-allows ./...
 
 echo "== go build =="
 go build ./...
@@ -197,6 +204,17 @@ if [ "${1:-}" = "--no-bench" ]; then
     exit 0
 fi
 
+echo "== lint benchmark =="
+# Analyzer wall time over the whole module (load + type-check + all nine
+# analyzers, cold per iteration). Single-threaded by nature, so it runs
+# before the multi-core gate below.
+lint_out=$(mktemp)
+trap 'rm -f "$lint_out" "$metrics_out"; rm -rf "$fm_dir" "$dbg_dir" "$du_dir"' EXIT
+go test -bench '^BenchmarkLintModule$' -benchmem \
+    -benchtime "${LINT_BENCHTIME:-1x}" -run '^$' ./internal/analysis | tee "$lint_out"
+go run ./scripts/benchjson <"$lint_out" >BENCH_lint.json
+echo "wrote BENCH_lint.json"
+
 # The recorded parallel/sharded numbers are only meaningful on a
 # multi-core runner: at GOMAXPROCS=1 every parallelism=max / workers=4
 # variant silently degenerates to the serial path and the speedup figures
@@ -213,7 +231,7 @@ fi
 
 echo "== parallel benchmarks =="
 bench_out=$(mktemp)
-trap 'rm -f "$bench_out" "$metrics_out"; rm -rf "$fm_dir" "$dbg_dir" "$du_dir"' EXIT
+trap 'rm -f "$bench_out" "$lint_out" "$metrics_out"; rm -rf "$fm_dir" "$dbg_dir" "$du_dir"' EXIT
 go test -bench '^(BenchmarkCompress|BenchmarkTune)$' -benchmem \
     -benchtime "${BENCHTIME:-3x}" -run '^$' . | tee "$bench_out"
 go run ./scripts/benchjson <"$bench_out" >BENCH_parallel.json
@@ -223,7 +241,7 @@ echo "== sharded-scale benchmarks =="
 # One iteration by default: the cons=off baseline runs the greedy loop
 # over all 10^5 per-query states and takes tens of seconds per op.
 shard_out=$(mktemp)
-trap 'rm -f "$bench_out" "$shard_out" "$metrics_out"; rm -rf "$fm_dir" "$dbg_dir" "$du_dir"' EXIT
+trap 'rm -f "$bench_out" "$shard_out" "$lint_out" "$metrics_out"; rm -rf "$fm_dir" "$dbg_dir" "$du_dir"' EXIT
 go test -bench '^(BenchmarkCompressSharded|BenchmarkCompressConsed)$' -benchmem \
     -benchtime "${SHARD_BENCHTIME:-1x}" -run '^$' -timeout 30m . | tee "$shard_out"
 go run ./scripts/benchjson <"$shard_out" >BENCH_shard.json
@@ -231,7 +249,7 @@ echo "wrote BENCH_shard.json"
 
 echo "== vector benchmarks =="
 vec_out=$(mktemp)
-trap 'rm -f "$bench_out" "$vec_out" "$metrics_out"; rm -rf "$fm_dir" "$dbg_dir" "$du_dir"' EXIT
+trap 'rm -f "$bench_out" "$vec_out" "$lint_out" "$metrics_out"; rm -rf "$fm_dir" "$dbg_dir" "$du_dir"' EXIT
 go test -bench '^(BenchmarkJaccard|BenchmarkSummaryDelta)$' -benchmem \
     -benchtime "${BENCHTIME:-3x}" -run '^$' \
     ./internal/features ./internal/core | tee "$vec_out"
