@@ -40,6 +40,8 @@ func main() {
 		"worker goroutines for compression and tuning hot paths (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	shards := flag.Int("shards", 0,
 		"shard count for the advisors' workload costing (0/1 = single partition, bit-exact with recorded results)")
+	elide := flag.Bool("elide", true,
+		"elide redundant what-if optimizer calls via memoized atomic costs and cost bounds (DESIGN.md §16); results are identical either way")
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
 	var ff faults.Flags
@@ -82,6 +84,7 @@ func main() {
 		Scale: *sf, Seed: *seed, Fast: *fast,
 		Parallelism: *parallelism, Shards: *shards, Telemetry: trun.Registry,
 		Ctx: ctx, Retry: ff.Policy(), Injector: inj,
+		NoElide: !*elide,
 	}
 	env := experiments.NewEnv(cfg)
 

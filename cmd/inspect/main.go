@@ -46,6 +46,8 @@ func main() {
 	showFeatures := flag.Bool("features", false, "print feature vectors for the top queries")
 	shards := flag.Int("shards", 0, "also print the template-hash shard layout a sharded compression would use")
 	k := flag.Int("k", 20, "pool size of the durable session being inspected (with -wal-dir)")
+	elide := flag.Bool("elide", true,
+		"elide redundant what-if optimizer calls via memoized atomic costs and cost bounds (DESIGN.md §16); results are identical either way")
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
 	var ff faults.Flags
@@ -124,6 +126,7 @@ func main() {
 			fatal(err)
 		}
 		o := cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), reg)
+		o.SetElision(*elide)
 		if err := ff.Apply(o); err != nil {
 			fatal(err)
 		}

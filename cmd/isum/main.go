@@ -65,6 +65,8 @@ func main() {
 		"hash-cons queries by template before selection: one state per distinct template, utilities pooled per Algorithm 4")
 	batch := flag.Int("batch", 8,
 		"observed batch size for the durable session (with -wal-dir): queries per WAL record and recompression")
+	elide := flag.Bool("elide", true,
+		"elide redundant what-if optimizer calls via memoized atomic costs and cost bounds (DESIGN.md §16); results are identical either way")
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
 	var ff faults.Flags
@@ -111,6 +113,7 @@ func main() {
 		// the telemetry export shows the what-if call/cache counts).
 		sp := reg.Start("isum/fill-costs")
 		o := cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), reg)
+		o.SetElision(*elide)
 		if err := ff.Apply(o); err != nil {
 			fatal(err)
 		}

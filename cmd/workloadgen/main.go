@@ -30,6 +30,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	out := flag.String("out", "", "output file (default stdout)")
 	catalogOut := flag.String("catalog-out", "", "also export the catalog (schema + statistics) as JSON")
+	elide := flag.Bool("elide", true,
+		"elide redundant what-if optimizer calls via memoized atomic costs and cost bounds (DESIGN.md §16); results are identical either way")
 	var tf telemetry.Flags
 	tf.Register(flag.CommandLine)
 	var ff faults.Flags
@@ -64,6 +66,7 @@ func main() {
 	sp.End()
 	sp = reg.Start("workloadgen/fill-costs")
 	o := cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), reg)
+	o.SetElision(*elide)
 	if err := ff.Apply(o); err != nil {
 		fatal(err)
 	}

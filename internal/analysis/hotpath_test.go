@@ -60,6 +60,22 @@ func TestHotpathCoversZeroAllocKernels(t *testing.T) {
 			t.Errorf("core inner-loop helper %s is not marked //lint:hotpath", name)
 		}
 	}
+
+	// The elision bound lookups of cost.TestKernelZeroAlloc — consulted
+	// per (candidate, query) in the advisor's greedy inner loop.
+	wantCost := []string{
+		"QueryBounds.BaseCost", "QueryBounds.AtomicCost",
+		"QueryBounds.Lower", "QueryBounds.UpperWith",
+	}
+	costPkg := marked["isum/internal/cost"]
+	if costPkg == nil {
+		t.Fatal("internal/cost not loaded")
+	}
+	for _, name := range wantCost {
+		if !costPkg[name] {
+			t.Errorf("cost bound lookup %s is exercised by TestKernelZeroAlloc but not marked //lint:hotpath", name)
+		}
+	}
 }
 
 // TestHotpathMarkerParsing pins the marker grammar: trailing notes are

@@ -29,12 +29,35 @@ type blockPlanner struct {
 	blk *workload.Block
 	par Params
 
+	// floorTable, when non-empty (lower-cased), switches the planner into
+	// the structural-floor mode used by the elision layer (elide.go): the
+	// named table's access and index-nested-loop costs are replaced by
+	// lower bounds that hold for *any* hypothetical index on it, so the
+	// block total lower-bounds the cost under every configuration whose
+	// indexes all live on that table. Empty (the default) leaves the
+	// reference planner untouched.
+	floorTable string
+
 	// filtersByTable groups the block's filter predicates per base table,
 	// keeping the most selective predicate per column for seek matching.
 	filtersByTable map[string][]workload.FilterPredicate
 }
 
 func planBlock(cat *catalog.Catalog, cfg *index.Configuration, blk *workload.Block, par Params) float64 {
+	total, _ := planBlockParts(cat, cfg, blk, par)
+	return total
+}
+
+// planBlockParts is planBlock, additionally reporting the access+join
+// subtotal ("aj") accumulated before the aggregation/sort tail. The total
+// is computed by exactly the same operations in the same order as the
+// original single-value planner, so callers that only use total are
+// bitwise-unchanged; aj is read mid-accumulation, not re-summed. The
+// elision layer builds configuration cost bounds from aj because it is
+// monotone non-increasing in the configuration (more indexes can only
+// cheapen access paths and join steps; the join order itself depends only
+// on configuration-independent cardinalities), while the tail is not.
+func planBlockParts(cat *catalog.Catalog, cfg *index.Configuration, blk *workload.Block, par Params) (float64, float64) {
 	p := &blockPlanner{cat: cat, cfg: cfg, blk: blk, par: par}
 	p.groupFilters()
 
@@ -49,10 +72,11 @@ func planBlock(cat *catalog.Catalog, cfg *index.Configuration, blk *workload.Blo
 		plans = append(plans, p.bestAccess(tu, t))
 	}
 	if len(plans) == 0 {
-		return p.par.CPUTuple // constant block, e.g. SELECT 1
+		return p.par.CPUTuple, p.par.CPUTuple // constant block, e.g. SELECT 1
 	}
 
 	total, rows, singleOrder := p.planJoins(plans)
+	aj := total
 
 	// Aggregation.
 	groups := rows
@@ -79,7 +103,92 @@ func planBlock(cat *catalog.Catalog, cfg *index.Configuration, blk *workload.Blo
 			total += p.par.sortCost(rows, p.outputWidth())
 		}
 	}
-	return total
+	return total, aj
+}
+
+// blockTailBounds bounds the aggregation/sort tail of a block across all
+// possible configurations. The tail's term magnitudes are configuration-
+// independent (join output rows and group estimates depend only on base
+// statistics); only binary choices — stream vs hash aggregation, sort
+// avoided vs paid — depend on the delivered order, so the bounds take the
+// min/max over the reachable choices. Used by the elision layer; see
+// DESIGN.md §16.
+func blockTailBounds(cat *catalog.Catalog, blk *workload.Block, par Params) (minTail, maxTail float64) {
+	p := &blockPlanner{cat: cat, cfg: nil, blk: blk, par: par}
+	p.groupFilters()
+	var plans []*accessPlan
+	for _, tu := range blk.Tables {
+		t := cat.Table(tu.Table)
+		if t == nil {
+			continue
+		}
+		plans = append(plans, p.bestAccess(tu, t))
+	}
+	if len(plans) == 0 {
+		return 0, 0
+	}
+	_, rows, _ := p.planJoins(plans)
+	single := len(plans) == 1
+
+	if len(blk.GroupBy) > 0 {
+		groups := p.estimateGroups(rows)
+		hash := par.hashAggCost(rows, groups)
+		if single {
+			// A covering order can enable stream aggregation.
+			stream := par.streamAggCost(rows)
+			minTail += math.Min(stream, hash)
+			maxTail += math.Max(stream, hash)
+		} else {
+			minTail += hash
+			maxTail += hash
+		}
+		rows = groups
+	} else if blk.HasAgg {
+		c := rows * par.CPUOperator
+		minTail += c
+		maxTail += c
+		rows = 1
+	}
+	if blk.Distinct && len(blk.GroupBy) == 0 {
+		c := par.hashAggCost(rows, rows)
+		minTail += c
+		maxTail += c
+	}
+	if len(blk.OrderBy) > 0 {
+		s := par.sortCost(rows, p.outputWidth())
+		if !(single && len(blk.GroupBy) == 0) {
+			// Sort can never be avoided: multi-table plans deliver no
+			// order, and a group-by consumes the single-table order.
+			minTail += s
+		}
+		maxTail += s
+	}
+	return minTail, maxTail
+}
+
+// floorBlockAJ is the structural access+join floor for a block: the
+// access+join subtotal under the empty configuration, except that the
+// named table's access and inner-join costs are replaced by bounds valid
+// for ANY index on it. The result lower-bounds the block's access+join
+// subtotal under every configuration whose indexes are all on that table
+// (other tables keep their empty-configuration plans, which such
+// configurations cannot change).
+func floorBlockAJ(cat *catalog.Catalog, blk *workload.Block, par Params, floorTable string) float64 {
+	p := &blockPlanner{cat: cat, cfg: nil, blk: blk, par: par, floorTable: floorTable}
+	p.groupFilters()
+	var plans []*accessPlan
+	for _, tu := range blk.Tables {
+		t := cat.Table(tu.Table)
+		if t == nil {
+			continue
+		}
+		plans = append(plans, p.bestAccess(tu, t))
+	}
+	if len(plans) == 0 {
+		return p.par.CPUTuple
+	}
+	aj, _, _ := p.planJoins(plans)
+	return aj
 }
 
 func (p *blockPlanner) groupFilters() {
@@ -104,7 +213,13 @@ func localSelectivity(filters []workload.FilterPredicate) float64 {
 // neededColumns returns the (lower-cased) columns of table needed anywhere in
 // the block, and whether the block needs every column (SELECT *).
 func (p *blockPlanner) neededColumns(table string) ([]string, bool) {
-	if p.blk.SelectStar {
+	return blockNeededColumns(p.blk, table)
+}
+
+// blockNeededColumns is neededColumns as a standalone function, shared
+// with the elision layer's structural relevance test (IndexRelevant).
+func blockNeededColumns(blk *workload.Block, table string) ([]string, bool) {
+	if blk.SelectStar {
 		return nil, true
 	}
 	seen := map[string]bool{}
@@ -113,20 +228,20 @@ func (p *blockPlanner) neededColumns(table string) ([]string, bool) {
 			seen[strings.ToLower(cu.Column)] = true
 		}
 	}
-	for _, f := range p.blk.Filters {
+	for _, f := range blk.Filters {
 		add(f.ColumnUse)
 	}
-	for _, j := range p.blk.Joins {
+	for _, j := range blk.Joins {
 		add(j.Left)
 		add(j.Right)
 	}
-	for _, c := range p.blk.GroupBy {
+	for _, c := range blk.GroupBy {
 		add(c)
 	}
-	for _, c := range p.blk.OrderBy {
+	for _, c := range blk.OrderBy {
 		add(c)
 	}
-	for _, c := range p.blk.Projected {
+	for _, c := range blk.Projected {
 		add(c)
 	}
 	cols := make([]string, 0, len(seen))
@@ -142,6 +257,19 @@ func (p *blockPlanner) bestAccess(tu workload.TableUse, t *catalog.Table) *acces
 	filters := p.filtersByTable[tu.Table]
 	localSel := localSelectivity(filters)
 	outRows := rowsAfter(float64(t.RowCount), localSel)
+
+	if p.floorTable != "" && p.floorTable == strings.ToLower(tu.Table) {
+		// Structural floor: cheaper than any reachable access path. A seek
+		// costs at least leaf·seekSel·SeqPage + matchedRows·CPUTuple with
+		// leaf ≥ 1, seekSel ≥ localSel and matchedRows ≥ outRows; a
+		// covering scan at least SeqPage + RowCount·CPUTuple; a heap scan
+		// exactly scanCost.
+		c := localSel*p.par.SeqPage + outRows*p.par.CPUTuple
+		if sc := p.par.scanCost(t); sc < c {
+			c = sc
+		}
+		return &accessPlan{table: t, use: tu, cost: c, outRows: outRows}
+	}
 
 	best := &accessPlan{
 		table:   t,
@@ -310,6 +438,16 @@ func (p *blockPlanner) joinStepCost(outerRows float64, pl *accessPlan, joinSel f
 	buildRows := math.Min(outerRows, pl.outRows)
 	probeRows := math.Max(outerRows, pl.outRows)
 	hash := pl.cost + buildRows*p.par.CPUOperator*p.par.HashBuild + probeRows*p.par.CPUOperator
+
+	if p.floorTable != "" && p.floorTable == strings.ToLower(pl.use.Table) {
+		// Structural floor for the inner side: any index-nested-loop probe
+		// pays at least one random page plus per-match CPU; hash already
+		// rides on the floored access cost.
+		localSel := localSelectivity(p.filtersByTable[pl.use.Table])
+		matchPerProbe := rowsAfter(float64(pl.table.RowCount)*joinSel*localSel, 1)
+		inlFloor := outerRows * (p.par.RandPage + matchPerProbe*p.par.CPUTuple)
+		return math.Min(hash, inlFloor)
+	}
 
 	// Index nested loop: needs an index whose leading key is one of the
 	// inner table's join columns.

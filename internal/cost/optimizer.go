@@ -21,13 +21,36 @@ import (
 // worker counts the pipeline spawns. Must be a power of two.
 const cacheShardCount = 32
 
+// cacheVal is one cached what-if result: the total plan cost (the value
+// Cost returns) and the access+join subtotal the elision layer's bounds
+// are derived from (elide.go). The subtotal is monotone non-increasing in
+// the configuration; the total is not (tail operators may flip between
+// stream/hash/sort strategies).
+type cacheVal struct {
+	c  float64
+	aj float64
+}
+
+// flight is one in-progress plan computation. Concurrent identical
+// (query, relevant-config) requests wait on done instead of duplicating
+// the computation (singleflight); val/err are published before done is
+// closed.
+type flight struct {
+	done chan struct{}
+	val  cacheVal
+	err  error
+}
+
 // cacheShard is one lock-striped slice of the what-if cache.
 type cacheShard struct {
 	mu sync.RWMutex
 	// entries is keyed by query text, then by the relevant-configuration
 	// fingerprint, so copies of a Query (e.g. weighted compressed-workload
 	// entries) share cost entries.
-	entries map[string]map[string]float64
+	entries map[string]map[string]cacheVal
+	// flights holds in-progress plan computations keyed by
+	// text+"\x00"+fingerprint, used only when elision is enabled.
+	flights map[string]*flight
 	// hits/misses are this shard's cache counters, registered in the
 	// optimizer's telemetry registry as cost/cache/shardNN/{hits,misses}.
 	hits   *telemetry.Counter
@@ -98,6 +121,18 @@ type Optimizer struct {
 	retryExhausted *telemetry.Counter // faults/retry/exhausted: plans failed after all attempts
 	cancelled      *telemetry.Counter // faults/cancelled: plans aborted by ctx
 
+	// Elision layer (elide.go, DESIGN.md §16). elideOn is set once during
+	// setup (SetElision) before concurrent use; the memo maps are guarded
+	// by elideMu.
+	elideOn     bool
+	elideMu     sync.Mutex
+	elideBounds map[string]*QueryBounds // per query text
+	elideIDs    map[string]int32        // interned index identities
+
+	elideHits   *telemetry.Counter // cost/elide/hits: what-if calls elided
+	elidePrunes *telemetry.Counter // cost/elide/bound_prunes: candidates pruned by bounds
+	elideWaits  *telemetry.Counter // cost/elide/singleflight_waits: duplicate in-flight computations coalesced
+
 	shards [cacheShardCount]cacheShard
 }
 
@@ -131,15 +166,22 @@ func NewOptimizerWithTelemetry(cat *catalog.Catalog, par Params, reg *telemetry.
 		par:            par,
 		reg:            reg,
 		retry:          DefaultRetryPolicy(),
+		elideOn:        true,
+		elideBounds:    make(map[string]*QueryBounds),
+		elideIDs:       make(map[string]int32),
 		calls:          reg.Counter("cost/whatif/calls"),
 		plans:          reg.Counter("cost/whatif/plans"),
 		costNanos:      reg.Counter("cost/whatif/cost_nanos"),
 		retryAttempts:  reg.Counter("faults/retry/attempts"),
 		retryExhausted: reg.Counter("faults/retry/exhausted"),
 		cancelled:      reg.Counter("faults/cancelled"),
+		elideHits:      reg.Counter("cost/elide/hits"),
+		elidePrunes:    reg.Counter("cost/elide/bound_prunes"),
+		elideWaits:     reg.Counter("cost/elide/singleflight_waits"),
 	}
 	for i := range o.shards {
-		o.shards[i].entries = make(map[string]map[string]float64)
+		o.shards[i].entries = make(map[string]map[string]cacheVal)
+		o.shards[i].flights = make(map[string]*flight)
 		o.shards[i].hits = reg.Counter(fmt.Sprintf("cost/cache/shard%02d/hits", i))
 		o.shards[i].misses = reg.Counter(fmt.Sprintf("cost/cache/shard%02d/misses", i))
 	}
@@ -202,6 +244,19 @@ func (o *Optimizer) Cost(q *workload.Query, cfg *index.Configuration) float64 {
 // injected what-if failures that survive the retry policy surface as
 // errors. Cache hits always succeed regardless of ctx.
 func (o *Optimizer) CostContext(ctx context.Context, q *workload.Query, cfg *index.Configuration) (float64, error) {
+	v, err := o.costParts(ctx, q, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return v.c, nil
+}
+
+// costParts is the full what-if pipeline behind CostContext: counters,
+// cache lookup, singleflight (elision on), plan computation with retry,
+// cache store, and atomic-cost recording for the elision memo. It returns
+// the cost together with the access+join subtotal the bound derivations
+// need.
+func (o *Optimizer) costParts(ctx context.Context, q *workload.Query, cfg *index.Configuration) (cacheVal, error) {
 	start := time.Now() //lint:allow determinism what-if latency metric only; costs are computed from the plan, not the clock
 	defer func() {
 		o.costNanos.Add(time.Since(start).Nanoseconds())
@@ -212,35 +267,122 @@ func (o *Optimizer) CostContext(ctx context.Context, q *workload.Query, cfg *ind
 	sh := o.shardFor(q.Text)
 	sh.mu.RLock()
 	if perQ, ok := sh.entries[q.Text]; ok {
-		if c, ok := perQ[key]; ok {
+		if v, ok := perQ[key]; ok {
 			sh.mu.RUnlock()
 			sh.hits.Inc()
-			return c, nil
+			return v, nil
 		}
 	}
 	sh.mu.RUnlock()
 
+	if o.elideOn {
+		return o.costPartsFlight(ctx, q, cfg, key, sh)
+	}
+
 	sh.misses.Inc()
-	c, err := o.planWithRetry(ctx, q, cfg, key)
+	v, err := o.planWithRetry(ctx, q, cfg, key)
 	if err != nil {
-		return 0, err
+		return cacheVal{}, err
 	}
 
 	sh.mu.Lock()
 	perQ, ok := sh.entries[q.Text]
 	if !ok {
-		perQ = make(map[string]float64)
+		perQ = make(map[string]cacheVal)
 		sh.entries[q.Text] = perQ
 	}
-	perQ[key] = c
+	perQ[key] = v
 	sh.mu.Unlock()
-	return c, nil
+	return v, nil
+}
+
+// costPartsFlight resolves a cache miss under singleflight: concurrent
+// identical (query text, fingerprint) misses elect one leader that
+// computes the plan while the others wait on the flight, so parallel
+// enumeration never computes the same probe twice. Cost values are pure
+// functions of (query, configuration), so coalescing is invisible; only
+// the plans/misses counters see fewer computations (already documented as
+// a concurrency artefact).
+func (o *Optimizer) costPartsFlight(ctx context.Context, q *workload.Query, cfg *index.Configuration, key string, sh *cacheShard) (cacheVal, error) {
+	fkey := q.Text + "\x00" + key
+	for {
+		sh.mu.Lock()
+		if perQ, ok := sh.entries[q.Text]; ok {
+			if v, ok := perQ[key]; ok {
+				sh.mu.Unlock()
+				sh.hits.Inc()
+				return v, nil
+			}
+		}
+		if f, ok := sh.flights[fkey]; ok {
+			sh.mu.Unlock()
+			o.elideWaits.Inc()
+			select {
+			case <-ctx.Done():
+				o.cancelled.Inc()
+				return cacheVal{}, ctx.Err()
+			case <-f.done:
+			}
+			if f.err != nil {
+				// The leader failed. Retry as (potentially) a new leader:
+				// with the deterministic injector our own attempt sequence
+				// fails or succeeds exactly as it would have unshared, so
+				// callers observe reference failure semantics.
+				continue
+			}
+			return f.val, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		sh.flights[fkey] = f
+		sh.mu.Unlock()
+		sh.misses.Inc()
+		return o.runFlight(ctx, q, cfg, key, sh, fkey, f)
+	}
+}
+
+// runFlight executes a leader plan computation and publishes the result —
+// to the cache, to any flight waiters, and (on success) to the elision
+// memo. A panic out of the computation (crash injection) still fails the
+// flight before propagating, so waiters never hang on a dead leader.
+func (o *Optimizer) runFlight(ctx context.Context, q *workload.Query, cfg *index.Configuration, key string, sh *cacheShard, fkey string, f *flight) (v cacheVal, err error) {
+	committed := false
+	defer func() {
+		if committed {
+			return
+		}
+		sh.mu.Lock()
+		delete(sh.flights, fkey)
+		sh.mu.Unlock()
+		f.err = fmt.Errorf("cost: what-if plan computation for query %d panicked", q.ID)
+		close(f.done)
+	}()
+	v, err = o.planWithRetry(ctx, q, cfg, key)
+	committed = true
+
+	sh.mu.Lock()
+	delete(sh.flights, fkey)
+	if err == nil {
+		perQ, ok := sh.entries[q.Text]
+		if !ok {
+			perQ = make(map[string]cacheVal)
+			sh.entries[q.Text] = perQ
+		}
+		perQ[key] = v
+	}
+	sh.mu.Unlock()
+	f.val, f.err = v, err
+	close(f.done)
+	if err != nil {
+		return cacheVal{}, err
+	}
+	o.recordParts(q, key, v)
+	return v, nil
 }
 
 // planWithRetry runs one plan computation under the injector and retry
 // policy: transient injected failures back off exponentially (honouring
 // ctx) and retry up to MaxAttempts times.
-func (o *Optimizer) planWithRetry(ctx context.Context, q *workload.Query, cfg *index.Configuration, key string) (float64, error) {
+func (o *Optimizer) planWithRetry(ctx context.Context, q *workload.Query, cfg *index.Configuration, key string) (cacheVal, error) {
 	attempts := o.retry.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -250,7 +392,7 @@ func (o *Optimizer) planWithRetry(ctx context.Context, q *workload.Query, cfg *i
 	for attempt := 0; attempt < attempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			o.cancelled.Inc()
-			return 0, err
+			return cacheVal{}, err
 		}
 		if attempt > 0 {
 			o.retryAttempts.Inc()
@@ -260,7 +402,7 @@ func (o *Optimizer) planWithRetry(ctx context.Context, q *workload.Query, cfg *i
 				case <-ctx.Done():
 					t.Stop()
 					o.cancelled.Inc()
-					return 0, ctx.Err()
+					return cacheVal{}, ctx.Err()
 				case <-t.C:
 				}
 				delay *= 2
@@ -276,10 +418,10 @@ func (o *Optimizer) planWithRetry(ctx context.Context, q *workload.Query, cfg *i
 			}
 		}
 		o.plans.Add(1)
-		return o.computeCost(q, cfg), nil
+		return o.computeCostParts(q, cfg), nil
 	}
 	o.retryExhausted.Inc()
-	return 0, fmt.Errorf("cost: what-if plan for query %d failed after %d attempts: %w", q.ID, attempts, lastErr)
+	return cacheVal{}, fmt.Errorf("cost: what-if plan for query %d failed after %d attempts: %w", q.ID, attempts, lastErr)
 }
 
 // WorkloadCost returns the weighted cost Σ w(q)·C(q) of the workload under
@@ -423,21 +565,32 @@ func (o *Optimizer) ResetCounters() {
 		o.shards[i].hits.Reset()
 		o.shards[i].misses.Reset()
 	}
+	o.elideHits.Reset()
+	o.elidePrunes.Reset()
+	o.elideWaits.Reset()
 }
 
-// computeCost plans every block of the query and sums their costs.
-func (o *Optimizer) computeCost(q *workload.Query, cfg *index.Configuration) float64 {
+// computeCostParts plans every block of the query and sums their costs,
+// keeping the access+join subtotal alongside the total for the elision
+// bounds. The total is exactly what computeCost historically returned.
+func (o *Optimizer) computeCostParts(q *workload.Query, cfg *index.Configuration) cacheVal {
 	if q.Info == nil {
-		return 0
+		return cacheVal{}
 	}
-	var total float64
+	var total, aj float64
 	for _, blk := range q.Info.Blocks {
-		total += planBlock(o.cat, cfg, blk, o.par)
+		t, a := planBlockParts(o.cat, cfg, blk, o.par)
+		total += t
+		aj += a
 	}
 	if total <= 0 {
+		// Only reachable with zero blocks (every planned block costs at
+		// least one CPU tuple), so the subtotal clamps with the total and
+		// the derived bounds stay tight and sound.
 		total = o.par.CPUTuple
+		aj = total
 	}
-	return total
+	return cacheVal{c: total, aj: aj}
 }
 
 // relevantFingerprint narrows the configuration to indexes on tables the

@@ -1,0 +1,7 @@
+//go:build race
+
+package cost
+
+// raceEnabled reports whether the race detector is compiled in; the
+// zero-allocation pins skip under -race, whose instrumentation allocates.
+const raceEnabled = true

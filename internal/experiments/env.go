@@ -58,6 +58,11 @@ type Config struct {
 	// Injector, when non-nil, installs deterministic fault injection on
 	// every optimizer the experiments construct (the -chaos path).
 	Injector cost.Injector
+	// NoElide disables what-if call elision (DESIGN.md §16) on the
+	// optimizers and advisors the experiments construct. The zero value
+	// keeps elision on — figure results are identical either way; elision
+	// only shrinks the what-if call counts in the phase breakdowns.
+	NoElide bool
 }
 
 // Context returns the run's context (Background when none was set).
@@ -112,6 +117,7 @@ func NewEnv(cfg Config) *Env {
 // retry policy and fault injector.
 func (e *Env) freshOptimizer(g *benchmarks.Generator) *cost.Optimizer {
 	o := cost.NewOptimizerWithTelemetry(g.Cat, cost.DefaultParams(), e.Cfg.Telemetry)
+	o.SetElision(!e.Cfg.NoElide)
 	if e.Cfg.Retry.MaxAttempts > 0 {
 		o.SetRetryPolicy(e.Cfg.Retry)
 	}
@@ -182,6 +188,7 @@ func (e *Env) AdvisorOptions(name string) (advisor.Options, error) {
 	opts.Parallelism = e.Cfg.Parallelism
 	opts.Shards = e.Cfg.Shards
 	opts.Telemetry = e.Cfg.Telemetry
+	opts.Elide = !e.Cfg.NoElide
 	return opts, nil
 }
 

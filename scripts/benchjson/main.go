@@ -1,10 +1,16 @@
 // Command benchjson converts `go test -bench` output on stdin to a JSON
 // report on stdout, pairing each benchmark's baseline and optimised
 // variants into a speedup figure. Recognised pairs, per benchmark base
-// name: parallelism=1 vs parallelism=max, workers=1 vs workers=4, and
-// cons=off vs cons=on. scripts/ci.sh uses it to write BENCH_parallel.json
-// and BENCH_shard.json so the perf trajectory of the parallel and sharded
-// pipelines is tracked in-repo.
+// name: parallelism=1 vs parallelism=max, workers=1 vs workers=4,
+// cons=off vs cons=on, and elide=off vs elide=on. scripts/ci.sh uses it
+// to write BENCH_parallel.json, BENCH_shard.json and BENCH_whatif.json so
+// the perf trajectories of the parallel, sharded and elided pipelines are
+// tracked in-repo.
+//
+// Custom b.ReportMetric units ("*/op" beyond the standard three) are kept
+// per benchmark under "metrics"; for elide pairs reporting
+// "whatif-calls/op", the report also carries call_reductions — the
+// fraction of what-if optimizer calls the elided variant avoided.
 //
 // Benchmark lines that fail to parse are reported on stderr instead of
 // being dropped silently, and an input containing zero parseable
@@ -25,11 +31,12 @@ import (
 
 // result is one benchmark line.
 type result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // custom b.ReportMetric units
 }
 
 // report is the whole document.
@@ -40,7 +47,11 @@ type report struct {
 	Gomaxprocs int                `json:"gomaxprocs"`
 	Benchmarks []result           `json:"benchmarks"`
 	Speedups   map[string]float64 `json:"speedups"`
-	Note       string             `json:"note"`
+	// CallReductions maps a benchmark base name to the fraction of
+	// what-if optimizer calls its elide=on variant avoided versus
+	// elide=off (from the custom whatif-calls/op metric).
+	CallReductions map[string]float64 `json:"call_reductions,omitempty"`
+	Note           string             `json:"note"`
 }
 
 func main() {
@@ -89,16 +100,24 @@ func run(in io.Reader, out, warn io.Writer) error {
 	// parallelism=1/parallelism=max, workers=1/workers=4, cons=off/cons=on.
 	serial := map[string]float64{}
 	parallel := map[string]float64{}
+	callsOff := map[string]float64{}
+	callsOn := map[string]float64{}
 	for _, r := range rep.Benchmarks {
 		base, variant, ok := strings.Cut(r.Name, "/")
 		if !ok {
 			continue
 		}
 		switch variant {
-		case "parallelism=1", "workers=1", "cons=off":
+		case "parallelism=1", "workers=1", "cons=off", "elide=off":
 			serial[base] = r.NsPerOp
-		case "parallelism=max", "workers=4", "cons=on":
+			if c, ok := r.Metrics["whatif-calls/op"]; ok {
+				callsOff[base] = c
+			}
+		case "parallelism=max", "workers=4", "cons=on", "elide=on":
 			parallel[base] = r.NsPerOp
+			if c, ok := r.Metrics["whatif-calls/op"]; ok {
+				callsOn[base] = c
+			}
 		}
 	}
 	for base, s := range serial {
@@ -106,10 +125,18 @@ func run(in io.Reader, out, warn io.Writer) error {
 			rep.Speedups[base] = s / p
 		}
 	}
+	for base, off := range callsOff {
+		if on, ok := callsOn[base]; ok && off > 0 {
+			if rep.CallReductions == nil {
+				rep.CallReductions = map[string]float64{}
+			}
+			rep.CallReductions[base] = 1 - on/off
+		}
+	}
 	if rep.Gomaxprocs <= 1 {
-		rep.Note = "single-core runner: parallelism=max/workers=4 degenerate to the serial path, those speedups are ~1.0x by construction (cons=off/cons=on pairs are unaffected); the parallel speedup targets apply to GOMAXPROCS >= 2"
+		rep.Note = "single-core runner: parallelism=max/workers=4 degenerate to the serial path, those speedups are ~1.0x by construction (cons=off/cons=on and elide=off/elide=on pairs are unaffected); the parallel speedup targets apply to GOMAXPROCS >= 2"
 	} else {
-		rep.Note = "speedup = baseline ns/op (parallelism=1, workers=1, cons=off) divided by optimised ns/op (parallelism=max, workers=4, cons=on)"
+		rep.Note = "speedup = baseline ns/op (parallelism=1, workers=1, cons=off, elide=off) divided by optimised ns/op (parallelism=max, workers=4, cons=on, elide=on); call_reductions = fraction of what-if optimizer calls avoided by elide=on"
 	}
 
 	enc := json.NewEncoder(out)
@@ -143,13 +170,20 @@ func parseLine(line string) (result, int, bool) {
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "ns/op":
 			r.NsPerOp = v
 		case "B/op":
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = v
+		default:
+			if strings.HasSuffix(unit, "/op") {
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
 		}
 	}
 	return r, procs, r.NsPerOp > 0
